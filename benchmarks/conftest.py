@@ -1,0 +1,7 @@
+"""Make the benchmark harness importable when pytest runs from the repo root."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Interface hierarchies, bit-vector flags and safe downcasts (paper §4.3).
+
+The TypeScript compiler discriminates between kinds of `Type` objects with a
+bit-vector `flags` field.  The refinement on `flags` states that if certain
+mask bits are set, the object implements the corresponding sub-interface;
+rsc then proves each `<ObjectType> t` downcast safe from the guarding
+bit-mask test — and rejects casts guarded by the wrong test.
+"""
+
+from repro import check_source
+
+SOURCE = """
+enum TypeFlags {
+  Any = 0x00000001, Str = 0x00000002, Num = 0x00000004,
+  Class = 0x00000400, Interface = 0x00000800, Reference = 0x00001000
+}
+
+// isMask-style invariant over the flags field (paper, §4.3):
+type flagsT = {v: number | (mask(v, 0x00000002) => impl(this, "StringType"))
+                        && (mask(v, 0x00003C00) => impl(this, "ObjectType")) };
+
+interface Type {
+  immutable flags : flagsT;
+  id : number;
+}
+interface StringType extends Type {
+  text : string;
+}
+interface ObjectType extends Type {
+  members : number[];
+}
+
+spec getPropertiesOfType :: (t: Type) => number;
+function getPropertiesOfType(t) {
+  if (t.flags & 0x00000800) {
+    var o = <ObjectType> t;
+    return o.members.length;
+  }
+  return 0;
+}
+"""
+
+#: the wrong guard (Any flag) does not justify the ObjectType cast
+BROKEN = SOURCE.replace("t.flags & 0x00000800", "t.flags & 0x00000001")
+
+#: no guard at all — this is what tsc silently allows and rsc rejects
+UNGUARDED = SOURCE.replace("if (t.flags & 0x00000800) {", "if (true) {")
+
+
+def main() -> None:
+    print("== checking guarded downcast (TypeFlags hierarchy) ==")
+    result = check_source(SOURCE, filename="downcast.ts")
+    print(result.summary())
+    assert result.ok
+
+    for label, text in [("wrong mask", BROKEN), ("missing guard", UNGUARDED)]:
+        broken = check_source(text, filename=f"downcast_{label}.ts")
+        status = "rejected" if not broken.ok else "ACCEPTED (unexpected!)"
+        print(f"  BAD ({label}) -> {status}")
+        assert not broken.ok, label
+
+    print("\ndowncasts: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Class invariants, immutable fields and mutation (paper Figure 2, §2.2.3).
+
+The `Field` class stores a 2-D grid unrolled into a single array whose length
+is `(w+2)*(h+2)`.  The width/height fields are `immutable`, so refinements of
+other fields (and method signatures) may refer to them.  rsc verifies:
+
+* the constructor establishes the class invariant,
+* `setDensity`/`getDensity` stay within the grid bounds,
+* `reset` may update the mutable `dens` field only with an array of the
+  right size,
+
+and rejects the same four "BAD" calls the paper lists.
+"""
+
+from repro import check_source
+
+SOURCE = """
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type grid<w,h> = {v: number[] | len(v) = (w+2)*(h+2)};
+type okW = {v: nat | v <= this.w};
+type okH = {v: nat | v <= this.h};
+
+// Non-linear grid-index arithmetic is factored into a ghost theorem,
+// exactly as the paper does for navier-stokes (§5.1, "Ghost Functions").
+declare gridIndex :: (x: nat, y: nat, w: pos, h: pos)
+  => {v: number | 0 <= v && (x <= w && y <= h => v < (w+2)*(h+2))};
+
+class Field {
+  immutable w : pos;
+  immutable h : pos;
+  dens : grid<this.w, this.h>;
+  constructor(w: pos, h: pos, d: grid<w, h>) {
+    this.h = h; this.w = w; this.dens = d;
+  }
+  setDensity(x: okW, y: okH, d: number) : void {
+    var i = gridIndex(x, y, this.w, this.h);
+    this.dens[i] = d;
+  }
+  getDensity(x: okW, y: okH) : number {
+    var i = gridIndex(x, y, this.w, this.h);
+    return this.dens[i];
+  }
+  reset(d: grid<this.w, this.h>) : void {
+    this.dens = d;
+  }
+}
+
+spec main :: () => void;
+function main() {
+  var z = new Field(3, 7, new Array(45));
+  z.setDensity(2, 5, -5);
+  z.reset(new Array(45));
+}
+"""
+
+BAD_VARIANTS = {
+    "constructor with wrong grid size":
+        ("new Field(3, 7, new Array(45))", "new Field(3, 7, new Array(44))"),
+    "getDensity(5, 2) exceeds the width":
+        ("z.setDensity(2, 5, -5)", "z.getDensity(5, 2)"),
+    "reset with a too-small grid":
+        ("z.reset(new Array(45))", "z.reset(new Array(5))"),
+    "writing the immutable width outside the constructor":
+        ("z.reset(new Array(45))", "z.w = 10"),
+}
+
+
+def main() -> None:
+    print("== checking Figure 2 (Field class) ==")
+    result = check_source(SOURCE, filename="figure2.ts")
+    print(result.summary())
+    assert result.ok, "the OK program must verify"
+
+    for label, replacement in BAD_VARIANTS.items():
+        broken = check_source(SOURCE.replace(*replacement), filename="figure2_bad.ts")
+        status = "rejected" if not broken.ok else "ACCEPTED (unexpected!)"
+        print(f"  BAD: {label:55s} -> {status}")
+        assert not broken.ok, label
+
+    print("\nfield_mutation: OK")
+
+
+if __name__ == "__main__":
+    main()

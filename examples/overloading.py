@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Value-based overloading via two-phase typing (paper §2.1.2 and §5.2).
+
+`$reduce` accepts either (array, callback) or (array, callback, seed); the
+first form requires a non-empty array because it seeds the accumulator with
+`a[0]`.  The function's type is the *intersection* of the two signatures and
+each conjunct is checked separately; the branch that does not apply under a
+given signature must be provably dead (an `assert(false)`-style obligation).
+
+This mirrors the massively-overloaded `reduce` of the Transducers library
+(Figure 8 of the paper).
+"""
+
+from repro import check_source
+
+SOURCE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+
+spec reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function reduce(a, f, x) {
+  var res = x;
+  for (var i = 0; i < a.length; i++) {
+    res = f(res, a[i], i);
+  }
+  return res;
+}
+
+// Two overloads: with and without an explicit seed.  The seed-less form
+// requires a non-empty array (it reads a[0]).
+spec $reduce :: <A>(a: {v: A[] | 0 < len(v)}, f: (A, A, idx<a>) => A) => A;
+spec $reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function $reduce(a, f, x) {
+  if (arguments.length === 3) { return reduce(a, f, x); }
+  return reduce(a.slice(1, a.length), f, a[0]);
+}
+"""
+
+#: dropping the non-emptiness requirement makes the `a[0]` read unsafe
+BROKEN = SOURCE.replace("{v: A[] | 0 < len(v)}", "A[]")
+
+
+def main() -> None:
+    print("== checking the overloaded $reduce (two-phase typing) ==")
+    result = check_source(SOURCE, filename="overload.ts")
+    print(result.summary())
+    assert result.ok, "the overloaded function must verify"
+
+    print("== checking the broken overload (seed-less form on any array) ==")
+    broken = check_source(BROKEN, filename="overload_bad.ts")
+    print(broken.summary())
+    for diag in broken.errors[:4]:
+        print("  ", diag)
+    assert not broken.ok, "dropping the non-empty requirement must be rejected"
+
+    print("\noverloading: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: verifying array bounds with refinement types (paper Figure 1).
+
+Runs rsc on the `reduce` / `minIndex` example from section 2 of the paper:
+the callback passed to `reduce` is only ever invoked with valid indices of
+the array being reduced, and liquid inference discovers the instantiation
+    A |-> number        B |-> idx<a>
+automatically (section 2.2.1).
+"""
+
+from repro import check_source
+
+SOURCE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+
+spec reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function reduce(a, f, x) {
+  var res = x;
+  for (var i = 0; i < a.length; i++) {
+    res = f(res, a[i], i);
+  }
+  return res;
+}
+
+spec minIndex :: (a: number[]) => number;
+function minIndex(a) {
+  if (a.length <= 0) { return -1; }
+  function step(min, cur, i) {
+    return cur < a[min] ? i : min;
+  }
+  return reduce(a, step, 0);
+}
+"""
+
+BROKEN = SOURCE.replace("? i : min", "? i + 1 : min")
+
+
+def main() -> None:
+    print("== checking Figure 1 (reduce / minIndex) ==")
+    result = check_source(SOURCE, filename="figure1.ts")
+    print(result.summary())
+    print("inferred refinements for the polymorphic instantiation:")
+    for kappa, quals in sorted(result.kappa_solution.items()):
+        useful = [str(q) for q in quals if "len" in str(q) or "0 <=" in str(q)]
+        if useful:
+            print(f"  {kappa}: " + " && ".join(useful[:4]))
+
+    print()
+    print("== checking a broken variant (step returns i + 1) ==")
+    broken = check_source(BROKEN, filename="figure1_broken.ts")
+    print(broken.summary())
+    for diag in broken.errors:
+        print("  ", diag)
+
+    assert result.ok, "the paper's example must verify"
+    assert not broken.ok, "the broken variant must be rejected"
+    print("\nquickstart: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so ``pip install -e .`` works in offline environments that lack
+the ``wheel`` package (falls back to the legacy setuptools develop install)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Refined TypeScript (RSC) - a reproduction of "Refinement Types for
+TypeScript" (Vekris, Cosman, Jhala; PLDI 2016) in pure Python.
+
+Top-level convenience re-exports::
+
+    from repro import check_source
+    result = check_source("function f(x: {v: number | 0 <= v}): number { return x; }")
+    assert result.ok
+"""
+
+from repro.core.api import CheckResult, check_program, check_source
+
+__version__ = "1.0.0"
+
+__all__ = ["CheckResult", "check_program", "check_source", "__version__"]

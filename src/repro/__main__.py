@@ -1,0 +1,53 @@
+"""Command-line interface: ``python -m repro program.rsc [more.rsc ...]``.
+
+Checks each nanoTS source file and prints the diagnostics, mirroring how the
+paper's ``rsc`` binary is used on the benchmark files.  Exits non-zero if any
+file fails to verify.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import check_source
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Refined TypeScript (RSC): refinement type checking for nanoTS")
+    parser.add_argument("files", nargs="+", help="nanoTS source files (*.rsc)")
+    parser.add_argument("--show-kappas", action="store_true",
+                        help="print the refinements inferred by liquid fixpoint")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the per-file verdict")
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for name in args.files:
+        path = pathlib.Path(name)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            print(f"{name}: cannot read: {exc}", file=sys.stderr)
+            exit_code = 2
+            continue
+        result = check_source(source, filename=str(path))
+        verdict = "SAFE" if result.ok else "UNSAFE"
+        print(f"{name}: {verdict} ({result.summary()})")
+        if not args.quiet:
+            for diag in result.diagnostics:
+                print(f"  {diag}")
+        if args.show_kappas:
+            for kappa, quals in sorted(result.kappa_solution.items()):
+                rendered = " && ".join(str(q) for q in quals) or "true"
+                print(f"  {kappa} := {rendered}")
+        if not result.ok:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

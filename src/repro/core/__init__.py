@@ -1,0 +1,12 @@
+"""The RSC refinement type checker.
+
+The public entry points live in :mod:`repro.core.api`:
+
+* :func:`repro.core.api.check_source` — parse + check a nanoTS source string,
+* :func:`repro.core.api.check_program` — check an already-parsed program,
+* :class:`repro.core.api.CheckResult` — diagnostics plus statistics.
+"""
+
+from repro.core.api import CheckResult, check_program, check_source
+
+__all__ = ["CheckResult", "check_program", "check_source"]

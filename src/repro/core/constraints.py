@@ -1,0 +1,86 @@
+"""Constraint representation: subtyping constraints and their flattening into
+logical implications (verification conditions / Horn constraints).
+
+Checking a program produces a :class:`ConstraintSet` containing
+
+* :class:`SubC` — ``Gamma |- S <: T`` subtyping constraints,
+* :class:`Implication` — flattened obligations ``hyps => goal`` where the
+  goal is either a concrete predicate (a VC, discharged by the SMT solver) or
+  a single kappa occurrence (a Horn constraint, solved by liquid fixpoint).
+
+Dead-code obligations from two-phase typing (section 2.1.2) are implications
+whose goal is literally ``false``: they hold exactly when the environment is
+inconsistent, i.e. the code is unreachable under the current overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ErrorKind, SourceSpan
+from repro.logic.terms import BoolLit, Expr, conj
+from repro.rtypes.types import RType
+from repro.core.environment import Env
+
+
+@dataclass
+class SubC:
+    """A subtyping constraint ``env |- lhs <: rhs``."""
+
+    env: Env
+    lhs: RType
+    rhs: RType
+    reason: str
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    kind: ErrorKind = ErrorKind.SUBTYPE
+
+
+@dataclass
+class Implication:
+    """A flattened obligation ``/\\ hyps => goal``."""
+
+    hyps: List[Expr]
+    goal: Expr
+    reason: str
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    kind: ErrorKind = ErrorKind.SUBTYPE
+
+    def is_dead_code_obligation(self) -> bool:
+        return isinstance(self.goal, BoolLit) and self.goal.value is False
+
+    def hypothesis(self) -> Expr:
+        return conj(*self.hyps)
+
+
+@dataclass
+class ConstraintSet:
+    """All constraints collected while checking one program."""
+
+    subtypings: List[SubC] = field(default_factory=list)
+    implications: List[Implication] = field(default_factory=list)
+
+    def add_sub(self, env: Env, lhs: RType, rhs: RType, reason: str,
+                span: Optional[SourceSpan] = None,
+                kind: ErrorKind = ErrorKind.SUBTYPE) -> None:
+        self.subtypings.append(SubC(env, lhs, rhs, reason,
+                                    span or SourceSpan.unknown(), kind))
+
+    def add_implication(self, hyps: List[Expr], goal: Expr, reason: str,
+                        span: Optional[SourceSpan] = None,
+                        kind: ErrorKind = ErrorKind.SUBTYPE) -> None:
+        self.implications.append(Implication(list(hyps), goal, reason,
+                                             span or SourceSpan.unknown(), kind))
+
+    def add_dead_code(self, env: Env, reason: str,
+                      span: Optional[SourceSpan] = None,
+                      kind: ErrorKind = ErrorKind.OVERLOAD) -> None:
+        """Require that ``env`` is inconsistent (the program point is dead)."""
+        self.add_implication(env.hypotheses(), BoolLit(False), reason, span, kind)
+
+    def extend(self, other: "ConstraintSet") -> None:
+        self.subtypings.extend(other.subtypings)
+        self.implications.extend(other.implications)
+
+    def __len__(self) -> int:
+        return len(self.subtypings) + len(self.implications)

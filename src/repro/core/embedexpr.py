@@ -1,0 +1,242 @@
+"""Embedding of (pure) source expressions into the refinement logic.
+
+Several parts of the checker need the *logical meaning* of a source
+expression:
+
+* refinement annotations ``{v: T | p}`` — the predicate ``p`` is a source
+  expression that must become a :class:`repro.logic.terms.Expr`;
+* path sensitivity — branch conditions are conjoined to the environment;
+* exact-value typing of arithmetic — ``x + 1`` gets type
+  ``{v: number | v = x + 1}``.
+
+Impure or unsupported constructs embed to ``None`` (for terms) or ``true``
+(for guard predicates), which is always sound: it only loses precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang import ast
+from repro.logic import builtins
+from repro.logic.sorts import BOOL, INT, STR
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    Field,
+    IntLit,
+    StrLit,
+    UnOp,
+    Var,
+    VALUE_VAR,
+    conj,
+    disj,
+    eq,
+    ne,
+    neg,
+    true,
+)
+
+#: source operators that carry over to the logic directly
+_BIN_OPS = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "==": "=", "!=": "!=", "&": "&", "|": "|",
+    "&&": "&&", "||": "||", "=>": "=>", "<=>": "<=>",
+}
+
+#: logical functions usable inside refinement annotations
+_BUILTIN_FNS = {
+    "len": builtins.LEN,
+    "ttag": builtins.TTAG,
+    "impl": builtins.IMPL,
+    "mask": builtins.MASK,
+    "instanceof": builtins.INSTANCEOF,
+    "keyVal": "keyVal",
+}
+
+
+class ExprEmbedder:
+    """Translates pure source expressions to logical terms/predicates."""
+
+    def __init__(self, enums: Optional[Dict[str, Dict[str, int]]] = None,
+                 value_var: str = "v") -> None:
+        self.enums = enums or {}
+        self.value_var = value_var
+
+    # -- terms -----------------------------------------------------------------
+
+    def term(self, e: ast.Expression) -> Optional[Expr]:
+        """The logical term denoted by ``e``, or ``None`` if not expressible."""
+        if isinstance(e, ast.NumberLit):
+            if isinstance(e.value, int):
+                return IntLit(e.value)
+            if float(e.value).is_integer():
+                return IntLit(int(e.value))
+            return None
+        if isinstance(e, ast.StringLit):
+            return StrLit(e.value)
+        if isinstance(e, ast.BoolLitE):
+            return BoolLit(e.value)
+        if isinstance(e, ast.NullLit):
+            return Var("null")
+        if isinstance(e, ast.UndefinedLit):
+            return Var("undefined")
+        if isinstance(e, ast.VarRef):
+            if e.name == self.value_var:
+                return VALUE_VAR
+            return Var(e.name)
+        if isinstance(e, ast.ThisRef):
+            return Var("this")
+        if isinstance(e, ast.Member):
+            # enum constant?
+            if isinstance(e.target, ast.VarRef) and e.target.name in self.enums:
+                members = self.enums[e.target.name]
+                if e.name in members:
+                    return IntLit(members[e.name])
+            if e.name == "length":
+                target = self.term(e.target)
+                if target is None:
+                    return None
+                return builtins.len_of(target)
+            target = self.term(e.target)
+            if target is None:
+                return None
+            return Field(target, e.name, INT)
+        if isinstance(e, ast.Unary):
+            if e.op == "-":
+                operand = self.term(e.operand)
+                return None if operand is None else UnOp("-", operand, INT)
+            if e.op == "!":
+                operand = self.predicate(e.operand)
+                return neg(operand)
+            if e.op == "typeof":
+                operand = self.term(e.operand)
+                return None if operand is None else builtins.ttag_of(operand)
+            return None
+        if isinstance(e, ast.Binary):
+            op = _BIN_OPS.get("==" if e.op == "===" else
+                              "!=" if e.op == "!==" else e.op)
+            if op is None:
+                return None
+            left = self.term(e.left)
+            right = self.term(e.right)
+            if left is None or right is None:
+                return None
+            sort = BOOL if op in ("<", "<=", ">", ">=", "=", "!=", "&&", "||",
+                                  "=>", "<=>") else INT
+            return BinOp(op, left, right, sort)
+        if isinstance(e, ast.Call):
+            return self._call_term(e)
+        if isinstance(e, ast.Conditional):
+            cond = self.predicate(e.cond)
+            then = self.term(e.then)
+            els = self.term(e.els)
+            if then is None or els is None:
+                return None
+            from repro.logic.terms import Ite
+            return Ite(cond, then, els)
+        if isinstance(e, ast.Index):
+            return None
+        return None
+
+    def _call_term(self, e: ast.Call) -> Optional[Expr]:
+        if isinstance(e.callee, ast.VarRef) and e.callee.name in _BUILTIN_FNS:
+            args = [self.term(a) for a in e.args]
+            if any(a is None for a in args):
+                return None
+            fn = _BUILTIN_FNS[e.callee.name]
+            sort = builtins.result_sort(fn)
+            return App(fn, tuple(args), sort)  # type: ignore[arg-type]
+        return None
+
+    # -- predicates ---------------------------------------------------------------
+
+    def predicate(self, e: ast.Expression) -> Expr:
+        """The logical predicate of a boolean source expression.
+
+        Unsupported constructs become ``true`` (sound over-approximation when
+        used as a hypothesis/guard)."""
+        if isinstance(e, ast.BoolLitE):
+            return BoolLit(e.value)
+        if isinstance(e, ast.Unary) and e.op == "!":
+            inner = self.predicate_opt(e.operand)
+            return neg(inner) if inner is not None else true()
+        if isinstance(e, ast.Binary):
+            if e.op == "&&":
+                return conj(self.predicate(e.left), self.predicate(e.right))
+            if e.op == "||":
+                left = self.predicate_opt(e.left)
+                right = self.predicate_opt(e.right)
+                if left is None or right is None:
+                    return true()
+                return disj(left, right)
+            if e.op in ("=>", "<=>"):
+                term = self.term(e)
+                return term if term is not None else true()
+            if e.op == "instanceof":
+                target = self.term(e.left)
+                if target is None or not isinstance(e.right, ast.VarRef):
+                    return true()
+                return builtins.instanceof_of(target, StrLit(e.right.name))
+            term = self.term(e)
+            if term is not None and term.sort == BOOL:
+                return term
+            # numeric truthiness: `if (x & MASK)` means `(x & MASK) != 0`
+            if term is not None:
+                return ne(term, IntLit(0))
+            return true()
+        term = self.term(e)
+        if term is None:
+            return true()
+        if isinstance(term, BoolLit):
+            return term
+        if term.sort == BOOL:
+            return term
+        # truthiness of a non-boolean term: non-zero / non-null
+        return ne(term, IntLit(0))
+
+    def predicate_opt(self, e: ast.Expression) -> Optional[Expr]:
+        """Like :meth:`predicate` but ``None`` when nothing useful is known.
+
+        Needed under negation / disjunction where over-approximating a
+        sub-formula with ``true`` would be unsound."""
+        if isinstance(e, ast.BoolLitE):
+            return BoolLit(e.value)
+        if isinstance(e, ast.Unary) and e.op == "!":
+            inner = self.predicate_opt(e.operand)
+            return neg(inner) if inner is not None else None
+        if isinstance(e, ast.Binary):
+            if e.op == "&&":
+                left = self.predicate_opt(e.left)
+                right = self.predicate_opt(e.right)
+                if left is None or right is None:
+                    return None
+                return conj(left, right)
+            if e.op == "||":
+                left = self.predicate_opt(e.left)
+                right = self.predicate_opt(e.right)
+                if left is None or right is None:
+                    return None
+                return disj(left, right)
+            if e.op == "instanceof":
+                return self.predicate(e) if self.term(e.left) is not None else None
+            term = self.term(e)
+            if term is None:
+                return None
+            return term if term.sort == BOOL else ne(term, IntLit(0))
+        term = self.term(e)
+        if term is None:
+            return None
+        if term.sort == BOOL or isinstance(term, BoolLit):
+            return term
+        return ne(term, IntLit(0))
+
+    def guard(self, e: ast.Expression, positive: bool) -> Expr:
+        """The environment guard contributed by branching on ``e``."""
+        if positive:
+            return self.predicate(e)
+        inner = self.predicate_opt(e)
+        return neg(inner) if inner is not None else true()

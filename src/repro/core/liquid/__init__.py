@@ -1,0 +1,13 @@
+"""Liquid type inference: qualifier instantiation and Horn-constraint fixpoint.
+
+This package implements the inference engine of section 2.2.1: refinement
+variables (kappas) stand for unknown refinements at polymorphic
+instantiations and Phi-variables; subtyping produces Horn constraints over
+them; the fixpoint solver starts from the conjunction of all candidate
+qualifiers and weakens each kappa until all its constraints hold.
+"""
+
+from repro.core.liquid.qualifiers import QualifierPool, default_qualifiers
+from repro.core.liquid.fixpoint import KappaRegistry, LiquidSolver
+
+__all__ = ["QualifierPool", "default_qualifiers", "KappaRegistry", "LiquidSolver"]

@@ -1,0 +1,153 @@
+"""The liquid fixpoint solver.
+
+Given the flattened implications produced by checking (some of whose goals or
+hypotheses mention kappa occurrences), the solver
+
+1. initialises every kappa to the conjunction of all candidate qualifiers
+   instantiated over the kappa's scope variables (filtered by kind),
+2. repeatedly picks an implication whose goal is a kappa occurrence and
+   removes from that kappa's assignment every qualifier not implied by the
+   hypotheses (with the current assignment substituted in), and
+3. stops at a fixpoint, which is the strongest assignment consistent with the
+   constraints (standard predicate-abstraction argument).
+
+Implications with concrete goals are *not* used during solving; they are the
+final verification conditions checked afterwards by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.terms import App, Expr, Var, VALUE_VAR, conj, subterms, substitute
+from repro.rtypes.types import is_kvar_app
+from repro.smt.solver import Solver
+from repro.core.constraints import Implication
+from repro.core.liquid.qualifiers import QualifierPool
+
+
+@dataclass
+class KappaInfo:
+    """Metadata recorded when a kappa template is created."""
+
+    name: str
+    formals: List[str]                    # first formal is the value variable
+    kinds: Dict[str, str] = field(default_factory=dict)   # formal -> kind
+
+
+class KappaRegistry:
+    """All kappas created during a checking run."""
+
+    def __init__(self) -> None:
+        self.kappas: Dict[str, KappaInfo] = {}
+
+    def register(self, name: str, formals: Sequence[str],
+                 kinds: Optional[Dict[str, str]] = None) -> None:
+        self.kappas[name] = KappaInfo(name, list(formals), dict(kinds or {}))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.kappas
+
+    def info(self, name: str) -> KappaInfo:
+        return self.kappas[name]
+
+
+Solution = Dict[str, List[Expr]]
+
+
+class LiquidSolver:
+    def __init__(self, solver: Solver, pool: QualifierPool,
+                 registry: KappaRegistry, max_iterations: int = 40) -> None:
+        self.solver = solver
+        self.pool = pool
+        self.registry = registry
+        self.max_iterations = max_iterations
+
+    # -- solution application ---------------------------------------------------------
+
+    def apply(self, expr: Expr, solution: Solution) -> Expr:
+        """Replace every kappa occurrence in ``expr`` by its current solution."""
+        replaced = expr
+        for sub in list(subterms(expr)):
+            if is_kvar_app(sub) and isinstance(sub, App):
+                instantiated = self.instantiate(sub, solution)
+                replaced = _replace_subterm(replaced, sub, instantiated)
+        return replaced
+
+    def instantiate(self, occurrence: App, solution: Solution) -> Expr:
+        name = occurrence.fn
+        if name not in self.registry:
+            return conj()
+        info = self.registry.info(name)
+        quals = solution.get(name, [])
+        mapping = _occurrence_subst(info, occurrence)
+        return conj(*[substitute(q, mapping) for q in quals])
+
+    # -- solving ----------------------------------------------------------------------
+
+    def initial_solution(self) -> Solution:
+        solution: Solution = {}
+        for name, info in self.registry.kappas.items():
+            candidates = {formal: info.kinds.get(formal, "any")
+                          for formal in info.formals[1:]}
+            solution[name] = self.pool.instantiate(candidates)
+        return solution
+
+    def solve(self, implications: Sequence[Implication]) -> Solution:
+        solution = self.initial_solution()
+        horn = [imp for imp in implications if self._goal_kappa(imp) is not None]
+        for _ in range(self.max_iterations):
+            changed = False
+            for imp in horn:
+                occurrence = self._goal_kappa(imp)
+                assert occurrence is not None
+                name = occurrence.fn
+                if name not in self.registry:
+                    continue
+                info = self.registry.info(name)
+                mapping = _occurrence_subst(info, occurrence)
+                hyps = [self.apply(h, solution) for h in imp.hyps]
+                kept: List[Expr] = []
+                for qual in solution.get(name, []):
+                    goal = substitute(qual, mapping)
+                    if self.solver.check_implication(hyps, goal):
+                        kept.append(qual)
+                    else:
+                        changed = True
+                solution[name] = kept
+            if not changed:
+                break
+        return solution
+
+    def check_concrete(self, implications: Sequence[Implication],
+                       solution: Solution) -> List[Tuple[Implication, bool]]:
+        """Check every implication with a concrete goal under the solution."""
+        results: List[Tuple[Implication, bool]] = []
+        for imp in implications:
+            if self._goal_kappa(imp) is not None:
+                continue
+            hyps = [self.apply(h, solution) for h in imp.hyps]
+            goal = self.apply(imp.goal, solution)
+            ok = self.solver.check_implication(hyps, goal)
+            results.append((imp, ok))
+        return results
+
+    @staticmethod
+    def _goal_kappa(imp: Implication) -> Optional[App]:
+        if is_kvar_app(imp.goal) and isinstance(imp.goal, App):
+            return imp.goal
+        return None
+
+
+def _occurrence_subst(info: KappaInfo, occurrence: App) -> Dict[str, Expr]:
+    """The pending substitution carried by a kappa occurrence."""
+    mapping: Dict[str, Expr] = {}
+    for formal, actual in zip(info.formals, occurrence.args):
+        mapping[formal] = actual
+    return mapping
+
+
+def _replace_subterm(expr: Expr, old: Expr, new: Expr) -> Expr:
+    from repro.logic.terms import subst_term
+    return subst_term(expr, old, new)

@@ -1,0 +1,136 @@
+"""Builtin bindings: the typed prelude of nanoTS.
+
+Mirrors the signatures the paper relies on:
+
+* ``assert :: (b: {v: boolean | v = true}) => void`` — used by two-phase
+  typing's dead-code encoding and available to programs;
+* ``assume`` — adds a fact to the environment (trusted);
+* array operations ``get``/``set``/``length``/``push``/``pop``/``slice``/
+  ``concat`` with bounds-checking refinements (section 2.1.1 / 4.4);
+* a handful of ``Math`` functions and console output used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.logic import builtins
+from repro.logic.terms import IntLit, Var, VALUE_VAR, conj, eq, ge, le, lt, minus, plus
+from repro.rtypes import Mutability
+from repro.rtypes.types import (
+    RType,
+    TArray,
+    TFun,
+    TParam,
+    TPrim,
+    TVar,
+    number,
+    boolean,
+    string,
+    void,
+)
+
+
+def _nat() -> TPrim:
+    return number(le(IntLit(0), VALUE_VAR))
+
+
+def _true_bool() -> TPrim:
+    return boolean(eq(VALUE_VAR, Var("true")))
+
+
+def global_bindings() -> Dict[str, RType]:
+    """Types of globally available functions."""
+    a = Var("a")
+    x = Var("x")
+    return {
+        "assert": TFun(params=(TParam("b", boolean(eq(VALUE_VAR, Var("true")))),),
+                       ret=void()),
+        "assume": TFun(params=(TParam("b", boolean()),), ret=void()),
+        "crash": TFun(params=(), ret=TPrim(name="bot")),
+        "alert": TFun(params=(TParam("s", TPrim(name="any")),), ret=void()),
+        "print": TFun(params=(TParam("s", TPrim(name="any")),), ret=void()),
+        "parseInt": TFun(params=(TParam("s", string()),), ret=number()),
+        "String": TFun(params=(TParam("x", TPrim(name="any")),), ret=string()),
+        "Number": TFun(params=(TParam("x", TPrim(name="any")),), ret=number()),
+        "isFinite": TFun(params=(TParam("x", number()),), ret=boolean()),
+        "isNaN": TFun(params=(TParam("x", number()),), ret=boolean()),
+    }
+
+
+#: methods on ``Math``
+MATH_METHODS: Dict[str, TFun] = {
+    "floor": TFun(params=(TParam("x", number()),), ret=number()),
+    "ceil": TFun(params=(TParam("x", number()),), ret=number()),
+    "round": TFun(params=(TParam("x", number()),), ret=number()),
+    "abs": TFun(params=(TParam("x", number()),), ret=_nat()),
+    "sqrt": TFun(params=(TParam("x", number()),), ret=number()),
+    "pow": TFun(params=(TParam("x", number()), TParam("y", number())), ret=number()),
+    "min": TFun(params=(TParam("x", number()), TParam("y", number())), ret=number()),
+    "max": TFun(params=(TParam("x", number()), TParam("y", number())), ret=number()),
+    "random": TFun(params=(), ret=number(conj(le(IntLit(0), VALUE_VAR)))),
+    "log": TFun(params=(TParam("x", number()),), ret=number()),
+    "exp": TFun(params=(TParam("x", number()),), ret=number()),
+    "sin": TFun(params=(TParam("x", number()),), ret=number()),
+    "cos": TFun(params=(TParam("x", number()),), ret=number()),
+}
+
+
+def array_method(name: str, elem: RType, array_term, mutability: Mutability) -> Optional[TFun]:
+    """The signature of an array method, specialised to the receiver.
+
+    ``array_term`` is the logical term of the receiver (used to refine result
+    lengths when the receiver is immutable)."""
+    nat = _nat()
+    if name == "push":
+        return TFun(params=(TParam("x", elem),), ret=nat)
+    if name == "pop":
+        return TFun(params=(), ret=elem)
+    if name == "shift":
+        return TFun(params=(), ret=elem)
+    if name == "unshift":
+        return TFun(params=(TParam("x", elem),), ret=nat)
+    if name == "slice":
+        result = TArray(elem=elem, mutability=Mutability.UNIQUE)
+        if name == "slice":
+            return TFun(params=(TParam("start", number()), TParam("end", number())),
+                        ret=result)
+    if name == "concat":
+        return TFun(params=(TParam("other", TArray(elem=elem,
+                                                   mutability=Mutability.READONLY)),),
+                    ret=TArray(elem=elem, mutability=Mutability.UNIQUE))
+    if name == "indexOf":
+        return TFun(params=(TParam("x", elem),),
+                    ret=number(ge(VALUE_VAR, IntLit(-1))))
+    if name == "join":
+        return TFun(params=(TParam("sep", string()),), ret=string())
+    if name == "reverse":
+        return TFun(params=(), ret=TArray(elem=elem, mutability=mutability))
+    if name == "sort":
+        return TFun(params=(TParam("cmp", TPrim(name="any")),),
+                    ret=TArray(elem=elem, mutability=mutability))
+    if name == "map":
+        return TFun(params=(TParam("f", TPrim(name="any")),),
+                    ret=TArray(elem=TPrim(name="any"), mutability=Mutability.UNIQUE))
+    if name == "forEach":
+        return TFun(params=(TParam("f", TPrim(name="any")),), ret=void())
+    return None
+
+
+def string_method(name: str) -> Optional[TFun]:
+    nat = _nat()
+    if name in ("charAt", "charCodeAt"):
+        return TFun(params=(TParam("i", nat),),
+                    ret=string() if name == "charAt" else number())
+    if name == "substring" or name == "substr" or name == "slice":
+        return TFun(params=(TParam("a", number()), TParam("b", number())),
+                    ret=string())
+    if name == "indexOf":
+        return TFun(params=(TParam("s", string()),),
+                    ret=number(ge(VALUE_VAR, IntLit(-1))))
+    if name == "toUpperCase" or name == "toLowerCase":
+        return TFun(params=(), ret=string())
+    if name == "split":
+        return TFun(params=(TParam("sep", string()),),
+                    ret=TArray(elem=string(), mutability=Mutability.UNIQUE))
+    return None

@@ -1,0 +1,273 @@
+"""Resolution of surface type annotations into semantic refinement types.
+
+Handles:
+
+* primitive names, type variables, class/interface references;
+* parameterised type aliases (``idx<a>``, ``grid<w, h>``, ``natN<n>``) whose
+  parameters may be *types* or *logical terms* — the parameter kind is
+  inferred from how it is used in the alias body;
+* array forms ``T[]``, ``Array<M, T>``, ``IArray<T>``/``MArray<T>``/
+  ``ROArray<T>``/``UArray<T>``;
+* refinement annotations ``{v: T | p}``;
+* function types (possibly generic, with dependent parameter names) and
+  union types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import DiagnosticBag, ErrorKind, SourceSpan
+from repro.lang import ast
+from repro.logic.terms import Expr, IntLit, Var, true
+from repro.rtypes import Mutability
+from repro.rtypes.types import (
+    RType,
+    TArray,
+    TFun,
+    TInter,
+    TObject,
+    TParam,
+    TPrim,
+    TRef,
+    TUnion,
+    TVar,
+    refine,
+    subst_terms,
+    subst_types,
+)
+from repro.core.classtable import ClassTable
+from repro.core.embedexpr import ExprEmbedder
+
+_PRIMS = {"number", "boolean", "string", "void", "any", "undefined", "null",
+          "top", "bot"}
+_ARRAY_MUTS = {
+    "IArray": Mutability.IMMUTABLE,
+    "MArray": Mutability.MUTABLE,
+    "ROArray": Mutability.READONLY,
+    "UArray": Mutability.UNIQUE,
+}
+_MUT_NAMES = {"IM": Mutability.IMMUTABLE, "Immutable": Mutability.IMMUTABLE,
+              "MU": Mutability.MUTABLE, "Mutable": Mutability.MUTABLE,
+              "RO": Mutability.READONLY, "ReadOnly": Mutability.READONLY,
+              "UQ": Mutability.UNIQUE, "Unique": Mutability.UNIQUE}
+
+
+class Resolver:
+    """Resolves :class:`repro.lang.ast.TypeAnn` into :class:`repro.rtypes.RType`."""
+
+    def __init__(self, table: ClassTable, diags: DiagnosticBag) -> None:
+        self.table = table
+        self.diags = diags
+        self._alias_stack: List[str] = []
+        self._alias_param_kinds: Dict[str, List[str]] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def resolve(self, ann: Optional[ast.TypeAnn],
+                tparams: Sequence[str] = ()) -> RType:
+        if ann is None:
+            return TPrim(name="any")
+        return self._resolve(ann, set(tparams))
+
+    def resolve_function(self, decl: ast.FunctionDecl) -> Optional[RType]:
+        """The declared signature of a function: its ``spec`` overloads if any,
+        otherwise its inline annotations (if complete)."""
+        specs = self.table.specs.get(decl.name, [])
+        members: List[TFun] = []
+        for spec_ann in specs:
+            resolved = self.resolve(spec_ann)
+            if isinstance(resolved, TFun):
+                members.append(resolved)
+            else:
+                self.diags.error(ErrorKind.RESOLUTION,
+                                 f"spec for {decl.name!r} is not a function type",
+                                 spec_ann.span)
+        if members:
+            if len(members) == 1:
+                return members[0]
+            return TInter(members=tuple(members))
+        if all(p.type is not None for p in decl.params) and decl.params or decl.ret:
+            params = tuple(TParam(p.name, self.resolve(p.type, decl.tparams))
+                           for p in decl.params)
+            ret = self.resolve(decl.ret, decl.tparams)
+            return TFun(tparams=tuple(decl.tparams), params=params, ret=ret)
+        if not decl.params:
+            return TFun(tparams=tuple(decl.tparams), params=(),
+                        ret=self.resolve(decl.ret, decl.tparams))
+        return None
+
+    def resolve_method(self, class_name: str, sig: ast.MethodSig,
+                       class_tparams: Sequence[str]) -> TFun:
+        tparams = list(class_tparams) + list(sig.tparams)
+        params = tuple(TParam(p.name, self.resolve(p.type, tparams))
+                       for p in sig.params)
+        ret = self.resolve(sig.ret, tparams)
+        return TFun(tparams=tuple(sig.tparams), params=params, ret=ret)
+
+    # -- implementation ------------------------------------------------------------
+
+    def _resolve(self, ann: ast.TypeAnn, tparams: Set[str]) -> RType:
+        if isinstance(ann, ast.TNameAnn):
+            return self._resolve_name(ann, tparams)
+        if isinstance(ann, ast.TRefineAnn):
+            base = self._resolve(ann.base, tparams)
+            embedder = ExprEmbedder(self.table.enums, value_var=ann.value_var)
+            pred = embedder.predicate(ann.pred)
+            return refine(base, pred)
+        if isinstance(ann, ast.TArrayAnn):
+            elem = self._resolve(ann.elem, tparams)
+            # `T[]` defaults to a mutable array (TypeScript semantics); use
+            # IArray<T> / Array<IM, T> for the immutable view required by
+            # length-changing-operation freedom.
+            mut = (_MUT_NAMES[ann.mutability] if ann.mutability
+                   else Mutability.MUTABLE)
+            return TArray(elem=elem, mutability=mut)
+        if isinstance(ann, ast.TFunAnn):
+            inner_tparams = tparams | set(ann.tparams)
+            params = []
+            for index, (name, ptype) in enumerate(ann.params):
+                pname = name if name is not None else f"arg{index}"
+                params.append(TParam(pname, self._resolve(ptype, inner_tparams)))
+            ret = self._resolve(ann.ret, inner_tparams)
+            return TFun(tparams=tuple(ann.tparams), params=tuple(params), ret=ret)
+        if isinstance(ann, ast.TUnionAnn):
+            return TUnion(members=tuple(self._resolve(m, tparams)
+                                        for m in ann.members))
+        self.diags.error(ErrorKind.RESOLUTION,
+                         f"unsupported type annotation {type(ann).__name__}",
+                         ann.span)
+        return TPrim(name="any")
+
+    def _resolve_name(self, ann: ast.TNameAnn, tparams: Set[str]) -> RType:
+        name = ann.name
+        if name in _PRIMS:
+            return TPrim(name=name)
+        if name in tparams:
+            return TVar(name=name)
+        if name == "Array":
+            return self._resolve_array(ann, tparams)
+        if name in _ARRAY_MUTS:
+            elem = (self._resolve_arg_type(ann.args[0], tparams)
+                    if ann.args else TPrim(name="any"))
+            return TArray(elem=elem, mutability=_ARRAY_MUTS[name])
+        if name in self.table.aliases:
+            return self._expand_alias(ann, tparams)
+        if name in self.table.enums:
+            return TPrim(name="number")
+        if name in self.table.classes:
+            mut = Mutability.MUTABLE
+            targs: List[RType] = []
+            for arg in ann.args:
+                if arg.is_type() and isinstance(arg.type, ast.TNameAnn) and \
+                        arg.type.name in _MUT_NAMES and not arg.type.args:
+                    mut = _MUT_NAMES[arg.type.name]
+                else:
+                    targs.append(self._resolve_arg_type(arg, tparams))
+            return TRef(name=name, targs=tuple(targs), mutability=mut)
+        self.diags.warning(ErrorKind.RESOLUTION, f"unknown type name {name!r}",
+                           ann.span)
+        return TPrim(name="any")
+
+    def _resolve_array(self, ann: ast.TNameAnn, tparams: Set[str]) -> RType:
+        mut = Mutability.MUTABLE
+        elem: RType = TPrim(name="any")
+        args = list(ann.args)
+        if len(args) == 2:
+            first = args[0]
+            if first.is_type() and isinstance(first.type, ast.TNameAnn) and \
+                    first.type.name in _MUT_NAMES:
+                mut = _MUT_NAMES[first.type.name]
+                args = args[1:]
+        if args:
+            elem = self._resolve_arg_type(args[0], tparams)
+        return TArray(elem=elem, mutability=mut)
+
+    def _resolve_arg_type(self, arg: ast.TypeArg, tparams: Set[str]) -> RType:
+        if arg.is_type():
+            return self._resolve(arg.type, tparams)
+        self.diags.error(ErrorKind.RESOLUTION,
+                         "expected a type argument, found an expression")
+        return TPrim(name="any")
+
+    # -- alias expansion ---------------------------------------------------------------
+
+    def _alias_param_kind(self, alias: str) -> List[str]:
+        """For each alias parameter, ``"type"`` or ``"term"`` depending on use."""
+        if alias in self._alias_param_kinds:
+            return self._alias_param_kinds[alias]
+        params, body = self.table.aliases[alias]
+        used_as_type: Set[str] = set()
+
+        def walk(a: ast.TypeAnn) -> None:
+            if isinstance(a, ast.TNameAnn):
+                if a.name in params:
+                    used_as_type.add(a.name)
+                for sub in a.args:
+                    if sub.type is not None:
+                        walk(sub.type)
+            elif isinstance(a, ast.TRefineAnn):
+                walk(a.base)
+            elif isinstance(a, ast.TArrayAnn):
+                walk(a.elem)
+            elif isinstance(a, ast.TFunAnn):
+                for _, pt in a.params:
+                    walk(pt)
+                walk(a.ret)
+            elif isinstance(a, ast.TUnionAnn):
+                for m in a.members:
+                    walk(m)
+
+        walk(body)
+        kinds = ["type" if p in used_as_type else "term" for p in params]
+        self._alias_param_kinds[alias] = kinds
+        return kinds
+
+    def _expand_alias(self, ann: ast.TNameAnn, tparams: Set[str]) -> RType:
+        name = ann.name
+        if name in self._alias_stack:
+            self.diags.error(ErrorKind.RESOLUTION,
+                             f"recursive type alias {name!r}", ann.span)
+            return TPrim(name="any")
+        params, body = self.table.aliases[name]
+        kinds = self._alias_param_kind(name)
+        if len(ann.args) != len(params):
+            if params:
+                self.diags.error(
+                    ErrorKind.RESOLUTION,
+                    f"alias {name!r} expects {len(params)} argument(s), "
+                    f"got {len(ann.args)}", ann.span)
+                return TPrim(name="any")
+        self._alias_stack.append(name)
+        try:
+            resolved_body = self._resolve(body, tparams | set(
+                p for p, k in zip(params, kinds) if k == "type"))
+        finally:
+            self._alias_stack.pop()
+        type_subst: Dict[str, RType] = {}
+        term_subst: Dict[str, Expr] = {}
+        embedder = ExprEmbedder(self.table.enums)
+        for param, kind, arg in zip(params, kinds, ann.args):
+            if kind == "type":
+                if arg.is_type():
+                    type_subst[param] = self._resolve(arg.type, tparams)
+                else:
+                    self.diags.error(ErrorKind.RESOLUTION,
+                                     f"alias {name!r}: parameter {param!r} "
+                                     "expects a type argument", ann.span)
+            else:
+                term = None
+                if arg.expr is not None:
+                    term = embedder.term(arg.expr)
+                elif arg.type is not None and isinstance(arg.type, ast.TNameAnn) \
+                        and not arg.type.args:
+                    term = Var(arg.type.name)
+                if term is None:
+                    self.diags.error(ErrorKind.RESOLUTION,
+                                     f"alias {name!r}: parameter {param!r} "
+                                     "expects a logical term", ann.span)
+                    term = Var(param)
+                term_subst[param] = term
+        result = subst_types(resolved_body, type_subst)
+        result = subst_terms(result, term_subst)
+        return result

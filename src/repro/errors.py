@@ -1,0 +1,141 @@
+"""Error and diagnostic types shared across the RSC pipeline.
+
+Every stage of the checker (parsing, SSA conversion, well-formedness,
+refinement checking, liquid inference) reports problems through the classes
+defined here so that callers get a uniform, location-carrying diagnostic
+stream instead of ad-hoc exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A region of source text: 1-based line/column of start and end."""
+
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        if self.line == 0:
+            return self.filename
+        return f"{self.filename}:{self.line}:{self.col}"
+
+    @staticmethod
+    def unknown() -> "SourceSpan":
+        return SourceSpan()
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+class ErrorKind(Enum):
+    """Classification of diagnostics, used by tests and the bench harness."""
+
+    PARSE = "parse"
+    RESOLUTION = "resolution"
+    WELLFORMED = "wellformedness"
+    SUBTYPE = "subtyping"
+    MUTABILITY = "mutability"
+    OVERLOAD = "overload"
+    CAST = "cast"
+    BOUNDS = "bounds"
+    INITIALIZATION = "initialization"
+    INTERNAL = "internal"
+
+
+@dataclass
+class Diagnostic:
+    """A single problem discovered by some phase of the checker."""
+
+    kind: ErrorKind
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+    severity: Severity = Severity.ERROR
+
+    def __str__(self) -> str:
+        return f"{self.span}: {self.severity.value}: [{self.kind.value}] {self.message}"
+
+
+class RscError(Exception):
+    """Base class for exceptions raised by the RSC implementation."""
+
+
+class ParseError(RscError):
+    """Raised by the lexer/parser on malformed input."""
+
+    def __init__(self, message: str, span: Optional[SourceSpan] = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span or SourceSpan.unknown()
+
+    def __str__(self) -> str:
+        return f"{self.span}: parse error: {self.message}"
+
+
+class SsaError(RscError):
+    """Raised when a program cannot be converted to SSA/IRSC form."""
+
+
+class TypeError_(RscError):
+    """Raised for unrecoverable typing problems (most are reported as Diagnostics)."""
+
+
+class SolverError(RscError):
+    """Raised by the SMT substrate on malformed queries."""
+
+
+class InternalError(RscError):
+    """A bug in the checker itself."""
+
+
+class DiagnosticBag:
+    """Accumulates diagnostics produced while checking a program."""
+
+    def __init__(self) -> None:
+        self._items: List[Diagnostic] = []
+
+    def add(self, diag: Diagnostic) -> None:
+        self._items.append(diag)
+
+    def error(self, kind: ErrorKind, message: str,
+              span: Optional[SourceSpan] = None) -> None:
+        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(), Severity.ERROR))
+
+    def warning(self, kind: ErrorKind, message: str,
+                span: Optional[SourceSpan] = None) -> None:
+        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(), Severity.WARNING))
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        for d in diags:
+            self.add(d)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self._items if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self._items if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __str__(self) -> str:
+        return "\n".join(str(d) for d in self._items)

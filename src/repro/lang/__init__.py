@@ -1,0 +1,17 @@
+"""The nanoTS source language front-end (lexer, AST, parser).
+
+nanoTS is the TypeScript-like surface language accepted by this RSC
+reproduction.  It covers the formal core FRSC of the paper (classes with
+immutable/mutable fields, methods, constructors, casts) plus the extensions
+of section 4: interfaces, enums, generics, refinement type annotations,
+overloaded ``spec`` signatures, ``typeof`` reflection and array primitives.
+"""
+
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_program, parse_type, parse_expression
+from repro.lang import ast
+
+__all__ = [
+    "Lexer", "tokenize", "Parser", "parse_program", "parse_type",
+    "parse_expression", "ast",
+]

@@ -1,0 +1,391 @@
+"""Abstract syntax of nanoTS (the FRSC source language plus section-4 extensions).
+
+Two node families live here:
+
+* *Type annotations* (``TypeAnn`` and subclasses) — the surface syntax of
+  refinement types; they are resolved into semantic types
+  (:mod:`repro.rtypes.types`) by :mod:`repro.core.resolve`.
+* *Program syntax* (expressions, statements, declarations) — the FRSC
+  fragment of the paper extended with loops, enums, interfaces, specs and
+  function expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SourceSpan
+
+
+# ---------------------------------------------------------------------------
+# Type annotations (surface syntax of types)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeAnn:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class TNameAnn(TypeAnn):
+    """A named type: primitive, type variable, alias, class or interface,
+    optionally applied to type/term arguments: ``idx<a>``, ``Array<IM, T>``."""
+
+    name: str
+    args: List["TypeArg"] = field(default_factory=list)
+
+
+@dataclass
+class TRefineAnn(TypeAnn):
+    """``{v: T | p}`` — a refinement of a base annotation."""
+
+    base: TypeAnn
+    pred: "Expression"
+    value_var: str = "v"
+
+
+@dataclass
+class TArrayAnn(TypeAnn):
+    """``T[]`` (mutability defaults from context) or ``IArray<T>`` forms."""
+
+    elem: TypeAnn
+    mutability: Optional[str] = None  # "IM" | "MU" | "RO" | "UQ" | None
+
+
+@dataclass
+class TFunAnn(TypeAnn):
+    """``<A, B>(x: T1, T2) => T``."""
+
+    tparams: List[str]
+    params: List[Tuple[Optional[str], TypeAnn]]
+    ret: TypeAnn
+
+
+@dataclass
+class TUnionAnn(TypeAnn):
+    members: List[TypeAnn] = field(default_factory=list)
+
+
+@dataclass
+class TypeArg:
+    """A type argument: either a type annotation or a logical expression
+    (for value-parameterised aliases like ``idx<a>`` or ``natN<n+1>``)."""
+
+    type: Optional[TypeAnn] = None
+    expr: Optional["Expression"] = None
+
+    def is_type(self) -> bool:
+        return self.type is not None
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expression:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class NumberLit(Expression):
+    value: Union[int, float]
+    raw: str = ""
+
+
+@dataclass
+class StringLit(Expression):
+    value: str
+
+
+@dataclass
+class BoolLitE(Expression):
+    value: bool
+
+
+@dataclass
+class NullLit(Expression):
+    pass
+
+
+@dataclass
+class UndefinedLit(Expression):
+    pass
+
+
+@dataclass
+class VarRef(Expression):
+    name: str
+
+
+@dataclass
+class ThisRef(Expression):
+    pass
+
+
+@dataclass
+class Unary(Expression):
+    op: str  # "!", "-", "+", "typeof"
+    operand: Expression
+
+
+@dataclass
+class Binary(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Conditional(Expression):
+    cond: Expression
+    then: Expression
+    els: Expression
+
+
+@dataclass
+class Call(Expression):
+    callee: Expression
+    args: List[Expression] = field(default_factory=list)
+    targs: List[TypeArg] = field(default_factory=list)
+
+
+@dataclass
+class New(Expression):
+    class_name: str
+    args: List[Expression] = field(default_factory=list)
+    targs: List[TypeArg] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expression):
+    target: Expression
+    name: str
+
+
+@dataclass
+class Index(Expression):
+    target: Expression
+    index: Expression
+
+
+@dataclass
+class Cast(Expression):
+    """``<T> e`` or ``e as T``."""
+
+    target: Expression
+    type: TypeAnn
+
+
+@dataclass
+class ArrayLit(Expression):
+    elements: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class ObjectLit(Expression):
+    fields: List[Tuple[str, Expression]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpr(Expression):
+    """Anonymous function / arrow function expression."""
+
+    params: List["Param"] = field(default_factory=list)
+    ret: Optional[TypeAnn] = None
+    body: "Block" = None  # type: ignore[assignment]
+    name: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Statement:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class Block(Statement):
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Statement):
+    name: str
+    init: Optional[Expression] = None
+    type: Optional[TypeAnn] = None
+    kind: str = "var"  # var | let | const
+
+
+@dataclass
+class Assign(Statement):
+    """``target = value`` where target is a variable, member or index."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass
+class ExprStmt(Statement):
+    expr: Expression
+
+
+@dataclass
+class If(Statement):
+    cond: Expression
+    then: Block
+    els: Optional[Block] = None
+
+
+@dataclass
+class While(Statement):
+    cond: Expression
+    body: Block
+    invariant: Optional[Expression] = None
+
+
+@dataclass
+class Return(Statement):
+    value: Optional[Expression] = None
+
+
+@dataclass
+class FunctionDeclStmt(Statement):
+    """A nested (closure) function declaration inside a body."""
+
+    decl: "FunctionDecl" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Skip(Statement):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    type: Optional[TypeAnn] = None
+
+
+@dataclass
+class Declaration:
+    span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+
+
+@dataclass
+class TypeAliasDecl(Declaration):
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: TypeAnn = None  # type: ignore[assignment]
+
+
+@dataclass
+class EnumDecl(Declaration):
+    name: str
+    members: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class SpecDecl(Declaration):
+    """``spec name :: <A>(...) => T;`` — one overload signature for ``name``."""
+
+    name: str
+    type: TypeAnn = None  # type: ignore[assignment]
+
+
+@dataclass
+class DeclareDecl(Declaration):
+    """``declare name :: T;`` — an ambient, trusted binding (e.g. ghost fns)."""
+
+    name: str
+    type: TypeAnn = None  # type: ignore[assignment]
+
+
+@dataclass
+class QualifierDecl(Declaration):
+    """``qualifier p;`` — an extra predicate template for liquid inference."""
+
+    pred: Expression = None  # type: ignore[assignment]
+
+
+@dataclass
+class FieldDecl:
+    name: str
+    type: TypeAnn
+    immutable: bool = False
+    optional: bool = False
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+
+
+@dataclass
+class MethodSig:
+    name: str
+    tparams: List[str] = field(default_factory=list)
+    params: List[Param] = field(default_factory=list)
+    ret: Optional[TypeAnn] = None
+    receiver_mutability: Optional[str] = None
+    span: SourceSpan = field(default_factory=SourceSpan.unknown)
+
+
+@dataclass
+class MethodDecl:
+    sig: MethodSig
+    body: Optional[Block] = None
+    specs: List[TypeAnn] = field(default_factory=list)
+
+
+@dataclass
+class InterfaceDecl(Declaration):
+    name: str
+    tparams: List[str] = field(default_factory=list)
+    extends: List[str] = field(default_factory=list)
+    fields: List[FieldDecl] = field(default_factory=list)
+    methods: List[MethodSig] = field(default_factory=list)
+
+
+@dataclass
+class ClassDecl(Declaration):
+    name: str
+    tparams: List[str] = field(default_factory=list)
+    extends: Optional[str] = None
+    implements: List[str] = field(default_factory=list)
+    fields: List[FieldDecl] = field(default_factory=list)
+    constructor: Optional[MethodDecl] = None
+    methods: List[MethodDecl] = field(default_factory=list)
+    invariant: Optional[Expression] = None
+
+
+@dataclass
+class FunctionDecl(Declaration):
+    name: str
+    tparams: List[str] = field(default_factory=list)
+    params: List[Param] = field(default_factory=list)
+    ret: Optional[TypeAnn] = None
+    body: Optional[Block] = None
+    specs: List[TypeAnn] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    declarations: List[Declaration] = field(default_factory=list)
+    source_name: str = "<input>"
+
+    def functions(self) -> List[FunctionDecl]:
+        return [d for d in self.declarations if isinstance(d, FunctionDecl)]
+
+    def classes(self) -> List[ClassDecl]:
+        return [d for d in self.declarations if isinstance(d, ClassDecl)]
+
+    def interfaces(self) -> List[InterfaceDecl]:
+        return [d for d in self.declarations if isinstance(d, InterfaceDecl)]

@@ -1,0 +1,160 @@
+"""The nanoTS lexer.
+
+Hand-written scanner producing a list of :class:`repro.lang.tokens.Token`.
+Supports line (``//``) and block (``/* */``) comments, decimal and
+hexadecimal integer literals, floating point literals, and single- or
+double-quoted strings with the usual escapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ParseError, SourceSpan
+from repro.lang.tokens import KEYWORDS, PUNCTUATION, Token, TokenKind
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- helpers -------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _span(self, start_line: int, start_col: int) -> SourceSpan:
+        return SourceSpan(start_line, start_col, self.line, self.col, self.filename)
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, SourceSpan(self.line, self.col,
+                                              self.line, self.col, self.filename))
+
+    # -- scanning -------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                break
+            tokens.append(self._next_token())
+        tokens.append(Token(TokenKind.EOF, "",
+                            SourceSpan(self.line, self.col, self.line, self.col,
+                                       self.filename)))
+        return tokens
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                        self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        start_line, start_col = self.line, self.col
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._number(start_line, start_col)
+        if ch.isalpha() or ch == "_" or ch == "$":
+            return self._identifier(start_line, start_col)
+        if ch in "'\"":
+            return self._string(start_line, start_col)
+
+        for punct in PUNCTUATION:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, self._span(start_line, start_col))
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, start_line: int, start_col: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token(TokenKind.NUMBER, text,
+                         self._span(start_line, start_col), int(text, 16))
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+                self._peek(1).isdigit() or
+                (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        value = float(text) if is_float else int(text)
+        return Token(TokenKind.NUMBER, text, self._span(start_line, start_col), value)
+
+    def _identifier(self, start_line: int, start_col: int) -> Token:
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, self._span(start_line, start_col), text)
+
+    def _string(self, start_line: int, start_col: int) -> Token:
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\\":
+                esc = self._advance()
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                           "'": "'", '"': '"', "0": "\0"}
+                chars.append(mapping.get(esc, esc))
+            else:
+                chars.append(ch)
+        text = "".join(chars)
+        return Token(TokenKind.STRING, text, self._span(start_line, start_col), text)
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize ``source`` into a list of tokens (ending with EOF)."""
+    return Lexer(source, filename).tokenize()

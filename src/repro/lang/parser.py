@@ -1,0 +1,985 @@
+"""Recursive-descent parser for nanoTS.
+
+The grammar covers the paper's formal core (classes, fields with mutability
+modifiers, methods, constructors, casts) and the section-4 extensions
+(interfaces, enums, generics, refinement annotations, overloaded ``spec``
+signatures, ``declare`` ambients, loops and nested functions).
+
+Notable syntactic choices (documented in the README):
+
+* refinement types are written ``{v: T | p}``;
+* union types use ``+`` (as in the paper) to avoid ambiguity with ``|``
+  inside refinements;
+* overload signatures are attached with ``spec name :: <A>(...) => T;`` and a
+  function may have several of them (their intersection is the function's
+  type, checked by two-phase typing);
+* ``declare name :: T;`` introduces a trusted ambient binding (used for ghost
+  theorem functions exactly like the paper's ``mulThm1``);
+* casts are written ``<T> e`` or ``e as T``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SourceSpan
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/="}
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+        self.filename = filename
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _at_keyword(self, text: str) -> bool:
+        return self._peek().is_keyword(text)
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._at_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._at_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._at_punct(text):
+            raise self._error(f"expected {text!r}, found {self._peek().text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._at_keyword(text):
+            raise self._error(f"expected keyword {text!r}, found {self._peek().text!r}")
+        return self._advance()
+
+    def _expect_name(self) -> str:
+        tok = self._peek()
+        # Type/primitive keywords are allowed as names in member positions.
+        if tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            self._advance()
+            return tok.text
+        raise self._error(f"expected an identifier, found {tok.text!r}")
+
+    def _expect_ident(self) -> str:
+        tok = self._peek()
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            return tok.text
+        raise self._error(f"expected an identifier, found {tok.text!r}")
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._peek().span)
+
+    def _span(self) -> SourceSpan:
+        return self._peek().span
+
+    # -- program -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Declaration] = []
+        while self._peek().kind is not TokenKind.EOF:
+            decls.append(self._declaration())
+        return ast.Program(declarations=decls, source_name=self.filename)
+
+    def _declaration(self) -> ast.Declaration:
+        if self._at_keyword("type"):
+            return self._type_alias()
+        if self._at_keyword("enum"):
+            return self._enum()
+        if self._at_keyword("spec"):
+            return self._spec()
+        if self._at_keyword("declare"):
+            return self._declare()
+        if self._at_keyword("qualifier"):
+            return self._qualifier()
+        if self._at_keyword("interface"):
+            return self._interface()
+        if self._at_keyword("class"):
+            return self._class()
+        if self._at_keyword("function"):
+            return self._function()
+        raise self._error(f"expected a declaration, found {self._peek().text!r}")
+
+    def _type_alias(self) -> ast.TypeAliasDecl:
+        span = self._span()
+        self._expect_keyword("type")
+        name = self._expect_ident()
+        params: List[str] = []
+        if self._accept_punct("<"):
+            while True:
+                params.append(self._expect_ident())
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(">")
+        self._expect_punct("=")
+        body = self.parse_type()
+        self._accept_punct(";")
+        return ast.TypeAliasDecl(name=name, params=params, body=body, span=span)
+
+    def _enum(self) -> ast.EnumDecl:
+        span = self._span()
+        self._expect_keyword("enum")
+        name = self._expect_ident()
+        self._expect_punct("{")
+        members: List[Tuple[str, int]] = []
+        env: dict[str, int] = {}
+        next_value = 0
+        while not self._at_punct("}"):
+            member = self._expect_name()
+            if self._accept_punct("="):
+                expr = self._expression()
+                value = _const_eval(expr, env)
+            else:
+                value = next_value
+            members.append((member, value))
+            env[member] = value
+            next_value = value + 1
+            if not self._accept_punct(","):
+                break
+        self._expect_punct("}")
+        return ast.EnumDecl(name=name, members=members, span=span)
+
+    def _spec(self) -> ast.SpecDecl:
+        span = self._span()
+        self._expect_keyword("spec")
+        name = self._expect_ident()
+        self._expect_punct("::")
+        type_ann = self.parse_type()
+        self._accept_punct(";")
+        return ast.SpecDecl(name=name, type=type_ann, span=span)
+
+    def _declare(self) -> ast.DeclareDecl:
+        span = self._span()
+        self._expect_keyword("declare")
+        self._accept_keyword("function")
+        name = self._expect_ident()
+        self._expect_punct("::")
+        type_ann = self.parse_type()
+        self._accept_punct(";")
+        return ast.DeclareDecl(name=name, type=type_ann, span=span)
+
+    def _qualifier(self) -> ast.QualifierDecl:
+        span = self._span()
+        self._expect_keyword("qualifier")
+        pred = self._expression(in_pred=True)
+        self._accept_punct(";")
+        return ast.QualifierDecl(pred=pred, span=span)
+
+    def _interface(self) -> ast.InterfaceDecl:
+        span = self._span()
+        self._expect_keyword("interface")
+        name = self._expect_ident()
+        tparams = self._type_params()
+        extends: List[str] = []
+        if self._accept_keyword("extends"):
+            while True:
+                extends.append(self._expect_ident())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodSig] = []
+        while not self._at_punct("}"):
+            member_span = self._span()
+            receiver = self._method_annotation()
+            immutable = self._accept_keyword("immutable")
+            if not immutable:
+                self._accept_keyword("mutable")
+            member_name = self._expect_name()
+            optional = self._accept_punct("?")
+            if self._at_punct("(") or self._at_punct("<"):
+                sig = self._method_signature(member_name, receiver, member_span)
+                methods.append(sig)
+            else:
+                self._expect_punct(":")
+                field_type = self.parse_type()
+                fields.append(ast.FieldDecl(name=member_name, type=field_type,
+                                            immutable=immutable, optional=optional,
+                                            span=member_span))
+            self._accept_punct(";")
+        self._expect_punct("}")
+        return ast.InterfaceDecl(name=name, tparams=tparams, extends=extends,
+                                 fields=fields, methods=methods, span=span)
+
+    def _method_annotation(self) -> Optional[str]:
+        if self._accept_punct("@"):
+            return self._expect_name()
+        return None
+
+    def _method_signature(self, name: str, receiver: Optional[str],
+                          span: SourceSpan) -> ast.MethodSig:
+        tparams = self._type_params()
+        params = self._params()
+        ret = None
+        if self._accept_punct(":"):
+            ret = self.parse_type()
+        return ast.MethodSig(name=name, tparams=tparams, params=params, ret=ret,
+                             receiver_mutability=receiver, span=span)
+
+    def _class(self) -> ast.ClassDecl:
+        span = self._span()
+        self._expect_keyword("class")
+        name = self._expect_ident()
+        tparams = self._type_params()
+        extends = None
+        implements: List[str] = []
+        if self._accept_keyword("extends"):
+            extends = self._expect_ident()
+            # allow (and ignore) type arguments on the superclass
+            self._skip_type_args()
+        if self._accept_keyword("implements"):
+            while True:
+                implements.append(self._expect_ident())
+                self._skip_type_args()
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        constructor: Optional[ast.MethodDecl] = None
+        invariant: Optional[ast.Expression] = None
+        while not self._at_punct("}"):
+            member_span = self._span()
+            if self._accept_keyword("invariant"):
+                invariant = self._expression(in_pred=True)
+                self._accept_punct(";")
+                continue
+            receiver = self._method_annotation()
+            self._accept_keyword("public")
+            self._accept_keyword("private")
+            if self._at_keyword("constructor"):
+                self._advance()
+                params = self._params()
+                body = self._block()
+                sig = ast.MethodSig(name="constructor", params=params,
+                                    receiver_mutability=receiver, span=member_span)
+                constructor = ast.MethodDecl(sig=sig, body=body)
+                continue
+            immutable = self._accept_keyword("immutable")
+            if not immutable:
+                self._accept_keyword("mutable")
+            member_name = self._expect_name()
+            if self._at_punct("(") or self._at_punct("<"):
+                sig = self._method_signature(member_name, receiver, member_span)
+                body = self._block() if self._at_punct("{") else None
+                if body is None:
+                    self._accept_punct(";")
+                methods.append(ast.MethodDecl(sig=sig, body=body))
+            else:
+                self._expect_punct(":")
+                field_type = self.parse_type()
+                self._accept_punct(";")
+                fields.append(ast.FieldDecl(name=member_name, type=field_type,
+                                            immutable=immutable, span=member_span))
+        self._expect_punct("}")
+        return ast.ClassDecl(name=name, tparams=tparams, extends=extends,
+                             implements=implements, fields=fields,
+                             constructor=constructor, methods=methods,
+                             invariant=invariant, span=span)
+
+    def _function(self) -> ast.FunctionDecl:
+        span = self._span()
+        self._expect_keyword("function")
+        name = self._expect_ident()
+        tparams = self._type_params()
+        params = self._params()
+        ret = None
+        if self._accept_punct(":"):
+            ret = self.parse_type()
+        body = self._block() if self._at_punct("{") else None
+        if body is None:
+            self._accept_punct(";")
+        return ast.FunctionDecl(name=name, tparams=tparams, params=params,
+                                ret=ret, body=body, span=span)
+
+    def _type_params(self) -> List[str]:
+        params: List[str] = []
+        if self._accept_punct("<"):
+            while True:
+                params.append(self._expect_ident())
+                # allow (and ignore) bounds: <M extends ReadOnly>
+                if self._accept_keyword("extends"):
+                    self._expect_name()
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(">")
+        return params
+
+    def _skip_type_args(self) -> None:
+        if self._at_punct("<"):
+            depth = 0
+            while True:
+                tok = self._advance()
+                if tok.is_punct("<"):
+                    depth += 1
+                elif tok.is_punct(">"):
+                    depth -= 1
+                    if depth == 0:
+                        return
+                elif tok.kind is TokenKind.EOF:
+                    raise self._error("unterminated type argument list")
+
+    def _params(self) -> List[ast.Param]:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        while not self._at_punct(")"):
+            name = self._expect_name()
+            ptype = None
+            if self._accept_punct(":"):
+                ptype = self.parse_type()
+            params.append(ast.Param(name=name, type=ptype))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return params
+
+    # -- type annotations ------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeAnn:
+        return self._union_type()
+
+    def _union_type(self) -> ast.TypeAnn:
+        first = self._postfix_type()
+        if not self._at_punct("+"):
+            return first
+        members = [first]
+        while self._accept_punct("+"):
+            members.append(self._postfix_type())
+        return ast.TUnionAnn(members=members, span=first.span)
+
+    def _postfix_type(self) -> ast.TypeAnn:
+        t = self._primary_type()
+        while True:
+            if self._at_punct("[") and self._peek(1).is_punct("]"):
+                self._advance()
+                self._advance()
+                t = ast.TArrayAnn(elem=t, span=t.span)
+            elif self._at_punct("+") and self._peek(1).is_punct("]"):
+                # not reachable; kept for symmetry
+                break
+            else:
+                break
+        return t
+
+    def _primary_type(self) -> ast.TypeAnn:
+        span = self._span()
+        # refinement type {v: T | p}
+        if self._at_punct("{"):
+            return self._refinement_or_object_type()
+        # function type, possibly generic: <A,B>(params) => T  or  (params) => T
+        if self._at_punct("<") or (self._at_punct("(") and self._looks_like_fun_type()):
+            return self._function_type()
+        if self._at_punct("("):
+            self._advance()
+            inner = self.parse_type()
+            self._expect_punct(")")
+            return inner
+        tok = self._peek()
+        if tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            name = self._expect_name()
+            args: List[ast.TypeArg] = []
+            if self._at_punct("<"):
+                args = self._type_args()
+            ann = ast.TNameAnn(name=name, args=args, span=span)
+            # array suffix with non-empty marker: A[]+  (non-empty array)
+            return ann
+        raise self._error(f"expected a type, found {tok.text!r}")
+
+    def _refinement_or_object_type(self) -> ast.TypeAnn:
+        span = self._span()
+        self._expect_punct("{")
+        # Refinement form: { ident : Type | pred }
+        save = self.pos
+        if self._peek().kind in (TokenKind.IDENT, TokenKind.KEYWORD) and \
+                self._peek(1).is_punct(":"):
+            value_var = self._expect_name()
+            self._expect_punct(":")
+            base = self.parse_type()
+            if self._accept_punct("|"):
+                pred = self._expression(in_pred=True)
+                self._expect_punct("}")
+                return ast.TRefineAnn(base=base, pred=pred, value_var=value_var,
+                                      span=span)
+            if self._accept_punct("}"):
+                # single-field object type {x: T}
+                return ast.TNameAnn(name="Object", span=span)
+        self.pos = save
+        # Shorthand refinement: { Type | pred }  (value variable defaults to v)
+        base = self.parse_type()
+        if self._accept_punct("|"):
+            pred = self._expression(in_pred=True)
+            self._expect_punct("}")
+            return ast.TRefineAnn(base=base, pred=pred, value_var="v", span=span)
+        self._expect_punct("}")
+        return base
+
+    def _looks_like_fun_type(self) -> bool:
+        """At '(', scan for the matching ')' followed by '=>'."""
+        depth = 0
+        idx = self.pos
+        while idx < len(self.tokens):
+            tok = self.tokens[idx]
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    nxt = self.tokens[idx + 1] if idx + 1 < len(self.tokens) else None
+                    return nxt is not None and nxt.is_punct("=>")
+            elif tok.kind is TokenKind.EOF:
+                return False
+            idx += 1
+        return False
+
+    def _function_type(self) -> ast.TFunAnn:
+        span = self._span()
+        tparams = self._type_params()
+        self._expect_punct("(")
+        params: List[Tuple[Optional[str], ast.TypeAnn]] = []
+        while not self._at_punct(")"):
+            # named parameter `x: T` vs anonymous type `T`
+            if self._peek().kind in (TokenKind.IDENT, TokenKind.KEYWORD) and \
+                    self._peek(1).is_punct(":"):
+                pname = self._expect_name()
+                self._expect_punct(":")
+                ptype = self.parse_type()
+                params.append((pname, ptype))
+            else:
+                params.append((None, self.parse_type()))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        self._expect_punct("=>")
+        ret = self.parse_type()
+        return ast.TFunAnn(tparams=tparams, params=params, ret=ret, span=span)
+
+    def _type_args(self) -> List[ast.TypeArg]:
+        self._expect_punct("<")
+        args: List[ast.TypeArg] = []
+        while True:
+            args.append(self._type_arg())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(">")
+        return args
+
+    def _type_arg(self) -> ast.TypeArg:
+        # Heuristic: a type argument that does not parse as a type, or that is
+        # followed by an arithmetic operator, is a logical expression (value
+        # parameter of an alias such as idx<a> or grid<w, h>).
+        save = self.pos
+        try:
+            t = self.parse_type()
+            if self._at_punct(",") or self._at_punct(">"):
+                return ast.TypeArg(type=t)
+        except ParseError:
+            pass
+        self.pos = save
+        expr = self._additive(in_pred=True)
+        return ast.TypeArg(expr=expr)
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        span = self._span()
+        self._expect_punct("{")
+        statements: List[ast.Statement] = []
+        while not self._at_punct("}"):
+            statements.append(self._statement())
+        self._expect_punct("}")
+        return ast.Block(statements=statements, span=span)
+
+    def _statement(self) -> ast.Statement:
+        span = self._span()
+        if self._at_punct("{"):
+            return self._block()
+        if self._at_keyword("var") or self._at_keyword("let") or self._at_keyword("const"):
+            return self._var_decl()
+        if self._at_keyword("if"):
+            return self._if()
+        if self._at_keyword("while"):
+            return self._while()
+        if self._at_keyword("for"):
+            return self._for()
+        if self._at_keyword("return"):
+            self._advance()
+            value = None
+            if not self._at_punct(";") and not self._at_punct("}"):
+                value = self._expression()
+            self._accept_punct(";")
+            return ast.Return(value=value, span=span)
+        if self._at_keyword("function"):
+            decl = self._function()
+            return ast.FunctionDeclStmt(decl=decl, span=span)
+        if self._at_punct(";"):
+            self._advance()
+            return ast.Skip(span=span)
+        if self._at_keyword("break") or self._at_keyword("continue"):
+            raise self._error(
+                "break/continue are not supported; restructure the loop "
+                "(the paper's benchmarks were modified the same way)")
+        return self._expr_or_assign_statement(span)
+
+    def _var_decl(self) -> ast.Statement:
+        span = self._span()
+        kind = self._advance().text
+        decls: List[ast.Statement] = []
+        while True:
+            name = self._expect_ident()
+            vtype = None
+            init = None
+            if self._accept_punct(":"):
+                vtype = self.parse_type()
+            if self._accept_punct("="):
+                init = self._expression()
+            decls.append(ast.VarDecl(name=name, init=init, type=vtype, kind=kind,
+                                     span=span))
+            if not self._accept_punct(","):
+                break
+        self._accept_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(statements=decls, span=span)
+
+    def _if(self) -> ast.If:
+        span = self._span()
+        self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        then = self._statement_as_block()
+        els = None
+        if self._accept_keyword("else"):
+            els = self._statement_as_block()
+        return ast.If(cond=cond, then=then, els=els, span=span)
+
+    def _statement_as_block(self) -> ast.Block:
+        stmt = self._statement()
+        if isinstance(stmt, ast.Block):
+            return stmt
+        return ast.Block(statements=[stmt], span=stmt.span)
+
+    def _while(self) -> ast.While:
+        span = self._span()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        invariant = None
+        if self._accept_keyword("invariant"):
+            self._expect_punct("(")
+            invariant = self._expression(in_pred=True)
+            self._expect_punct(")")
+        body = self._statement_as_block()
+        return ast.While(cond=cond, body=body, invariant=invariant, span=span)
+
+    def _for(self) -> ast.Statement:
+        """``for (init; cond; update) body`` desugars to init + while."""
+        span = self._span()
+        self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Statement] = None
+        if not self._at_punct(";"):
+            if self._at_keyword("var") or self._at_keyword("let") or self._at_keyword("const"):
+                init = self._var_decl()
+            else:
+                init = self._expr_or_assign_statement(self._span(), consume_semi=False)
+                self._accept_punct(";")
+        else:
+            self._advance()
+        cond: ast.Expression = ast.BoolLitE(value=True, span=span)
+        if not self._at_punct(";"):
+            cond = self._expression()
+        self._expect_punct(";")
+        update: Optional[ast.Statement] = None
+        if not self._at_punct(")"):
+            update = self._expr_or_assign_statement(self._span(), consume_semi=False)
+        self._expect_punct(")")
+        body = self._statement_as_block()
+        loop_body_stmts = list(body.statements)
+        if update is not None:
+            loop_body_stmts.append(update)
+        loop = ast.While(cond=cond, body=ast.Block(statements=loop_body_stmts,
+                                                   span=body.span), span=span)
+        statements: List[ast.Statement] = []
+        if init is not None:
+            statements.append(init)
+        statements.append(loop)
+        return ast.Block(statements=statements, span=span)
+
+    def _expr_or_assign_statement(self, span: SourceSpan,
+                                  consume_semi: bool = True) -> ast.Statement:
+        expr = self._expression()
+        stmt: ast.Statement
+        if self._peek().kind is TokenKind.PUNCT and self._peek().text in _ASSIGN_OPS:
+            op = self._advance().text
+            value = self._expression()
+            if op != "=":
+                value = ast.Binary(op=op[0], left=expr, right=value, span=span)
+            stmt = ast.Assign(target=expr, value=value, span=span)
+        elif self._at_punct("++") or self._at_punct("--"):
+            op = self._advance().text
+            one = ast.NumberLit(value=1, raw="1", span=span)
+            value = ast.Binary(op="+" if op == "++" else "-", left=expr, right=one,
+                               span=span)
+            stmt = ast.Assign(target=expr, value=value, span=span)
+        else:
+            stmt = ast.ExprStmt(expr=expr, span=span)
+        if consume_semi:
+            self._accept_punct(";")
+        return stmt
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expression:
+        return self._expression()
+
+    def _expression(self, in_pred: bool = False) -> ast.Expression:
+        return self._implication(in_pred)
+
+    def _implication(self, in_pred: bool) -> ast.Expression:
+        left = self._conditional(in_pred)
+        if in_pred and self._at_punct("=>"):
+            self._advance()
+            right = self._implication(in_pred)
+            return ast.Binary(op="=>", left=left, right=right, span=left.span)
+        if in_pred and self._at_punct("<=>"):
+            self._advance()
+            right = self._implication(in_pred)
+            return ast.Binary(op="<=>", left=left, right=right, span=left.span)
+        return left
+
+    def _conditional(self, in_pred: bool) -> ast.Expression:
+        cond = self._logical_or(in_pred)
+        if self._accept_punct("?"):
+            then = self._expression(in_pred)
+            self._expect_punct(":")
+            els = self._expression(in_pred)
+            return ast.Conditional(cond=cond, then=then, els=els, span=cond.span)
+        return cond
+
+    def _logical_or(self, in_pred: bool) -> ast.Expression:
+        left = self._logical_and(in_pred)
+        while self._at_punct("||"):
+            self._advance()
+            right = self._logical_and(in_pred)
+            left = ast.Binary(op="||", left=left, right=right, span=left.span)
+        return left
+
+    def _logical_and(self, in_pred: bool) -> ast.Expression:
+        left = self._bitwise_or(in_pred)
+        while self._at_punct("&&"):
+            self._advance()
+            right = self._bitwise_or(in_pred)
+            left = ast.Binary(op="&&", left=left, right=right, span=left.span)
+        return left
+
+    def _bitwise_or(self, in_pred: bool) -> ast.Expression:
+        left = self._bitwise_and(in_pred)
+        while self._at_punct("|"):
+            self._advance()
+            right = self._bitwise_and(in_pred)
+            left = ast.Binary(op="|", left=left, right=right, span=left.span)
+        return left
+
+    def _bitwise_and(self, in_pred: bool) -> ast.Expression:
+        left = self._equality(in_pred)
+        while self._at_punct("&"):
+            self._advance()
+            right = self._equality(in_pred)
+            left = ast.Binary(op="&", left=left, right=right, span=left.span)
+        return left
+
+    def _equality(self, in_pred: bool) -> ast.Expression:
+        left = self._relational(in_pred)
+        while True:
+            if self._at_punct("===") or self._at_punct("=="):
+                self._advance()
+                right = self._relational(in_pred)
+                left = ast.Binary(op="==", left=left, right=right, span=left.span)
+            elif self._at_punct("!==") or self._at_punct("!="):
+                self._advance()
+                right = self._relational(in_pred)
+                left = ast.Binary(op="!=", left=left, right=right, span=left.span)
+            elif in_pred and self._at_punct("="):
+                self._advance()
+                right = self._relational(in_pred)
+                left = ast.Binary(op="==", left=left, right=right, span=left.span)
+            else:
+                return left
+
+    def _relational(self, in_pred: bool) -> ast.Expression:
+        left = self._additive(in_pred)
+        while True:
+            tok = self._peek()
+            if tok.is_punct("<") or tok.is_punct("<=") or tok.is_punct(">") or \
+                    tok.is_punct(">="):
+                op = self._advance().text
+                right = self._additive(in_pred)
+                left = ast.Binary(op=op, left=left, right=right, span=left.span)
+            elif tok.is_keyword("instanceof"):
+                self._advance()
+                right = self._additive(in_pred)
+                left = ast.Binary(op="instanceof", left=left, right=right,
+                                  span=left.span)
+            elif tok.is_keyword("in"):
+                return left
+            else:
+                return left
+
+    def _additive(self, in_pred: bool) -> ast.Expression:
+        left = self._multiplicative(in_pred)
+        while self._at_punct("+") or self._at_punct("-"):
+            op = self._advance().text
+            right = self._multiplicative(in_pred)
+            left = ast.Binary(op=op, left=left, right=right, span=left.span)
+        return left
+
+    def _multiplicative(self, in_pred: bool) -> ast.Expression:
+        left = self._unary(in_pred)
+        while self._at_punct("*") or self._at_punct("/") or self._at_punct("%"):
+            op = self._advance().text
+            right = self._unary(in_pred)
+            left = ast.Binary(op=op, left=left, right=right, span=left.span)
+        return left
+
+    def _unary(self, in_pred: bool) -> ast.Expression:
+        span = self._span()
+        if self._at_punct("!"):
+            self._advance()
+            return ast.Unary(op="!", operand=self._unary(in_pred), span=span)
+        if self._at_punct("-"):
+            self._advance()
+            return ast.Unary(op="-", operand=self._unary(in_pred), span=span)
+        if self._at_punct("+"):
+            self._advance()
+            return self._unary(in_pred)
+        if self._at_keyword("typeof"):
+            self._advance()
+            return ast.Unary(op="typeof", operand=self._unary(in_pred), span=span)
+        return self._postfix(in_pred)
+
+    def _postfix(self, in_pred: bool) -> ast.Expression:
+        expr = self._primary(in_pred)
+        while True:
+            if self._at_punct("."):
+                self._advance()
+                name = self._expect_name()
+                expr = ast.Member(target=expr, name=name, span=expr.span)
+            elif self._at_punct("["):
+                self._advance()
+                index = self._expression(in_pred)
+                self._expect_punct("]")
+                expr = ast.Index(target=expr, index=index, span=expr.span)
+            elif self._at_punct("("):
+                args = self._call_args()
+                expr = ast.Call(callee=expr, args=args, span=expr.span)
+            elif self._at_keyword("as"):
+                self._advance()
+                cast_type = self.parse_type()
+                expr = ast.Cast(target=expr, type=cast_type, span=expr.span)
+            else:
+                return expr
+
+    def _call_args(self) -> List[ast.Expression]:
+        self._expect_punct("(")
+        args: List[ast.Expression] = []
+        while not self._at_punct(")"):
+            args.append(self._expression())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return args
+
+    def _primary(self, in_pred: bool) -> ast.Expression:
+        span = self._span()
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.NumberLit(value=tok.value, raw=tok.text, span=span)
+        if tok.kind is TokenKind.STRING:
+            self._advance()
+            return ast.StringLit(value=tok.value, span=span)
+        if tok.is_keyword("true"):
+            self._advance()
+            return ast.BoolLitE(value=True, span=span)
+        if tok.is_keyword("false"):
+            self._advance()
+            return ast.BoolLitE(value=False, span=span)
+        if tok.is_keyword("null"):
+            self._advance()
+            return ast.NullLit(span=span)
+        if tok.is_keyword("undefined"):
+            self._advance()
+            return ast.UndefinedLit(span=span)
+        if tok.is_keyword("this"):
+            self._advance()
+            return ast.ThisRef(span=span)
+        if tok.is_keyword("new"):
+            self._advance()
+            class_name = self._expect_ident()
+            targs: List[ast.TypeArg] = []
+            if self._at_punct("<"):
+                targs = self._type_args()
+            args = self._call_args() if self._at_punct("(") else []
+            return ast.New(class_name=class_name, args=args, targs=targs, span=span)
+        if tok.is_keyword("function"):
+            self._advance()
+            name = None
+            if self._peek().kind is TokenKind.IDENT:
+                name = self._expect_ident()
+            params = self._params()
+            ret = None
+            if self._accept_punct(":"):
+                ret = self.parse_type()
+            body = self._block()
+            return ast.FunctionExpr(params=params, ret=ret, body=body, name=name,
+                                    span=span)
+        if tok.is_punct("<") and not in_pred:
+            # cast expression <T> e
+            self._advance()
+            cast_type = self.parse_type()
+            self._expect_punct(">")
+            target = self._unary(in_pred)
+            return ast.Cast(target=target, type=cast_type, span=span)
+        if tok.is_punct("("):
+            if self._looks_like_arrow():
+                return self._arrow_function(span)
+            self._advance()
+            inner = self._expression(in_pred)
+            self._expect_punct(")")
+            return inner
+        if tok.is_punct("["):
+            self._advance()
+            elements: List[ast.Expression] = []
+            while not self._at_punct("]"):
+                elements.append(self._expression(in_pred))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct("]")
+            return ast.ArrayLit(elements=elements, span=span)
+        if tok.is_punct("{"):
+            self._advance()
+            fields: List[Tuple[str, ast.Expression]] = []
+            while not self._at_punct("}"):
+                fname = self._expect_name()
+                self._expect_punct(":")
+                fields.append((fname, self._expression(in_pred)))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct("}")
+            return ast.ObjectLit(fields=fields, span=span)
+        if tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            self._advance()
+            return ast.VarRef(name=tok.text, span=span)
+        raise self._error(f"unexpected token {tok.text!r} in expression")
+
+    def _looks_like_arrow(self) -> bool:
+        depth = 0
+        idx = self.pos
+        while idx < len(self.tokens):
+            tok = self.tokens[idx]
+            if tok.is_punct("("):
+                depth += 1
+            elif tok.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    nxt = self.tokens[idx + 1] if idx + 1 < len(self.tokens) else None
+                    if nxt is None:
+                        return False
+                    # `(params) => ...` or `(params) : Ret => ...`
+                    return nxt.is_punct("=>") or nxt.is_punct(":")
+            elif tok.kind is TokenKind.EOF:
+                return False
+            idx += 1
+        return False
+
+    def _arrow_function(self, span: SourceSpan) -> ast.FunctionExpr:
+        params = self._params()
+        ret = None
+        if self._accept_punct(":"):
+            ret = self.parse_type()
+        self._expect_punct("=>")
+        if self._at_punct("{"):
+            body = self._block()
+        else:
+            expr = self._expression()
+            body = ast.Block(statements=[ast.Return(value=expr, span=span)], span=span)
+        return ast.FunctionExpr(params=params, ret=ret, body=body, span=span)
+
+
+# ---------------------------------------------------------------------------
+# enum constant evaluation
+# ---------------------------------------------------------------------------
+
+
+def _const_eval(expr: ast.Expression, env: dict[str, int]) -> int:
+    if isinstance(expr, ast.NumberLit):
+        return int(expr.value)
+    if isinstance(expr, ast.VarRef):
+        if expr.name in env:
+            return env[expr.name]
+        raise ParseError(f"unknown enum member {expr.name!r}", expr.span)
+    if isinstance(expr, ast.Member) and isinstance(expr.target, ast.VarRef):
+        if expr.name in env:
+            return env[expr.name]
+        raise ParseError(f"unknown enum member {expr.name!r}", expr.span)
+    if isinstance(expr, ast.Binary):
+        left = _const_eval(expr.left, env)
+        right = _const_eval(expr.right, env)
+        ops = {"|": lambda a, b: a | b, "&": lambda a, b: a & b,
+               "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b}
+        if expr.op in ops:
+            return ops[expr.op](left, right)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_const_eval(expr.operand, env)
+    raise ParseError("enum member initializers must be integer constant "
+                     "expressions", expr.span)
+
+
+# ---------------------------------------------------------------------------
+# public helpers
+# ---------------------------------------------------------------------------
+
+
+def parse_program(source: str, filename: str = "<input>") -> ast.Program:
+    return Parser(source, filename).parse_program()
+
+
+def parse_type(source: str) -> ast.TypeAnn:
+    parser = Parser(source)
+    result = parser.parse_type()
+    if not parser._peek().kind is TokenKind.EOF:
+        raise ParseError(f"trailing input after type: {parser._peek().text!r}",
+                         parser._peek().span)
+    return result
+
+
+def parse_expression(source: str) -> ast.Expression:
+    parser = Parser(source)
+    return parser._expression(in_pred=True)

@@ -1,0 +1,56 @@
+"""Token definitions for the nanoTS lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SourceSpan
+
+
+class TokenKind(Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    PUNCT = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "function", "return", "var", "let", "const", "if", "else", "while", "for",
+    "new", "class", "interface", "extends", "implements", "constructor",
+    "this", "true", "false", "null", "undefined", "typeof", "instanceof",
+    "type", "enum", "spec", "declare", "immutable", "mutable", "readonly",
+    "public", "private", "break", "continue", "in", "of", "as", "invariant",
+    "qualifier", "void", "number", "boolean", "string", "any",
+})
+
+# Multi-character punctuation, longest first so the lexer matches greedily.
+PUNCTUATION = (
+    "===", "!==", "<=>", "=>", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "::", "(", ")", "{", "}", "[", "]", "<", ">", ",",
+    ";", ":", ".", "?", "=", "+", "-", "*", "/", "%", "&", "|", "!", "@",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: object = None
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def is_ident(self, text: str | None = None) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return text is None or self.text == text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"

@@ -1,0 +1,60 @@
+"""The refinement logic: sorts, terms, predicates, substitution and embedding.
+
+This package implements the predicate language of the paper (section 3.2):
+
+    p ::= p1 /\\ p2 | ~p | t
+    t ::= x | c | nu | this | t.f | f(t...) | b(t...)
+
+In the implementation predicates and terms share a single expression type
+(:class:`repro.logic.terms.Expr`); predicates are simply expressions of sort
+``BOOL``.
+"""
+
+from repro.logic.sorts import Sort, INT, BOOL, STR, BV32, REF, FUN, ANY
+from repro.logic.terms import (
+    Expr,
+    Var,
+    IntLit,
+    BoolLit,
+    StrLit,
+    App,
+    BinOp,
+    UnOp,
+    Ite,
+    Field,
+    VALUE_VAR,
+    THIS_VAR,
+    var,
+    lit,
+    true,
+    false,
+    conj,
+    disj,
+    neg,
+    implies,
+    iff,
+    eq,
+    ne,
+    lt,
+    le,
+    gt,
+    ge,
+    plus,
+    minus,
+    times,
+    app,
+    free_vars,
+    substitute,
+    subst_term,
+)
+from repro.logic.simplify import simplify
+from repro.logic import builtins
+
+__all__ = [
+    "Sort", "INT", "BOOL", "STR", "BV32", "REF", "FUN", "ANY",
+    "Expr", "Var", "IntLit", "BoolLit", "StrLit", "App", "BinOp", "UnOp",
+    "Ite", "Field", "VALUE_VAR", "THIS_VAR",
+    "var", "lit", "true", "false", "conj", "disj", "neg", "implies", "iff",
+    "eq", "ne", "lt", "le", "gt", "ge", "plus", "minus", "times", "app",
+    "free_vars", "substitute", "subst_term", "simplify", "builtins",
+]

@@ -1,0 +1,76 @@
+"""Builtin uninterpreted functions of the refinement logic.
+
+The paper's measure/uninterpreted functions:
+
+* ``len(a)``      — the length of an array (section 2: "len is an uninterpreted
+                    function that describes the size of the array a").
+* ``ttag(x)``     — the runtime type tag of a value (section 4.2, reflection).
+* ``impl(x, I)``  — "x implements interface I" (section 4.3, hierarchies).
+* ``mask(v, m)``  — bit-mask test ``(v & m) != 0`` (section 4.3); the SMT layer
+                    expands it to the bit-vector formula.
+* ``instanceof(x, C)`` — class-membership predicate used by class invariants.
+"""
+
+from __future__ import annotations
+
+from repro.logic.sorts import BOOL, BV32, INT, STR, Sort
+from repro.logic.terms import App, Expr, app
+
+LEN = "len"
+TTAG = "ttag"
+IMPL = "impl"
+MASK = "mask"
+INSTANCEOF = "instanceof"
+FIELD_PREFIX = "fld$"
+
+#: Result sorts of the builtin uninterpreted functions.
+BUILTIN_SORTS: dict[str, Sort] = {
+    LEN: INT,
+    TTAG: STR,
+    IMPL: BOOL,
+    MASK: BOOL,
+    INSTANCEOF: BOOL,
+}
+
+#: The type tags produced by ``typeof`` in the source language.
+TYPE_TAGS = ("number", "string", "boolean", "object", "function", "undefined")
+
+
+def len_of(a: Expr) -> App:
+    """``len(a)`` — length of array ``a``."""
+    return app(LEN, a, sort=INT)
+
+
+def ttag_of(x: Expr) -> App:
+    """``ttag(x)`` — the ``typeof`` tag of ``x``."""
+    return app(TTAG, x, sort=STR)
+
+
+def impl_of(x: Expr, iface: Expr) -> App:
+    """``impl(x, I)`` — ``x`` implements interface named by ``I``."""
+    return app(IMPL, x, iface, sort=BOOL)
+
+
+def mask_of(v: Expr, m: Expr) -> App:
+    """``mask(v, m)`` — ``(v & m) != 0`` over 32-bit bit-vectors."""
+    return app(MASK, v, m, sort=BOOL)
+
+
+def instanceof_of(x: Expr, cls: Expr) -> App:
+    """``instanceof(x, C)`` — ``x`` is an instance of class ``C``."""
+    return app(INSTANCEOF, x, cls, sort=BOOL)
+
+
+def field_fn(name: str) -> str:
+    """The uninterpreted-function name used for immutable field ``name``."""
+    return FIELD_PREFIX + name
+
+
+def is_builtin(fn: str) -> bool:
+    return fn in BUILTIN_SORTS or fn.startswith(FIELD_PREFIX)
+
+
+def result_sort(fn: str) -> Sort:
+    if fn in BUILTIN_SORTS:
+        return BUILTIN_SORTS[fn]
+    return INT

@@ -1,0 +1,151 @@
+"""Light-weight syntactic simplification of logical expressions.
+
+The simplifier is used before formulas are handed to the SMT layer and by the
+liquid fixpoint solver to keep intermediate predicates small.  It performs
+constant folding, boolean unit laws and a handful of arithmetic identities; it
+never changes the meaning of a formula.
+"""
+
+from __future__ import annotations
+
+from repro.logic.terms import (
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    Ite,
+    StrLit,
+    UnOp,
+    children,
+    rebuild,
+)
+
+
+def simplify(e: Expr) -> Expr:
+    """Recursively simplify ``e``."""
+    kids = children(e)
+    if kids:
+        new_kids = [simplify(c) for c in kids]
+        if any(nk is not k for nk, k in zip(new_kids, kids)):
+            e = rebuild(e, new_kids)
+    return _simplify_node(e)
+
+
+def _simplify_node(e: Expr) -> Expr:
+    if isinstance(e, UnOp):
+        return _simplify_unop(e)
+    if isinstance(e, BinOp):
+        return _simplify_binop(e)
+    if isinstance(e, Ite):
+        if isinstance(e.cond, BoolLit):
+            return e.then if e.cond.value else e.els
+        if e.then == e.els:
+            return e.then
+    return e
+
+
+def _simplify_unop(e: UnOp) -> Expr:
+    if e.op == "!":
+        if isinstance(e.operand, BoolLit):
+            return BoolLit(not e.operand.value)
+        if isinstance(e.operand, UnOp) and e.operand.op == "!":
+            return e.operand.operand
+    if e.op == "-" and isinstance(e.operand, IntLit):
+        return IntLit(-e.operand.value)
+    return e
+
+
+def _simplify_binop(e: BinOp) -> Expr:  # noqa: C901 - a dispatch table in disguise
+    left, right = e.left, e.right
+    op = e.op
+
+    if op == "&&":
+        if isinstance(left, BoolLit):
+            return right if left.value else BoolLit(False)
+        if isinstance(right, BoolLit):
+            return left if right.value else BoolLit(False)
+        if left == right:
+            return left
+    elif op == "||":
+        if isinstance(left, BoolLit):
+            return BoolLit(True) if left.value else right
+        if isinstance(right, BoolLit):
+            return BoolLit(True) if right.value else left
+        if left == right:
+            return left
+    elif op == "=>":
+        if isinstance(left, BoolLit):
+            return right if left.value else BoolLit(True)
+        if isinstance(right, BoolLit) and right.value:
+            return BoolLit(True)
+    elif op == "<=>":
+        if isinstance(left, BoolLit):
+            return right if left.value else _simplify_node(UnOp("!", right))
+        if isinstance(right, BoolLit):
+            return left if right.value else _simplify_node(UnOp("!", left))
+        if left == right:
+            return BoolLit(True)
+
+    if isinstance(left, IntLit) and isinstance(right, IntLit):
+        folded = _fold_int(op, left.value, right.value)
+        if folded is not None:
+            return folded
+
+    if isinstance(left, StrLit) and isinstance(right, StrLit):
+        if op == "=":
+            return BoolLit(left.value == right.value)
+        if op == "!=":
+            return BoolLit(left.value != right.value)
+
+    if op in ("=", "<=", ">=") and left == right:
+        return BoolLit(True)
+    if op in ("!=", "<", ">") and left == right and not _has_effects(left):
+        return BoolLit(False)
+
+    if op == "+" and isinstance(right, IntLit) and right.value == 0:
+        return left
+    if op == "+" and isinstance(left, IntLit) and left.value == 0:
+        return right
+    if op == "-" and isinstance(right, IntLit) and right.value == 0:
+        return left
+    if op == "*" and isinstance(right, IntLit) and right.value == 1:
+        return left
+    if op == "*" and isinstance(left, IntLit) and left.value == 1:
+        return right
+
+    return e
+
+
+def _has_effects(e: Expr) -> bool:
+    # Logical terms never have effects; kept for clarity/extension.
+    return False
+
+
+def _fold_int(op: str, a: int, b: int) -> Expr | None:
+    if op == "+":
+        return IntLit(a + b)
+    if op == "-":
+        return IntLit(a - b)
+    if op == "*":
+        return IntLit(a * b)
+    if op == "/" and b != 0:
+        return IntLit(int(a / b))
+    if op == "%" and b != 0:
+        return IntLit(a % b)
+    if op == "&":
+        return IntLit(a & b)
+    if op == "|":
+        return IntLit(a | b)
+    if op == "=":
+        return BoolLit(a == b)
+    if op == "!=":
+        return BoolLit(a != b)
+    if op == "<":
+        return BoolLit(a < b)
+    if op == "<=":
+        return BoolLit(a <= b)
+    if op == ">":
+        return BoolLit(a > b)
+    if op == ">=":
+        return BoolLit(a >= b)
+    return None

@@ -1,0 +1,381 @@
+"""Terms and predicates of the refinement logic.
+
+Expressions are immutable (frozen dataclasses) so they can be hashed, shared
+and used as dictionary keys by the SMT layer and the liquid fixpoint solver.
+
+The special variables ``nu`` (the refined value, written ``v`` in source
+syntax) and ``this`` (the receiver object) are ordinary :class:`Var` nodes
+with reserved names; helpers :data:`VALUE_VAR` and :data:`THIS_VAR` construct
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.logic.sorts import ANY, BOOL, BV32, INT, REF, STR, Sort
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all logical expressions."""
+
+    sort: Sort
+
+    # The subclasses are frozen dataclasses; Expr itself carries no state.
+
+    def is_true(self) -> bool:
+        return isinstance(self, BoolLit) and self.value is True
+
+    def is_false(self) -> bool:
+        return isinstance(self, BoolLit) and self.value is False
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return conj(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return disj(self, other)
+
+    def __invert__(self) -> "Expr":
+        return neg(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A logical variable (program variable, nu, this, or a kappa argument)."""
+
+    name: str
+    sort: Sort = ANY
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+    sort: Sort = INT
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+    sort: Sort = BOOL
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    value: str
+    sort: Sort = STR
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of an uninterpreted function, e.g. ``len(a)``, ``ttag(x)``."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+    sort: Sort = INT
+
+    def __str__(self) -> str:
+        return f"{self.fn}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """Field access ``t.f`` on an object term (an uninterpreted selector)."""
+
+    target: Expr
+    name: str
+    sort: Sort = ANY
+
+    def __str__(self) -> str:
+        return f"{self.target}.{self.name}"
+
+
+# Binary operators recognised by the logic. Arithmetic, comparison, boolean
+# connectives and the two bit-vector operators the tsc benchmark requires.
+ARITH_OPS = ("+", "-", "*", "/", "%")
+CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+BOOL_OPS = ("&&", "||", "=>", "<=>")
+BV_OPS = ("&", "|")
+ALL_BINOPS = ARITH_OPS + CMP_OPS + BOOL_OPS + BV_OPS
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    sort: Sort = ANY
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # "!" or "-"
+    operand: Expr
+    sort: Sort = ANY
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else term."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+    sort: Sort = ANY
+
+    def __str__(self) -> str:
+        return f"(if {self.cond} then {self.then} else {self.els})"
+
+
+# ---------------------------------------------------------------------------
+# Reserved variables
+# ---------------------------------------------------------------------------
+
+VALUE_NAME = "v"
+THIS_NAME = "this"
+
+VALUE_VAR = Var(VALUE_NAME)
+THIS_VAR = Var(THIS_NAME)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def var(name: str, sort: Sort = ANY) -> Var:
+    return Var(name, sort)
+
+
+def lit(value: Union[int, bool, str]) -> Expr:
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, str):
+        return StrLit(value)
+    raise TypeError(f"cannot build a literal from {value!r}")
+
+
+def true() -> BoolLit:
+    return BoolLit(True)
+
+
+def false() -> BoolLit:
+    return BoolLit(False)
+
+
+def conj(*ps: Expr) -> Expr:
+    """Conjunction, flattening nested ANDs and dropping ``true`` units."""
+    parts: list[Expr] = []
+    for p in ps:
+        if p is None or p.is_true():
+            continue
+        if isinstance(p, BinOp) and p.op == "&&":
+            parts.extend(_flatten(p, "&&"))
+        else:
+            parts.append(p)
+    if not parts:
+        return true()
+    if any(p.is_false() for p in parts):
+        return false()
+    result = parts[0]
+    for p in parts[1:]:
+        result = BinOp("&&", result, p, BOOL)
+    return result
+
+
+def disj(*ps: Expr) -> Expr:
+    parts: list[Expr] = []
+    for p in ps:
+        if p is None or p.is_false():
+            continue
+        if isinstance(p, BinOp) and p.op == "||":
+            parts.extend(_flatten(p, "||"))
+        else:
+            parts.append(p)
+    if not parts:
+        return false()
+    if any(p.is_true() for p in parts):
+        return true()
+    result = parts[0]
+    for p in parts[1:]:
+        result = BinOp("||", result, p, BOOL)
+    return result
+
+
+def _flatten(e: Expr, op: str) -> list[Expr]:
+    if isinstance(e, BinOp) and e.op == op:
+        return _flatten(e.left, op) + _flatten(e.right, op)
+    return [e]
+
+
+def conjuncts(e: Expr) -> list[Expr]:
+    """Split a conjunction into its conjuncts (dropping literal ``true``)."""
+    parts = _flatten(e, "&&")
+    return [p for p in parts if not p.is_true()]
+
+
+def neg(p: Expr) -> Expr:
+    if isinstance(p, BoolLit):
+        return BoolLit(not p.value)
+    if isinstance(p, UnOp) and p.op == "!":
+        return p.operand
+    return UnOp("!", p, BOOL)
+
+
+def implies(p: Expr, q: Expr) -> Expr:
+    if p.is_true():
+        return q
+    if p.is_false() or q.is_true():
+        return true()
+    return BinOp("=>", p, q, BOOL)
+
+
+def iff(p: Expr, q: Expr) -> Expr:
+    return BinOp("<=>", p, q, BOOL)
+
+
+def eq(a: Expr, b: Expr) -> Expr:
+    return BinOp("=", a, b, BOOL)
+
+
+def ne(a: Expr, b: Expr) -> Expr:
+    return BinOp("!=", a, b, BOOL)
+
+
+def lt(a: Expr, b: Expr) -> Expr:
+    return BinOp("<", a, b, BOOL)
+
+
+def le(a: Expr, b: Expr) -> Expr:
+    return BinOp("<=", a, b, BOOL)
+
+
+def gt(a: Expr, b: Expr) -> Expr:
+    return BinOp(">", a, b, BOOL)
+
+
+def ge(a: Expr, b: Expr) -> Expr:
+    return BinOp(">=", a, b, BOOL)
+
+
+def plus(a: Expr, b: Expr) -> Expr:
+    return BinOp("+", a, b, INT)
+
+
+def minus(a: Expr, b: Expr) -> Expr:
+    return BinOp("-", a, b, INT)
+
+
+def times(a: Expr, b: Expr) -> Expr:
+    return BinOp("*", a, b, INT)
+
+
+def app(fn: str, *args: Expr, sort: Sort = INT) -> App:
+    return App(fn, tuple(args), sort)
+
+
+# ---------------------------------------------------------------------------
+# Traversal utilities
+# ---------------------------------------------------------------------------
+
+
+def children(e: Expr) -> Tuple[Expr, ...]:
+    if isinstance(e, App):
+        return e.args
+    if isinstance(e, Field):
+        return (e.target,)
+    if isinstance(e, BinOp):
+        return (e.left, e.right)
+    if isinstance(e, UnOp):
+        return (e.operand,)
+    if isinstance(e, Ite):
+        return (e.cond, e.then, e.els)
+    return ()
+
+
+def rebuild(e: Expr, new_children: Sequence[Expr]) -> Expr:
+    if isinstance(e, App):
+        return App(e.fn, tuple(new_children), e.sort)
+    if isinstance(e, Field):
+        return Field(new_children[0], e.name, e.sort)
+    if isinstance(e, BinOp):
+        return BinOp(e.op, new_children[0], new_children[1], e.sort)
+    if isinstance(e, UnOp):
+        return UnOp(e.op, new_children[0], e.sort)
+    if isinstance(e, Ite):
+        return Ite(new_children[0], new_children[1], new_children[2], e.sort)
+    return e
+
+
+def free_vars(e: Expr) -> FrozenSet[str]:
+    """The set of variable names occurring in ``e``."""
+    if isinstance(e, Var):
+        return frozenset({e.name})
+    out: set[str] = set()
+    for c in children(e):
+        out |= free_vars(c)
+    return frozenset(out)
+
+
+def subterms(e: Expr) -> Iterable[Expr]:
+    """All subterms of ``e`` (including ``e`` itself), pre-order."""
+    yield e
+    for c in children(e):
+        yield from subterms(c)
+
+
+def substitute(e: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Capture-free substitution of variables by terms (no binders in Expr)."""
+    if not mapping:
+        return e
+    if isinstance(e, Var):
+        return mapping.get(e.name, e)
+    kids = children(e)
+    if not kids:
+        return e
+    new_kids = [substitute(c, mapping) for c in kids]
+    if all(nk is k for nk, k in zip(new_kids, kids)):
+        return e
+    return rebuild(e, new_kids)
+
+
+def subst_term(e: Expr, old: Expr, new: Expr) -> Expr:
+    """Replace every occurrence of the subterm ``old`` by ``new``."""
+    if e == old:
+        return new
+    kids = children(e)
+    if not kids:
+        return e
+    new_kids = [subst_term(c, old, new) for c in kids]
+    if all(nk is k for nk, k in zip(new_kids, kids)):
+        return e
+    return rebuild(e, new_kids)
+
+
+def expr_size(e: Expr) -> int:
+    """Number of AST nodes — used by tests and the fixpoint solver heuristics."""
+    return 1 + sum(expr_size(c) for c in children(e))

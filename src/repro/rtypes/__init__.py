@@ -1,0 +1,43 @@
+"""Refinement types: representation, operations and the builtin prelude."""
+
+from repro.rtypes.mutability import Mutability
+from repro.rtypes.types import (
+    RType,
+    TPrim,
+    TArray,
+    TRef,
+    TVar,
+    TFun,
+    TParam,
+    TInter,
+    TUnion,
+    TExists,
+    TObject,
+    KVar,
+    prim,
+    number,
+    boolean,
+    string,
+    void,
+    undefined_t,
+    null_t,
+    array,
+    refine,
+    strengthen,
+    selfify,
+    base_of,
+    embed,
+    subst_types,
+    subst_terms,
+    free_kvars,
+    fresh_name,
+)
+
+__all__ = [
+    "Mutability",
+    "RType", "TPrim", "TArray", "TRef", "TVar", "TFun", "TParam", "TInter",
+    "TUnion", "TExists", "TObject", "KVar",
+    "prim", "number", "boolean", "string", "void", "undefined_t", "null_t",
+    "array", "refine", "strengthen", "selfify", "base_of", "embed",
+    "subst_types", "subst_terms", "free_kvars", "fresh_name",
+]

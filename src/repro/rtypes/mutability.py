@@ -1,0 +1,60 @@
+"""Mutability qualifiers (section 4.4, adapted from Immutability Generic Java).
+
+A reference's mutability parameter controls which operations are allowed and
+which refinements may be trusted:
+
+* ``IM`` (Immutable)  — no reference can mutate the object; refinements over
+  its fields (and, for arrays, over ``len``) are sound.
+* ``MU`` (Mutable)    — this (and other) references may mutate the object;
+  field refinements must be re-established at every write and cannot be
+  assumed to relate to the current value beyond the declared field type.
+* ``RO`` (ReadOnly)   — this reference cannot mutate the object but others
+  may; supertype of both ``IM`` and ``MU``.
+* ``UQ`` (Unique)     — the only reference to the object (freshly
+  constructed); may be mutated freely and later frozen to ``IM``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Mutability(Enum):
+    IMMUTABLE = "IM"
+    MUTABLE = "MU"
+    READONLY = "RO"
+    UNIQUE = "UQ"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def allows_write(self) -> bool:
+        """Can a field / element update go through a reference of this kind?"""
+        return self in (Mutability.MUTABLE, Mutability.UNIQUE)
+
+    @property
+    def allows_length_refinement(self) -> bool:
+        """Is ``len`` (or immutable-field) information stable through this
+        reference?  Only when nobody can mutate the object underneath us."""
+        return self in (Mutability.IMMUTABLE, Mutability.UNIQUE)
+
+    def is_subtype_of(self, other: "Mutability") -> bool:
+        """IGJ mutability subtyping: IM <: RO, MU <: RO, UQ <: anything."""
+        if self == other:
+            return True
+        if self is Mutability.UNIQUE:
+            return True
+        return other is Mutability.READONLY
+
+    @staticmethod
+    def parse(text: str) -> "Mutability":
+        table = {
+            "IM": Mutability.IMMUTABLE, "Immutable": Mutability.IMMUTABLE,
+            "MU": Mutability.MUTABLE, "Mutable": Mutability.MUTABLE,
+            "RO": Mutability.READONLY, "ReadOnly": Mutability.READONLY,
+            "UQ": Mutability.UNIQUE, "Unique": Mutability.UNIQUE,
+        }
+        if text not in table:
+            raise ValueError(f"unknown mutability qualifier: {text!r}")
+        return table[text]

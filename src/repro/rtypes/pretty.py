@@ -1,0 +1,40 @@
+"""Pretty-printing of refinement types (used in diagnostics and tests)."""
+
+from __future__ import annotations
+
+from repro.rtypes import types as T
+
+
+def type_to_str(t: "T.RType") -> str:
+    base = _shape_str(t)
+    if t.pred.is_true():
+        return base
+    return f"{{v: {base} | {t.pred}}}"
+
+
+def _shape_str(t: "T.RType") -> str:
+    if isinstance(t, T.TPrim):
+        return t.name
+    if isinstance(t, T.TVar):
+        return t.name
+    if isinstance(t, T.TArray):
+        return f"Array<{t.mutability}, {type_to_str(t.elem)}>"
+    if isinstance(t, T.TRef):
+        args = ", ".join(type_to_str(a) for a in t.targs)
+        suffix = f"<{args}>" if args else ""
+        return f"{t.name}{suffix}[{t.mutability}]"
+    if isinstance(t, T.TObject):
+        fields = ", ".join(f"{name}: {type_to_str(ft)}"
+                           for name, (_m, ft) in sorted(t.fields.items()))
+        return "{" + fields + "}"
+    if isinstance(t, T.TFun):
+        tps = f"<{', '.join(t.tparams)}>" if t.tparams else ""
+        params = ", ".join(f"{p.name}: {type_to_str(p.type)}" for p in t.params)
+        return f"{tps}({params}) => {type_to_str(t.ret)}"
+    if isinstance(t, T.TInter):
+        return " /\\ ".join(type_to_str(m) for m in t.members)
+    if isinstance(t, T.TUnion):
+        return " + ".join(type_to_str(m) for m in t.members)
+    if isinstance(t, T.TExists):
+        return f"exists {t.var}: {type_to_str(t.bound)}. {type_to_str(t.body)}"
+    return "value"

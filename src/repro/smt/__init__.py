@@ -1,0 +1,28 @@
+"""A small SMT solver for the decidable fragment RSC relies on.
+
+The paper discharges verification conditions with Z3.  Z3 is not available in
+this environment, so this package implements the required fragment from
+scratch:
+
+* :mod:`repro.smt.sat`      — a CDCL propositional SAT solver,
+* :mod:`repro.smt.cnf`      — NNF / Tseitin conversion of formulas to CNF over
+                              theory atoms,
+* :mod:`repro.smt.euf`      — congruence closure for equality and
+                              uninterpreted functions,
+* :mod:`repro.smt.lia`      — linear integer arithmetic (Fourier–Motzkin with
+                              integer-tightened strict inequalities),
+* :mod:`repro.smt.bvmask`   — the constant bit-mask bit-vector fragment used
+                              by the tsc interface-hierarchy benchmark,
+* :mod:`repro.smt.theory`   — Nelson–Oppen-style combination of the theories,
+* :mod:`repro.smt.solver`   — the lazy-SMT loop and the public ``Solver``
+                              facade (``is_valid`` / ``is_satisfiable``).
+
+The combination is sound for validity: whenever :meth:`Solver.is_valid`
+returns ``True`` the formula really is valid in QF_UFLIA + constant masks.
+Incompleteness only ever causes spurious "not valid" answers (i.e. spurious
+type errors), never unsoundness.
+"""
+
+from repro.smt.solver import Solver, SolverStats, Result
+
+__all__ = ["Solver", "SolverStats", "Result"]

@@ -1,0 +1,175 @@
+"""Conversion of logical formulas to CNF over theory atoms.
+
+The pipeline is:
+
+1. :func:`to_nnf` — rewrite implications/iffs and push negations down to the
+   atoms (negated atoms stay as negative literals, they are not rewritten
+   into complementary atoms here; the theory layer understands negation).
+2. :func:`tseitin` — structural (Tseitin) CNF conversion.  Each distinct
+   theory atom is mapped to a propositional variable; auxiliary variables are
+   introduced for internal conjunctions/disjunctions so the output size is
+   linear in the input.
+
+The :class:`AtomMap` records the bijection between propositional variables
+and theory atoms so the lazy-SMT loop can translate SAT models back into sets
+of theory literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    Field,
+    Ite,
+    StrLit,
+    UnOp,
+    Var,
+    eq,
+    ne,
+)
+from repro.logic.sorts import BOOL
+
+
+@dataclass
+class AtomMap:
+    """Bijection between theory atoms (boolean-sorted Exprs) and SAT variables."""
+
+    atom_to_var: Dict[Expr, int] = field(default_factory=dict)
+    var_to_atom: Dict[int, Expr] = field(default_factory=dict)
+    _next_var: int = 1
+
+    def var_for(self, atom: Expr) -> int:
+        if atom in self.atom_to_var:
+            return self.atom_to_var[atom]
+        v = self._next_var
+        self._next_var += 1
+        self.atom_to_var[atom] = v
+        self.var_to_atom[v] = atom
+        return v
+
+    def fresh_aux(self) -> int:
+        """A fresh propositional variable with no associated theory atom."""
+        v = self._next_var
+        self._next_var += 1
+        return v
+
+    def atom_of(self, var: int) -> Expr | None:
+        return self.var_to_atom.get(var)
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+
+def to_nnf(e: Expr, polarity: bool = True) -> Expr:
+    """Negation normal form.  ``polarity=False`` computes NNF of ``not e``."""
+    if isinstance(e, BoolLit):
+        return BoolLit(e.value if polarity else not e.value)
+    if isinstance(e, UnOp) and e.op == "!":
+        return to_nnf(e.operand, not polarity)
+    if isinstance(e, BinOp):
+        op = e.op
+        if op == "&&":
+            new_op = "&&" if polarity else "||"
+            return BinOp(new_op, to_nnf(e.left, polarity),
+                         to_nnf(e.right, polarity), BOOL)
+        if op == "||":
+            new_op = "||" if polarity else "&&"
+            return BinOp(new_op, to_nnf(e.left, polarity),
+                         to_nnf(e.right, polarity), BOOL)
+        if op == "=>":
+            # p => q  ==  ~p \/ q
+            if polarity:
+                return BinOp("||", to_nnf(e.left, False),
+                             to_nnf(e.right, True), BOOL)
+            return BinOp("&&", to_nnf(e.left, True),
+                         to_nnf(e.right, False), BOOL)
+        if op == "<=>":
+            # p <=> q  ==  (p => q) /\ (q => p)
+            expanded = BinOp("&&",
+                             BinOp("=>", e.left, e.right, BOOL),
+                             BinOp("=>", e.right, e.left, BOOL), BOOL)
+            return to_nnf(expanded, polarity)
+        # Comparison over booleans: "b = true" style atoms are kept as atoms.
+    if isinstance(e, Ite):
+        # Boolean ITE: (c /\ t) \/ (~c /\ e)
+        expanded = BinOp("||",
+                         BinOp("&&", e.cond, e.then, BOOL),
+                         BinOp("&&", UnOp("!", e.cond, BOOL), e.els, BOOL),
+                         BOOL)
+        return to_nnf(expanded, polarity)
+    # Atom (Var, App, Field, comparison BinOp, ...)
+    if polarity:
+        return e
+    return UnOp("!", e, BOOL)
+
+
+def _is_atom(e: Expr) -> bool:
+    if isinstance(e, (Var, App, Field, BoolLit)):
+        return True
+    if isinstance(e, BinOp) and e.op not in ("&&", "||", "=>", "<=>"):
+        return True
+    return False
+
+
+def tseitin(formula: Expr, atoms: AtomMap) -> List[List[int]]:
+    """Convert an NNF formula to CNF clauses via Tseitin encoding.
+
+    The returned clauses assert the formula (the root's definition literal is
+    asserted as a unit clause).
+    """
+    clauses: List[List[int]] = []
+
+    def encode(e: Expr) -> int:
+        """Return a literal equivalent (equisatisfiably) to ``e``."""
+        if isinstance(e, BoolLit):
+            v = atoms.fresh_aux()
+            clauses.append([v] if e.value else [-v])
+            return v
+        if isinstance(e, UnOp) and e.op == "!":
+            if _is_atom(e.operand):
+                return -atoms.var_for(e.operand)
+            return -encode(e.operand)
+        if _is_atom(e):
+            return atoms.var_for(e)
+        if isinstance(e, BinOp) and e.op in ("&&", "||"):
+            parts = _flatten(e, e.op)
+            lits = [encode(p) for p in parts]
+            aux = atoms.fresh_aux()
+            if e.op == "&&":
+                # aux -> each lit ; (all lits) -> aux
+                for lit in lits:
+                    clauses.append([-aux, lit])
+                clauses.append([aux] + [-lit for lit in lits])
+            else:
+                # aux -> (l1 \/ ... \/ ln); each lit -> aux
+                clauses.append([-aux] + lits)
+                for lit in lits:
+                    clauses.append([-lit, aux])
+            return aux
+        # Anything else (shouldn't appear after NNF) is treated as an atom.
+        return atoms.var_for(e)
+
+    root = encode(formula)
+    clauses.append([root])
+    return clauses
+
+
+def _flatten(e: Expr, op: str) -> List[Expr]:
+    if isinstance(e, BinOp) and e.op == op:
+        return _flatten(e.left, op) + _flatten(e.right, op)
+    return [e]
+
+
+def formula_to_cnf(formula: Expr) -> Tuple[List[List[int]], AtomMap]:
+    """NNF + Tseitin in one call; returns (clauses, atom map)."""
+    atoms = AtomMap()
+    nnf = to_nnf(formula, True)
+    clauses = tseitin(nnf, atoms)
+    return clauses, atoms

@@ -1,0 +1,216 @@
+"""Congruence closure for equality with uninterpreted functions (EUF).
+
+The algorithm is the classic union-find based congruence closure:
+
+* every ground term appearing in the literal set becomes a node,
+* asserted equalities merge equivalence classes,
+* the congruence rule (equal arguments imply equal applications) is applied
+  to fixpoint,
+* distinct literals (integer, boolean and string constants) act as pairwise
+  distinct constants — merging two classes that contain different constants
+  is a conflict,
+* asserted disequalities are checked at the end and after every merge.
+
+The class also exposes the discovered equivalence classes so that the LIA and
+bit-mask theories can canonicalise their terms by EUF representative (a poor
+man's Nelson–Oppen equality propagation, sufficient for RSC's VCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    Field,
+    IntLit,
+    Ite,
+    StrLit,
+    UnOp,
+    Var,
+    children,
+)
+
+#: Arithmetic / bitwise operators are *not* interpreted by EUF; they are still
+#: registered as function nodes so congruence propagates through them.
+_ATOM_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class CongruenceClosure:
+    """Incremental congruence closure over ground terms."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[Expr, int] = {}
+        self._terms: List[Expr] = []
+        self._parent: List[int] = []
+        self._rank: List[int] = []
+        # signature table: (label, tuple of child representatives) -> node id
+        self._sig: Dict[Tuple[object, Tuple[int, ...]], int] = {}
+        self._children: List[Tuple[int, ...]] = []
+        self._labels: List[object] = []
+        self._use: Dict[int, List[int]] = {}
+        self._diseqs: List[Tuple[int, int]] = []
+        self._conflict = False
+
+    # -- term registration --------------------------------------------------
+
+    def add_term(self, e: Expr) -> int:
+        """Register ``e`` (and all its subterms); return its node id."""
+        if e in self._ids:
+            return self._ids[e]
+        child_ids = tuple(self.add_term(c) for c in children(e))
+        node = len(self._terms)
+        self._ids[e] = node
+        self._terms.append(e)
+        self._parent.append(node)
+        self._rank.append(0)
+        self._children.append(child_ids)
+        self._labels.append(self._label(e))
+        for c in child_ids:
+            self._use.setdefault(self.find(c), []).append(node)
+        self._insert_signature(node)
+        return node
+
+    @staticmethod
+    def _label(e: Expr) -> object:
+        if isinstance(e, Var):
+            return ("var", e.name)
+        if isinstance(e, IntLit):
+            return ("int", e.value)
+        if isinstance(e, BoolLit):
+            return ("bool", e.value)
+        if isinstance(e, StrLit):
+            return ("str", e.value)
+        if isinstance(e, App):
+            return ("app", e.fn)
+        if isinstance(e, Field):
+            return ("field", e.name)
+        if isinstance(e, BinOp):
+            return ("binop", e.op)
+        if isinstance(e, UnOp):
+            return ("unop", e.op)
+        if isinstance(e, Ite):
+            return ("ite",)
+        return ("opaque", repr(e))
+
+    # -- union-find ----------------------------------------------------------
+
+    def find(self, node: int) -> int:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def _insert_signature(self, node: int) -> None:
+        kids = self._children[node]
+        if not kids and not isinstance(self._terms[node], (App, Field)):
+            return
+        sig = (self._labels[node], tuple(self.find(c) for c in kids))
+        existing = self._sig.get(sig)
+        if existing is not None and self.find(existing) != self.find(node):
+            self._merge_nodes(existing, node)
+        else:
+            self._sig[sig] = node
+
+    # -- assertions ----------------------------------------------------------
+
+    def assert_eq(self, a: Expr, b: Expr) -> None:
+        if self._conflict:
+            return
+        na, nb = self.add_term(a), self.add_term(b)
+        self._merge_nodes(na, nb)
+
+    def assert_neq(self, a: Expr, b: Expr) -> None:
+        if self._conflict:
+            return
+        na, nb = self.add_term(a), self.add_term(b)
+        self._diseqs.append((na, nb))
+        if self.find(na) == self.find(nb):
+            self._conflict = True
+
+    def _merge_nodes(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        ca, cb = self._constant_of(ra), self._constant_of(rb)
+        if ca is not None and cb is not None and ca != cb:
+            self._conflict = True
+            return
+        # union by rank
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        # move constants up: nothing to do, _constant_of scans the class lazily
+        # re-process signatures of parents of the absorbed class
+        pending = self._use.pop(rb, [])
+        self._use.setdefault(ra, []).extend(pending)
+        for parent in list(self._use.get(ra, [])):
+            self._insert_signature(parent)
+        # re-check disequalities
+        for (x, y) in self._diseqs:
+            if self.find(x) == self.find(y):
+                self._conflict = True
+                return
+
+    def _constant_of(self, rep: int) -> Optional[object]:
+        """The distinguishing constant contained in a class, if any."""
+        for node, term in enumerate(self._terms):
+            if self.find(node) != rep:
+                continue
+            if isinstance(term, IntLit):
+                return ("int", term.value)
+            if isinstance(term, BoolLit):
+                return ("bool", term.value)
+            if isinstance(term, StrLit):
+                return ("str", term.value)
+        return None
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def in_conflict(self) -> bool:
+        return self._conflict
+
+    def are_equal(self, a: Expr, b: Expr) -> bool:
+        if a == b:
+            return True
+        # Registering the terms lets congruence fire for queries about terms
+        # that were not part of any asserted literal (f(a) = f(b) after a = b).
+        return self.find(self.add_term(a)) == self.find(self.add_term(b))
+
+    def representative(self, e: Expr) -> int:
+        """The class representative id for ``e`` (registering it if needed)."""
+        return self.find(self.add_term(e))
+
+    def classes(self) -> Dict[int, List[Expr]]:
+        """All equivalence classes as representative-id -> member terms."""
+        out: Dict[int, List[Expr]] = {}
+        for node, term in enumerate(self._terms):
+            out.setdefault(self.find(node), []).append(term)
+        return out
+
+    def int_value_of(self, e: Expr) -> Optional[int]:
+        """If the class of ``e`` contains an integer literal, its value."""
+        if e not in self._ids:
+            return None
+        rep = self.find(self._ids[e])
+        for node, term in enumerate(self._terms):
+            if isinstance(term, IntLit) and self.find(node) == rep:
+                return term.value
+        return None
+
+    def equal_pairs(self) -> Iterable[Tuple[Expr, Expr]]:
+        """Representative pairs (t, u) for every non-singleton class."""
+        for members in self.classes().values():
+            if len(members) > 1:
+                base = members[0]
+                for other in members[1:]:
+                    yield (base, other)

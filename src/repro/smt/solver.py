@@ -1,0 +1,167 @@
+"""The public SMT facade: lazy DPLL(T) validity and satisfiability checking.
+
+The refinement checker asks two kinds of questions:
+
+* ``is_valid(hypotheses, goal)`` — does the conjunction of hypotheses imply
+  the goal?  This is how subtyping obligations (verification conditions) are
+  discharged.
+* ``is_satisfiable(formula)`` — used by two-phase typing to detect dead code
+  (an inconsistent environment) and by the test-suite.
+
+Architecture: the formula is simplified, converted to CNF over theory atoms
+(:mod:`repro.smt.cnf`), and solved by the CDCL SAT core
+(:mod:`repro.smt.sat`).  Each propositional model is checked against the
+combined theory (:mod:`repro.smt.theory`); theory conflicts are turned into
+blocking clauses and the loop continues until either a theory-consistent
+model is found (satisfiable) or the SAT solver reports unsatisfiability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import SolverError
+from repro.logic.simplify import simplify
+from repro.logic.terms import BoolLit, Expr, conj, implies, neg
+from repro.smt.cnf import AtomMap, tseitin, to_nnf
+from repro.smt.sat import SatSolver
+from repro.smt.theory import check_with_core
+
+
+class Result(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across queries (reported by the bench harness)."""
+
+    queries: int = 0
+    valid: int = 0
+    invalid: int = 0
+    sat_calls: int = 0
+    theory_checks: int = 0
+    blocking_clauses: int = 0
+    time_seconds: float = 0.0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.queries += other.queries
+        self.valid += other.valid
+        self.invalid += other.invalid
+        self.sat_calls += other.sat_calls
+        self.theory_checks += other.theory_checks
+        self.blocking_clauses += other.blocking_clauses
+        self.time_seconds += other.time_seconds
+
+
+class Solver:
+    """A stateless (per query) SMT solver with accumulated statistics."""
+
+    def __init__(self, max_theory_iterations: int = 5000,
+                 cache_results: bool = True) -> None:
+        self.max_theory_iterations = max_theory_iterations
+        self.stats = SolverStats()
+        self.cache_results = cache_results
+        self._cache: dict = {}
+
+    # -- public queries ------------------------------------------------------
+
+    def check(self, formula: Expr) -> Result:
+        """Satisfiability of ``formula``."""
+        if self.cache_results and formula in self._cache:
+            return self._cache[formula]
+        start = time.perf_counter()
+        self.stats.queries += 1
+        try:
+            result = self._check_sat(formula)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+        if self.cache_results and len(self._cache) < 200_000:
+            self._cache[formula] = result
+        return result
+
+    def is_satisfiable(self, formula: Expr) -> bool:
+        return self.check(formula) is Result.SAT
+
+    def is_valid(self, formula: Expr) -> bool:
+        """Validity of ``formula`` (unsatisfiability of its negation)."""
+        result = self.check(neg(formula))
+        valid = result is Result.UNSAT
+        if valid:
+            self.stats.valid += 1
+        else:
+            self.stats.invalid += 1
+        return valid
+
+    def check_implication(self, hypotheses: Sequence[Expr], goal: Expr) -> bool:
+        """Validity of ``/\\ hypotheses => goal`` — the VC entry point."""
+        antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
+        return self.is_valid(implies(antecedent, goal))
+
+    def environment_inconsistent(self, hypotheses: Sequence[Expr]) -> bool:
+        """True iff the hypotheses are unsatisfiable (dead code detection)."""
+        antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
+        return self.check(antecedent) is Result.UNSAT
+
+    # -- the lazy SMT loop ---------------------------------------------------
+
+    def _check_sat(self, formula: Expr) -> Result:
+        formula = simplify(formula)
+        if isinstance(formula, BoolLit):
+            return Result.SAT if formula.value else Result.UNSAT
+
+        atoms = AtomMap()
+        nnf = to_nnf(formula, True)
+        clauses = tseitin(nnf, atoms)
+
+        sat = SatSolver()
+        for clause in clauses:
+            if not sat.add_clause(clause):
+                return Result.UNSAT
+
+        for _ in range(self.max_theory_iterations):
+            self.stats.sat_calls += 1
+            if not sat.solve():
+                return Result.UNSAT
+            model = sat.model()
+            literals = []
+            for var, value in model.items():
+                atom = atoms.atom_of(var)
+                if atom is not None:
+                    literals.append((atom, value))
+            self.stats.theory_checks += 1
+            result = check_with_core(literals)
+            if result.satisfiable:
+                return Result.SAT
+            # Block this theory-inconsistent assignment.
+            core = result.core or literals
+            blocking = []
+            for atom, value in core:
+                var = atoms.atom_to_var.get(atom)
+                if var is None:
+                    continue
+                blocking.append(-var if value else var)
+            if not blocking:
+                # The conflict does not mention any decidable atom; give up
+                # conservatively (formula may or may not be satisfiable).
+                return Result.UNKNOWN
+            self.stats.blocking_clauses += 1
+            if not sat.add_clause(blocking):
+                return Result.UNSAT
+        return Result.UNKNOWN
+
+
+_DEFAULT_SOLVER: Optional[Solver] = None
+
+
+def default_solver() -> Solver:
+    """A process-wide solver instance (keeps cumulative statistics)."""
+    global _DEFAULT_SOLVER
+    if _DEFAULT_SOLVER is None:
+        _DEFAULT_SOLVER = Solver()
+    return _DEFAULT_SOLVER

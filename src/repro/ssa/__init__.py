@@ -1,0 +1,30 @@
+"""SSA conversion: from FRSC statements to the functional IRSC form.
+
+Follows section 3.1.2 / Figure 3 of the paper: statements become nested
+``let`` / ``letif`` contexts, assigned variables get fresh SSA names, and
+branch joins introduce Phi variables.  We extend the paper's core with
+``letwhile`` (loops, section 2.2.2), early returns, nested function
+definitions (closures) and imperative array/field writes.
+"""
+
+from repro.ssa.ir import (
+    IBody,
+    ILet,
+    ILetIf,
+    ILetWhile,
+    ILetFunc,
+    ISetField,
+    ISetIndex,
+    IRet,
+    IJoin,
+    Phi,
+    LoopPhi,
+    IRFunction,
+)
+from repro.ssa.transform import SsaTransformer, ssa_function
+
+__all__ = [
+    "IBody", "ILet", "ILetIf", "ILetWhile", "ILetFunc", "ISetField",
+    "ISetIndex", "IRet", "IJoin", "Phi", "LoopPhi", "IRFunction",
+    "SsaTransformer", "ssa_function",
+]

@@ -1,0 +1,6 @@
+"""Test configuration: make `repro` importable without installation."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))

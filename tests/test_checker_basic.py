@@ -1,0 +1,260 @@
+"""End-to-end checker tests: small programs, positive and negative."""
+
+import pytest
+
+from repro import check_source
+from repro.errors import ErrorKind
+
+
+def ok(source: str):
+    result = check_source(source)
+    assert result.ok, "expected SAFE but got:\n" + "\n".join(
+        str(d) for d in result.errors)
+    return result
+
+
+def bad(source: str, kind: ErrorKind = None):
+    result = check_source(source)
+    assert not result.ok, "expected errors but the program was accepted"
+    if kind is not None:
+        assert any(d.kind is kind for d in result.errors), (
+            f"expected a {kind} error, got: " +
+            "; ".join(str(d) for d in result.errors))
+    return result
+
+
+PRELUDE = """
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+"""
+
+
+class TestBasics:
+    def test_identity_function(self):
+        ok("spec f :: (x: number) => number; function f(x) { return x; }")
+
+    def test_refined_identity(self):
+        ok(PRELUDE + "spec f :: (x: nat) => nat; function f(x) { return x; }")
+
+    def test_weakening_is_allowed(self):
+        ok(PRELUDE + "spec f :: (x: pos) => nat; function f(x) { return x; }")
+
+    def test_strengthening_is_rejected(self):
+        bad(PRELUDE + "spec f :: (x: nat) => pos; function f(x) { return x; }")
+
+    def test_constant_return(self):
+        ok(PRELUDE + "spec f :: () => pos; function f() { return 1; }")
+
+    def test_wrong_constant_return(self):
+        bad(PRELUDE + "spec f :: () => pos; function f() { return 0; }")
+
+    def test_arithmetic_tracking(self):
+        ok(PRELUDE + """
+           spec f :: (x: nat) => pos;
+           function f(x) { return x + 1; }""")
+
+    def test_arithmetic_tracking_negative(self):
+        bad(PRELUDE + """
+           spec f :: (x: nat) => pos;
+           function f(x) { return x - 1; }""")
+
+    def test_dependent_output(self):
+        ok(PRELUDE + """
+           spec f :: (x: nat) => {v: number | x < v};
+           function f(x) { return x + 1; }""")
+
+    def test_dependent_output_negative(self):
+        bad(PRELUDE + """
+           spec f :: (x: nat) => {v: number | x < v};
+           function f(x) { return x; }""")
+
+    def test_unbound_variable_reported(self):
+        bad("spec f :: () => number; function f() { return y; }",
+            ErrorKind.RESOLUTION)
+
+    def test_parse_error_reported(self):
+        result = check_source("function f( {")
+        assert not result.ok
+        assert result.errors[0].kind is ErrorKind.PARSE
+
+
+class TestPathSensitivity:
+    def test_branch_guards_used(self):
+        ok(PRELUDE + """
+           spec abs :: (x: number) => nat;
+           function abs(x) {
+             if (x < 0) { return 0 - x; }
+             return x;
+           }""")
+
+    def test_branch_guards_needed(self):
+        bad(PRELUDE + """
+           spec bad :: (x: number) => nat;
+           function bad(x) { return x; }""")
+
+    def test_else_branch_guard(self):
+        ok(PRELUDE + """
+           spec f :: (x: number) => nat;
+           function f(x) {
+             if (0 <= x) { return x; } else { return 0; }
+           }""")
+
+    def test_join_of_branches(self):
+        ok(PRELUDE + """
+           spec f :: (x: number) => nat;
+           function f(x) {
+             var r = 0;
+             if (0 < x) { r = x; } else { r = 1; }
+             return r;
+           }""")
+
+    def test_join_of_branches_negative(self):
+        bad(PRELUDE + """
+           spec f :: (x: number) => nat;
+           function f(x) {
+             var r = 0;
+             if (0 < x) { r = x; } else { r = 0 - 1; }
+             return r;
+           }""")
+
+    def test_conditional_expression(self):
+        ok(PRELUDE + """
+           spec maxZ :: (x: number) => nat;
+           function maxZ(x) { return 0 < x ? x : 0; }""")
+
+    def test_assert_provable(self):
+        ok(PRELUDE + """
+           spec f :: (x: pos) => number;
+           function f(x) { assert(0 < x); return x; }""")
+
+    def test_assert_unprovable(self):
+        bad(PRELUDE + """
+           spec f :: (x: number) => number;
+           function f(x) { assert(0 < x); return x; }""")
+
+    def test_assume_adds_fact(self):
+        ok(PRELUDE + """
+           spec f :: (x: number) => nat;
+           function f(x) { assume(0 <= x); return x; }""")
+
+
+class TestArrays:
+    def test_head_of_nonempty(self):
+        ok(PRELUDE + """
+           spec head :: (a: {v: number[] | 0 < len(v)}) => number;
+           function head(a) { return a[0]; }""")
+
+    def test_head_of_possibly_empty_rejected(self):
+        bad(PRELUDE + """
+           spec head :: (a: number[]) => number;
+           function head(a) { return a[0]; }""", ErrorKind.BOUNDS)
+
+    def test_guarded_head(self):
+        ok(PRELUDE + """
+           spec head :: (a: {v: number[] | 0 < len(v)}) => number;
+           function head(a) { return a[0]; }
+           spec head0 :: (a: number[]) => number;
+           function head0(a) {
+             if (0 < a.length) { return head(a); }
+             return 0;
+           }""")
+
+    def test_index_parameter(self):
+        ok(PRELUDE + """
+           spec get :: (a: number[], i: idx<a>) => number;
+           function get(a, i) { return a[i]; }""")
+
+    def test_off_by_one_rejected(self):
+        bad(PRELUDE + """
+           spec get :: (a: number[], i: idx<a>) => number;
+           function get(a, i) { return a[i + 1]; }""", ErrorKind.BOUNDS)
+
+    def test_loop_over_array(self):
+        ok(PRELUDE + """
+           spec sum :: (a: number[]) => number;
+           function sum(a) {
+             var s = 0;
+             for (var i = 0; i < a.length; i++) { s = s + a[i]; }
+             return s;
+           }""")
+
+    def test_loop_with_wrong_bound_rejected(self):
+        bad(PRELUDE + """
+           spec sum :: (a: number[]) => number;
+           function sum(a) {
+             var s = 0;
+             for (var i = 0; i <= a.length; i++) { s = s + a[i]; }
+             return s;
+           }""", ErrorKind.BOUNDS)
+
+    def test_array_literal_length_known(self):
+        ok(PRELUDE + """
+           spec f :: () => number;
+           function f() {
+             var a = [1, 2, 3];
+             return a[2];
+           }""")
+
+    def test_array_literal_out_of_bounds(self):
+        bad(PRELUDE + """
+           spec f :: () => number;
+           function f() {
+             var a = [1, 2, 3];
+             return a[3];
+           }""", ErrorKind.BOUNDS)
+
+    def test_new_array_length_known(self):
+        ok(PRELUDE + """
+           spec f :: (n: pos) => number[];
+           function f(n) {
+             var a = new Array(n);
+             a[0] = 1;
+             return a;
+           }""")
+
+    def test_write_requires_bounds(self):
+        bad(PRELUDE + """
+           spec f :: (a: number[], i: number) => void;
+           function f(a, i) { a[i] = 0; }""", ErrorKind.BOUNDS)
+
+    def test_length_is_nonnegative(self):
+        ok(PRELUDE + """
+           spec f :: (a: number[]) => nat;
+           function f(a) { return a.length; }""")
+
+    def test_push_requires_mutable_array(self):
+        bad(PRELUDE + """
+           spec f :: (a: IArray<number>) => number;
+           function f(a) { return a.push(1); }""", ErrorKind.MUTABILITY)
+
+    def test_push_allowed_on_mutable_array(self):
+        ok(PRELUDE + """
+           spec f :: (a: number[]) => number;
+           function f(a) { return a.push(1); }""")
+
+
+class TestReflectionAndUnions:
+    def test_typeof_guard_narrows(self):
+        ok("""
+           spec f :: (x: number + string) => number;
+           function f(x) {
+             var r = 1;
+             if (typeof x === "number") { r = r + x; }
+             return r;
+           }""")
+
+    def test_union_used_without_guard_rejected(self):
+        bad("""
+           spec f :: (x: number + string) => number;
+           function f(x) { return x + 1; }""")
+
+    def test_undefined_not_a_number(self):
+        bad("""
+           spec f :: (x: number + undefined) => number;
+           function f(x) { return x + 1; }""")
+
+    def test_typeof_result_type(self):
+        ok("""
+           spec tagOf :: (x: number) => {v: string | v = ttag(x)};
+           function tagOf(x) { return typeof x; }""")

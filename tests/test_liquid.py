@@ -1,0 +1,129 @@
+"""Tests for qualifier instantiation and the liquid fixpoint solver."""
+
+import pytest
+
+from repro.core.constraints import Implication
+from repro.core.liquid.fixpoint import KappaRegistry, LiquidSolver
+from repro.core.liquid.qualifiers import (
+    KIND_ARRAY,
+    KIND_NUMBER,
+    Qualifier,
+    QualifierPool,
+    default_qualifiers,
+)
+from repro.logic import IntLit, Var, VALUE_VAR, conj, eq, le, lt, plus, var
+from repro.logic.builtins import len_of
+from repro.rtypes.types import kvar_occurrence
+from repro.smt.solver import Solver
+
+
+class TestQualifierPool:
+    def test_default_pool_nonempty(self):
+        assert len(default_qualifiers()) > 10
+
+    def test_instantiation_respects_kinds(self):
+        pool = QualifierPool()
+        candidates = pool.instantiate({"a": KIND_ARRAY, "n": KIND_NUMBER})
+        texts = [str(c) for c in candidates]
+        assert "(v < len(a))" in texts
+        assert "(v < len(n))" not in texts
+        assert "(v < n)" in texts
+
+    def test_closed_qualifiers_always_present(self):
+        pool = QualifierPool()
+        texts = [str(c) for c in pool.instantiate({})]
+        assert "(0 <= v)" in texts
+
+    def test_harvesting_from_annotation(self):
+        pool = QualifierPool()
+        before = len(pool.qualifiers)
+        # the paper's grid refinement: len(v) = (w+2)*(h+2)
+        pred = eq(len_of(VALUE_VAR), plus(Var("w"), IntLit(2)))
+        pool.add_predicate(pred)
+        assert len(pool.qualifiers) > before
+
+    def test_harvesting_ignores_predicates_without_v(self):
+        pool = QualifierPool()
+        before = len(pool.qualifiers)
+        pool.add_predicate(lt(Var("x"), Var("y")))
+        assert len(pool.qualifiers) == before
+
+    def test_duplicate_qualifiers_not_added(self):
+        pool = QualifierPool()
+        qual = Qualifier(le(IntLit(0), VALUE_VAR))
+        before = len(pool.qualifiers)
+        pool.add(qual)
+        assert len(pool.qualifiers) == before
+
+
+class TestFixpoint:
+    def _solver(self):
+        registry = KappaRegistry()
+        registry.register("$k0", ["v", "a", "i"],
+                          {"a": KIND_ARRAY, "i": KIND_NUMBER})
+        pool = QualifierPool()
+        return LiquidSolver(Solver(), pool, registry), registry
+
+    def test_loop_invariant_inference(self):
+        """Replays the inference of section 2.2.2: the loop index kappa keeps
+        `0 <= v` and `v < len(a)` and drops everything not implied."""
+        liquid, _registry = self._solver()
+        occurrence = kvar_occurrence("$k0", ["a", "i"])
+        # entry: v = 0 under 0 < len(a)
+        entry = Implication(
+            hyps=[lt(IntLit(0), len_of(Var("a"))), eq(VALUE_VAR, IntLit(0))],
+            goal=occurrence, reason="loop entry")
+        # back edge: v = i + 1 under kappa(i) and i < len(a) - 1
+        from repro.logic import minus
+        back = Implication(
+            hyps=[kvar_occurrence("$k0", ["a", "i"]).__class__(
+                      "$k0", (Var("i"), Var("a"), Var("i"))),
+                  lt(Var("i"), minus(len_of(Var("a")), IntLit(1))),
+                  eq(VALUE_VAR, plus(Var("i"), IntLit(1)))],
+            goal=occurrence, reason="loop back edge")
+        solution = liquid.solve([entry, back])
+        texts = [str(q) for q in solution["$k0"]]
+        assert "(0 <= v)" in texts
+        assert "(v < len(a))" in texts
+        assert "(0 < v)" not in texts  # not implied on entry (v = 0)
+
+    def test_unconstrained_kappa_keeps_candidates(self):
+        liquid, _ = self._solver()
+        solution = liquid.solve([])
+        assert solution["$k0"], "with no constraints the strongest assignment stays"
+
+    def test_contradictory_constraint_empties_kappa(self):
+        liquid, _ = self._solver()
+        occurrence = kvar_occurrence("$k0", ["a", "i"])
+        # value could be anything: nothing survives except trivially-true quals
+        unconstrained = Implication(hyps=[], goal=occurrence, reason="top")
+        solution = liquid.solve([unconstrained])
+        for qual in solution["$k0"]:
+            # whatever survived must be valid with no hypotheses
+            assert Solver().is_valid(qual)
+
+    def test_apply_replaces_occurrences(self):
+        liquid, registry = self._solver()
+        solution = {"$k0": [le(IntLit(0), VALUE_VAR)]}
+        occurrence = kvar_occurrence("$k0", ["a", "i"])
+        applied = liquid.apply(occurrence, solution)
+        assert "0 <= v" in str(applied)
+
+    def test_apply_performs_pending_substitution(self):
+        liquid, registry = self._solver()
+        solution = {"$k0": [lt(VALUE_VAR, len_of(Var("a")))]}
+        from repro.logic.terms import App
+        from repro.logic.sorts import BOOL
+        occurrence = App("$k0", (Var("x"), Var("b"), Var("j")), BOOL)
+        applied = liquid.apply(occurrence, solution)
+        assert str(applied) == "(x < len(b))"
+
+    def test_check_concrete_reports_failures(self):
+        liquid, _ = self._solver()
+        good = Implication(hyps=[le(IntLit(0), Var("x"))],
+                           goal=le(IntLit(-1), Var("x")), reason="good")
+        failing = Implication(hyps=[le(IntLit(0), Var("x"))],
+                              goal=le(IntLit(1), Var("x")), reason="bad")
+        results = dict((imp.reason, ok) for imp, ok in
+                       liquid.check_concrete([good, failing], {}))
+        assert results == {"good": True, "bad": False}

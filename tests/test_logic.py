@@ -1,0 +1,217 @@
+"""Unit tests for the refinement logic layer (terms, substitution, simplify)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    BOOL,
+    INT,
+    BinOp,
+    BoolLit,
+    IntLit,
+    StrLit,
+    Var,
+    VALUE_VAR,
+    app,
+    conj,
+    disj,
+    eq,
+    free_vars,
+    ge,
+    gt,
+    implies,
+    le,
+    lt,
+    ne,
+    neg,
+    plus,
+    simplify,
+    substitute,
+    subst_term,
+    var,
+)
+from repro.logic.builtins import len_of, mask_of, ttag_of
+from repro.logic.terms import conjuncts, expr_size, subterms
+
+
+class TestConstructors:
+    def test_conj_drops_true(self):
+        p = lt(var("x"), IntLit(3))
+        assert conj(BoolLit(True), p) == p
+
+    def test_conj_of_nothing_is_true(self):
+        assert conj().is_true()
+
+    def test_conj_with_false_is_false(self):
+        assert conj(lt(var("x"), IntLit(3)), BoolLit(False)).is_false()
+
+    def test_disj_drops_false(self):
+        p = lt(var("x"), IntLit(3))
+        assert disj(BoolLit(False), p) == p
+
+    def test_disj_with_true_is_true(self):
+        assert disj(lt(var("x"), IntLit(3)), BoolLit(True)).is_true()
+
+    def test_neg_of_neg_cancels(self):
+        p = lt(var("x"), IntLit(3))
+        assert neg(neg(p)) == p
+
+    def test_neg_of_literal(self):
+        assert neg(BoolLit(True)).is_false()
+        assert neg(BoolLit(False)).is_true()
+
+    def test_implies_simplifications(self):
+        p = lt(var("x"), IntLit(3))
+        assert implies(BoolLit(True), p) == p
+        assert implies(BoolLit(False), p).is_true()
+        assert implies(p, BoolLit(True)).is_true()
+
+    def test_conjuncts_flattens(self):
+        a, b, c = (eq(var(n), IntLit(1)) for n in "abc")
+        assert conjuncts(conj(a, conj(b, c))) == [a, b, c]
+
+    def test_operators_overloads(self):
+        a = eq(var("a"), IntLit(1))
+        b = eq(var("b"), IntLit(2))
+        assert conjuncts(a & b) == [a, b]
+        assert (~a) == neg(a)
+
+
+class TestFreeVarsAndSubstitution:
+    def test_free_vars_simple(self):
+        e = conj(lt(var("x"), len_of(var("a"))), eq(VALUE_VAR, var("y")))
+        assert free_vars(e) == {"x", "a", "v", "y"}
+
+    def test_substitute_var(self):
+        e = lt(var("x"), len_of(var("a")))
+        out = substitute(e, {"x": IntLit(3)})
+        assert out == lt(IntLit(3), len_of(var("a")))
+
+    def test_substitute_leaves_unrelated(self):
+        e = lt(var("x"), var("y"))
+        assert substitute(e, {"z": IntLit(0)}) is e
+
+    def test_substitute_inside_app(self):
+        e = len_of(var("a"))
+        assert substitute(e, {"a": var("b")}) == len_of(var("b"))
+
+    def test_subst_term_replaces_whole_subterm(self):
+        e = lt(plus(var("x"), IntLit(1)), IntLit(5))
+        out = subst_term(e, plus(var("x"), IntLit(1)), var("y"))
+        assert out == lt(var("y"), IntLit(5))
+
+    def test_no_capture_concern_without_binders(self):
+        e = eq(VALUE_VAR, var("x"))
+        out = substitute(e, {"x": VALUE_VAR})
+        assert out == eq(VALUE_VAR, VALUE_VAR)
+
+    def test_subterms_enumeration(self):
+        e = lt(plus(var("x"), IntLit(1)), IntLit(5))
+        subs = list(subterms(e))
+        assert e in subs and var("x") in subs and IntLit(1) in subs
+
+    def test_expr_size(self):
+        assert expr_size(IntLit(3)) == 1
+        assert expr_size(plus(var("x"), IntLit(1))) == 3
+
+
+class TestSimplifier:
+    @pytest.mark.parametrize("expr,expected", [
+        (plus(IntLit(2), IntLit(3)), IntLit(5)),
+        (BinOp("*", IntLit(4), IntLit(5), INT), IntLit(20)),
+        (lt(IntLit(1), IntLit(2)), BoolLit(True)),
+        (lt(IntLit(2), IntLit(1)), BoolLit(False)),
+        (le(IntLit(0), IntLit(0)), BoolLit(True)),
+        (eq(StrLit("a"), StrLit("a")), BoolLit(True)),
+        (ne(StrLit("a"), StrLit("b")), BoolLit(True)),
+        (BinOp("&", IntLit(0x0F), IntLit(0x03), INT), IntLit(0x03)),
+    ])
+    def test_constant_folding(self, expr, expected):
+        assert simplify(expr) == expected
+
+    def test_boolean_units(self):
+        p = lt(var("x"), IntLit(3))
+        assert simplify(conj(BoolLit(True), p)) == p
+        assert simplify(BinOp("&&", p, BoolLit(False), BOOL)).is_false()
+        assert simplify(BinOp("||", p, BoolLit(True), BOOL)).is_true()
+        assert simplify(BinOp("=>", BoolLit(True), p, BOOL)) == p
+
+    def test_arithmetic_identities(self):
+        x = var("x")
+        assert simplify(plus(x, IntLit(0))) == x
+        assert simplify(BinOp("*", IntLit(1), x, INT)) == x
+
+    def test_reflexive_comparisons(self):
+        x = var("x")
+        assert simplify(le(x, x)).is_true()
+        assert simplify(lt(x, x)).is_false()
+        assert simplify(eq(x, x)).is_true()
+
+    def test_nested_simplification(self):
+        e = implies(lt(IntLit(1), IntLit(2)), le(IntLit(0), IntLit(5)))
+        assert simplify(e).is_true()
+
+    def test_simplify_preserves_unknowns(self):
+        e = lt(var("x"), len_of(var("a")))
+        assert simplify(e) == e
+
+
+class TestBuiltins:
+    def test_len_sort(self):
+        assert len_of(var("a")).sort == INT
+
+    def test_ttag_of(self):
+        assert ttag_of(var("x")).fn == "ttag"
+
+    def test_mask_arity(self):
+        m = mask_of(var("f"), IntLit(0x800))
+        assert m.fn == "mask" and len(m.args) == 2
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "z", "a", "b"])
+
+
+def _terms(depth=2):
+    base = st.one_of(
+        _names.map(var),
+        st.integers(-20, 20).map(IntLit),
+    )
+    if depth == 0:
+        return base
+    sub = _terms(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda t: plus(*t)),
+        st.tuples(sub, sub).map(lambda t: lt(*t)),
+        st.tuples(sub, sub).map(lambda t: eq(*t)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_terms())
+def test_substitute_identity_is_identity(e):
+    assert substitute(e, {}) == e
+
+
+@settings(max_examples=60, deadline=None)
+@given(_terms())
+def test_simplify_is_idempotent(e):
+    once = simplify(e)
+    assert simplify(once) == once
+
+
+@settings(max_examples=60, deadline=None)
+@given(_terms())
+def test_simplify_does_not_grow(e):
+    assert expr_size(simplify(e)) <= expr_size(e)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_terms())
+def test_substitution_removes_variable(e):
+    out = substitute(e, {"x": IntLit(0)})
+    assert "x" not in free_vars(out)

@@ -1,0 +1,154 @@
+"""The worked examples of the paper, positive and negative.
+
+Each test corresponds to a concrete program or claim in the paper:
+
+* section 2.1.1 — array bounds (head / head0),
+* Figure 1 / section 2.2 — reduce, minIndex and liquid instantiation,
+* section 2.1.2 — value-based overloading via two-phase typing,
+* Figure 2 / section 2.2.3 — the Field class: invariants and mutation,
+* section 4.2 — reflection with typeof tags,
+* section 4.3 — interface hierarchies and downcasts,
+* section 5.1 — ghost functions for non-linear arithmetic.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "examples"))
+
+from repro import check_source
+
+import quickstart
+import field_mutation
+import overloading
+import downcasts
+
+
+class TestSection211ArrayBounds:
+    HEAD = """
+    type NEArray<T> = {v: T[] | 0 < len(v)};
+    spec head :: (arr: NEArray<number>) => number;
+    function head(arr) { return arr[0]; }
+    """
+
+    def test_head_verifies(self):
+        assert check_source(self.HEAD).ok
+
+    def test_head0_path_sensitivity(self):
+        source = self.HEAD + """
+        spec head0 :: (a: number[]) => number;
+        function head0(a) {
+          if (0 < a.length) { return head(a); }
+          return 0;
+        }"""
+        assert check_source(source).ok
+
+    def test_head0_without_guard_rejected(self):
+        source = self.HEAD + """
+        spec head0 :: (a: number[]) => number;
+        function head0(a) { return head(a); }"""
+        assert not check_source(source).ok
+
+
+class TestFigure1Reduce:
+    def test_quickstart_source_verifies(self):
+        assert check_source(quickstart.SOURCE).ok
+
+    def test_quickstart_broken_variant_rejected(self):
+        assert not check_source(quickstart.BROKEN).ok
+
+    def test_inferred_instantiation_mentions_len(self):
+        result = check_source(quickstart.SOURCE)
+        inferred = [str(q) for quals in result.kappa_solution.values()
+                    for q in quals]
+        assert any("len(a)" in text for text in inferred), (
+            "liquid inference should discover B |-> idx<a> (section 2.2.1)")
+
+
+class TestSection212Overloading:
+    def test_overload_example_verifies(self):
+        assert check_source(overloading.SOURCE).ok
+
+    def test_broken_overload_rejected(self):
+        assert not check_source(overloading.BROKEN).ok
+
+
+class TestFigure2Field:
+    def test_field_class_verifies(self):
+        assert check_source(field_mutation.SOURCE).ok
+
+    @pytest.mark.parametrize("label", list(field_mutation.BAD_VARIANTS))
+    def test_bad_variants_rejected(self, label):
+        replacement = field_mutation.BAD_VARIANTS[label]
+        broken = field_mutation.SOURCE.replace(*replacement)
+        assert not check_source(broken).ok, label
+
+
+class TestSection42Reflection:
+    def test_typeof_narrowing(self):
+        source = """
+        spec f :: (x: number + string) => number;
+        function f(x) {
+          var r = 1;
+          if (typeof x === "number") { r = r + x; }
+          return r;
+        }"""
+        assert check_source(source).ok
+
+    def test_missing_narrowing_rejected(self):
+        source = """
+        spec f :: (x: number + string) => number;
+        function f(x) { return x + 1; }"""
+        assert not check_source(source).ok
+
+
+class TestSection43Downcasts:
+    def test_hierarchy_example_verifies(self):
+        assert check_source(downcasts.SOURCE).ok
+
+    def test_wrong_mask_rejected(self):
+        assert not check_source(downcasts.BROKEN).ok
+
+    def test_unguarded_cast_rejected(self):
+        assert not check_source(downcasts.UNGUARDED).ok
+
+
+class TestSection51GhostFunctions:
+    def test_ghost_theorem_bridges_nonlinear_arithmetic(self):
+        """The paper factors non-linear facts into ghost functions such as
+        mulThm1 :: (a: nat, b: {number | 2 <= b}) => {boolean | a + a <= a * b}."""
+        source = """
+        type nat = {v: number | 0 <= v};
+        declare mulThm1 :: (a: nat, b: {v: number | 2 <= v})
+          => {v: boolean | a + a <= a * b};
+        spec double :: (x: nat, k: {v: number | 2 <= v}) => {v: number | v <= x * k};
+        function double(x, k) {
+          var pf = mulThm1(x, k);
+          return x + x;
+        }"""
+        assert check_source(source).ok
+
+    def test_without_the_ghost_fact_it_fails(self):
+        source = """
+        type nat = {v: number | 0 <= v};
+        spec double :: (x: nat, k: {v: number | 2 <= v}) => {v: number | v <= x * k};
+        function double(x, k) { return x + x; }"""
+        assert not check_source(source).ok
+
+
+class TestRunnableExamples:
+    """The example scripts themselves run end to end (they assert internally)."""
+
+    def test_quickstart_main(self):
+        quickstart.main()
+
+    def test_field_mutation_main(self):
+        field_mutation.main()
+
+    def test_overloading_main(self):
+        overloading.main()
+
+    def test_downcasts_main(self):
+        downcasts.main()

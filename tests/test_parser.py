@@ -1,0 +1,263 @@
+"""Tests for the nanoTS lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse_expression, parse_program, parse_type
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("function f(x) { return x + 1; }")
+        kinds = [t.kind for t in toks]
+        assert kinds[-1] is TokenKind.EOF
+        assert toks[0].is_keyword("function")
+        assert toks[1].is_ident("f")
+
+    def test_hex_numbers(self):
+        toks = tokenize("0x3C00")
+        assert toks[0].value == 0x3C00
+
+    def test_float_numbers(self):
+        toks = tokenize("1.5 2e3")
+        assert toks[0].value == 1.5
+        assert toks[1].value == 2000.0
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"a\nb" ' + r"'c\'d'")
+        assert toks[0].value == "a\nb"
+        assert toks[1].value == "c'd"
+
+    def test_comments_are_skipped(self):
+        toks = tokenize("// line comment\n/* block */ x")
+        assert toks[0].is_ident("x")
+
+    def test_multichar_punctuation(self):
+        toks = tokenize("=== !== <= >= => && || ++")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["===", "!==", "<=", ">=", "=>", "&&", "||", "++"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('"abc')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("§")
+
+
+class TestTypeAnnotations:
+    def test_refinement_type(self):
+        t = parse_type("{v: number | 0 <= v}")
+        assert isinstance(t, ast.TRefineAnn)
+        assert isinstance(t.base, ast.TNameAnn) and t.base.name == "number"
+
+    def test_array_suffix(self):
+        t = parse_type("number[]")
+        assert isinstance(t, ast.TArrayAnn)
+
+    def test_nested_array(self):
+        t = parse_type("number[][]")
+        assert isinstance(t, ast.TArrayAnn) and isinstance(t.elem, ast.TArrayAnn)
+
+    def test_named_with_type_args(self):
+        t = parse_type("Array<IM, number>")
+        assert isinstance(t, ast.TNameAnn) and len(t.args) == 2
+
+    def test_value_parameterised_alias(self):
+        t = parse_type("idx<a>")
+        assert isinstance(t, ast.TNameAnn)
+        assert len(t.args) == 1
+
+    def test_expression_type_argument(self):
+        t = parse_type("grid<this.w, this.h>")
+        assert isinstance(t, ast.TNameAnn)
+        assert all(arg.expr is not None for arg in t.args)
+
+    def test_function_type(self):
+        t = parse_type("(a: number[], i: idx<a>) => number")
+        assert isinstance(t, ast.TFunAnn)
+        assert t.params[0][0] == "a"
+
+    def test_generic_function_type(self):
+        t = parse_type("<A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B")
+        assert isinstance(t, ast.TFunAnn)
+        assert t.tparams == ["A", "B"]
+        assert len(t.params) == 3
+
+    def test_union_type(self):
+        t = parse_type("number + string + undefined")
+        assert isinstance(t, ast.TUnionAnn) and len(t.members) == 3
+
+    def test_refinement_with_implication(self):
+        t = parse_type('{v: number | mask(v, 0x800) => impl(this, "ObjectType")}')
+        assert isinstance(t, ast.TRefineAnn)
+        assert isinstance(t.pred, ast.Binary) and t.pred.op == "=>"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_type("number extra")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        e = parse_expression("0 <= v && v < len(a)")
+        assert isinstance(e, ast.Binary) and e.op == "&&"
+
+    def test_member_and_index(self):
+        e = parse_expression("this.dens[i]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.target, ast.Member)
+
+    def test_call_with_args(self):
+        e = parse_expression("f(x, y + 1)")
+        assert isinstance(e, ast.Call) and len(e.args) == 2
+
+    def test_conditional(self):
+        e = parse_expression("a < b ? a : b")
+        assert isinstance(e, ast.Conditional)
+
+    def test_typeof(self):
+        e = parse_expression("typeof x")
+        assert isinstance(e, ast.Unary) and e.op == "typeof"
+
+
+class TestDeclarations:
+    def test_type_alias(self):
+        prog = parse_program("type nat = {v: number | 0 <= v};")
+        assert isinstance(prog.declarations[0], ast.TypeAliasDecl)
+
+    def test_parameterised_alias(self):
+        prog = parse_program("type grid<w,h> = {v: number[] | len(v) = (w+2)*(h+2)};")
+        decl = prog.declarations[0]
+        assert decl.params == ["w", "h"]
+
+    def test_enum_with_hex_and_or(self):
+        prog = parse_program(
+            "enum F { A = 0x1, B = 0x2, C = A | B }")
+        decl = prog.declarations[0]
+        assert dict(decl.members) == {"A": 1, "B": 2, "C": 3}
+
+    def test_enum_auto_numbering(self):
+        prog = parse_program("enum E { X, Y, Z }")
+        assert dict(prog.declarations[0].members) == {"X": 0, "Y": 1, "Z": 2}
+
+    def test_spec_and_function(self):
+        prog = parse_program("""
+            spec f :: (x: nat) => nat;
+            function f(x) { return x; }
+        """)
+        assert isinstance(prog.declarations[0], ast.SpecDecl)
+        assert isinstance(prog.declarations[1], ast.FunctionDecl)
+
+    def test_multiple_specs_for_overloads(self):
+        prog = parse_program("""
+            spec g :: (x: number) => number;
+            spec g :: (x: string) => string;
+            function g(x) { return x; }
+        """)
+        specs = [d for d in prog.declarations if isinstance(d, ast.SpecDecl)]
+        assert len(specs) == 2
+
+    def test_declare(self):
+        prog = parse_program("declare thm :: (a: nat) => boolean;")
+        assert isinstance(prog.declarations[0], ast.DeclareDecl)
+
+    def test_interface_with_extends(self):
+        prog = parse_program("""
+            interface A { x : number; }
+            interface B extends A { y : number; m(z: number) : number; }
+        """)
+        b = prog.declarations[1]
+        assert b.extends == ["A"]
+        assert len(b.fields) == 1 and len(b.methods) == 1
+
+    def test_class_with_immutable_fields_and_ctor(self):
+        prog = parse_program("""
+            class C {
+              immutable n : number;
+              data : number[];
+              constructor(n: number, d: number[]) { this.n = n; this.data = d; }
+              size() : number { return this.n; }
+            }
+        """)
+        cls = prog.declarations[0]
+        assert cls.fields[0].immutable is True
+        assert cls.fields[1].immutable is False
+        assert cls.constructor is not None
+        assert len(cls.methods) == 1
+
+    def test_class_with_generic_and_extends(self):
+        prog = parse_program("class D<T> extends C { }")
+        cls = prog.declarations[0]
+        assert cls.tparams == ["T"] and cls.extends == "C"
+
+
+class TestStatements:
+    def _body(self, text):
+        prog = parse_program(f"function f(a) {{ {text} }}")
+        return prog.declarations[0].body.statements
+
+    def test_var_and_assignment(self):
+        stmts = self._body("var x = 1; x = x + 1;")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert isinstance(stmts[1], ast.Assign)
+
+    def test_compound_assignment_desugars(self):
+        stmts = self._body("var x = 1; x += 2;")
+        assign = stmts[1]
+        assert isinstance(assign.value, ast.Binary) and assign.value.op == "+"
+
+    def test_increment_desugars(self):
+        stmts = self._body("var x = 1; x++;")
+        assert isinstance(stmts[1], ast.Assign)
+
+    def test_if_else(self):
+        stmts = self._body("if (a < 0) { return 0; } else { return a; }")
+        assert isinstance(stmts[0], ast.If)
+        assert stmts[0].els is not None
+
+    def test_if_without_braces(self):
+        stmts = self._body("if (a < 0) return 0;")
+        assert isinstance(stmts[0], ast.If)
+
+    def test_while_loop(self):
+        stmts = self._body("while (a < 10) { a = a + 1; }")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for_desugars_to_while(self):
+        stmts = self._body("for (var i = 0; i < a; i++) { a = a - 1; }")
+        block = stmts[0]
+        assert isinstance(block, ast.Block)
+        assert isinstance(block.statements[0], ast.VarDecl)
+        assert isinstance(block.statements[1], ast.While)
+
+    def test_nested_function(self):
+        stmts = self._body("function g(x) { return x; } return g(a);")
+        assert isinstance(stmts[0], ast.FunctionDeclStmt)
+
+    def test_field_and_index_assignment(self):
+        stmts = self._body("this.x = 1; a[0] = 2;")
+        assert isinstance(stmts[0].target, ast.Member)
+        assert isinstance(stmts[1].target, ast.Index)
+
+    def test_cast_expressions(self):
+        stmts = self._body("var o = <ObjectType> a; var p = a as ObjectType;")
+        assert isinstance(stmts[0].init, ast.Cast)
+        assert isinstance(stmts[1].init, ast.Cast)
+
+    def test_break_is_rejected_with_guidance(self):
+        with pytest.raises(ParseError):
+            self._body("while (true) { break; }")
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("function f( { }")
+        assert info.value.span.line >= 1

@@ -1,0 +1,265 @@
+"""Tests for annotation resolution, expression embedding, environments and
+the class table."""
+
+import pytest
+
+from repro.core.classtable import ClassTable
+from repro.core.embedexpr import ExprEmbedder
+from repro.core.environment import Env
+from repro.core.resolve import Resolver
+from repro.errors import DiagnosticBag
+from repro.lang import parse_expression, parse_program, parse_type
+from repro.lang.parser import Parser
+from repro.logic import IntLit, Var, VALUE_VAR, eq, le
+from repro.logic.builtins import len_of
+from repro.rtypes import Mutability
+from repro.rtypes.types import (
+    TArray,
+    TFun,
+    TInter,
+    TPrim,
+    TRef,
+    TUnion,
+    TVar,
+    number,
+)
+
+
+def make_resolver(source: str = ""):
+    diags = DiagnosticBag()
+    program = parse_program(source) if source else parse_program("type __unused = number;")
+    table = ClassTable.from_program(program, diags)
+    return Resolver(table, diags), table, diags
+
+
+def resolve(text: str, source: str = "", tparams=()):
+    resolver, _table, _diags = make_resolver(source)
+    return resolver.resolve(parse_type(text), tparams)
+
+
+ALIASES = """
+type nat = {v: number | 0 <= v};
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+type grid<w,h> = {v: number[] | len(v) = (w+2)*(h+2)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+"""
+
+
+class TestResolution:
+    def test_primitives(self):
+        assert resolve("number").name == "number"
+        assert resolve("boolean").name == "boolean"
+        assert resolve("void").name == "void"
+
+    def test_refinement(self):
+        t = resolve("{v: number | 0 <= v}")
+        assert isinstance(t, TPrim)
+        assert "0 <= v" in str(t.pred)
+
+    def test_custom_value_variable(self):
+        t = resolve("{n: number | 0 <= n}")
+        assert "0 <= v" in str(t.pred)
+
+    def test_array_defaults_to_mutable(self):
+        t = resolve("number[]")
+        assert isinstance(t, TArray) and t.mutability is Mutability.MUTABLE
+
+    def test_immutable_array_forms(self):
+        assert resolve("IArray<number>").mutability is Mutability.IMMUTABLE
+        assert resolve("Array<IM, number>").mutability is Mutability.IMMUTABLE
+        assert resolve("Array<number>").mutability is Mutability.MUTABLE
+
+    def test_alias_expansion_simple(self):
+        t = resolve("nat", ALIASES)
+        assert isinstance(t, TPrim) and "0 <= v" in str(t.pred)
+
+    def test_alias_expansion_with_term_argument(self):
+        t = resolve("idx<xs>", ALIASES)
+        assert "len(xs)" in str(t.pred)
+
+    def test_alias_expansion_with_two_term_arguments(self):
+        t = resolve("grid<this.w, this.h>", ALIASES)
+        assert "this.w" in str(t.pred) and "this.h" in str(t.pred)
+
+    def test_alias_expansion_with_type_argument(self):
+        t = resolve("NEArray<number>", ALIASES)
+        assert isinstance(t, TArray)
+        assert isinstance(t.elem, TPrim) and t.elem.name == "number"
+        assert "0 < len(v)" in str(t.pred)
+
+    def test_alias_wrong_arity_reports_error(self):
+        resolver, _table, diags = make_resolver(ALIASES)
+        resolver.resolve(parse_type("idx"))
+        assert diags.has_errors()
+
+    def test_unknown_name_warns(self):
+        resolver, _table, diags = make_resolver()
+        resolver.resolve(parse_type("Mystery"))
+        assert diags.warnings
+
+    def test_type_variables_in_scope(self):
+        t = resolve("A[]", tparams=("A",))
+        assert isinstance(t.elem, TVar)
+
+    def test_function_type_with_dependent_params(self):
+        t = resolve("(a: number[], i: idx<a>) => number", ALIASES)
+        assert isinstance(t, TFun)
+        assert t.params[0].name == "a"
+        assert "len(a)" in str(t.params[1].type.pred)
+
+    def test_union(self):
+        t = resolve("number + undefined")
+        assert isinstance(t, TUnion) and len(t.members) == 2
+
+    def test_class_reference(self):
+        source = "class C { x : number; constructor(x: number) { this.x = x; } }"
+        t = resolve("C", source)
+        assert isinstance(t, TRef) and t.name == "C"
+
+    def test_enum_resolves_to_number(self):
+        t = resolve("Flags", "enum Flags { A = 1 }")
+        assert isinstance(t, TPrim) and t.name == "number"
+
+    def test_overload_specs_build_intersection(self):
+        source = """
+        spec f :: (x: number) => number;
+        spec f :: (x: number[], y: number) => number;
+        function f(x, y) { return 0; }
+        """
+        resolver, table, _ = make_resolver(source)
+        sig = resolver.resolve_function(table.functions["f"])
+        assert isinstance(sig, TInter) and len(sig.members) == 2
+
+
+class TestExprEmbedding:
+    def setup_method(self):
+        self.embed = ExprEmbedder({"Flags": {"A": 1, "B": 2}})
+
+    def term(self, text):
+        return self.embed.term(parse_expression(text))
+
+    def pred(self, text):
+        return self.embed.predicate(parse_expression(text))
+
+    def test_arithmetic_terms(self):
+        assert str(self.term("x + 1 * y")) == "(x + (1 * y))"
+
+    def test_length_member(self):
+        assert str(self.term("a.length")) == "len(a)"
+
+    def test_field_access(self):
+        assert str(self.term("this.w")) == "this.w"
+
+    def test_enum_member_folds(self):
+        assert self.term("Flags.B") == IntLit(2)
+
+    def test_typeof_becomes_ttag(self):
+        assert str(self.pred('typeof x === "number"')) == "(ttag(x) = 'number')"
+
+    def test_logical_connectives(self):
+        assert str(self.pred("0 <= v && v < len(a)")) == "((0 <= v) && (v < len(a)))"
+
+    def test_numeric_truthiness(self):
+        assert str(self.pred("x & 4")) == "((x & 4) != 0)"
+
+    def test_impure_predicate_overapproximated(self):
+        # a call is not a logical term: the guard must degrade to `true`
+        assert self.pred("g(x) < 3").is_true()
+
+    def test_negative_guard_of_impure_condition_stays_sound(self):
+        e = parse_expression("g(x) < 3")
+        assert self.embed.guard(e, positive=False).is_true()
+
+    def test_negative_guard_of_pure_condition(self):
+        e = parse_expression("x < 3")
+        assert str(self.embed.guard(e, positive=False)) == "!(x < 3)"
+
+    def test_instanceof_guard(self):
+        assert str(self.pred("x instanceof C")) == "instanceof(x, 'C')"
+
+
+class TestEnvironment:
+    def test_lookup_and_shadowing(self):
+        env = Env().bind("x", number(le(IntLit(0), VALUE_VAR)))
+        env2 = env.bind("x", number(eq(VALUE_VAR, IntLit(5))))
+        assert "0 <=" in str(env.lookup("x").pred)
+        assert "= 5" in str(env2.lookup("x").pred)
+
+    def test_hypotheses_embed_latest_binding_only(self):
+        env = (Env()
+               .bind("arguments", number(eq(VALUE_VAR, IntLit(1))))
+               .bind("arguments", number(eq(VALUE_VAR, IntLit(3)))))
+        hyps = " && ".join(str(h) for h in env.hypotheses())
+        assert "(arguments = 3)" in hyps
+        assert "(arguments = 1)" not in hyps
+
+    def test_guards_are_included(self):
+        env = Env().bind("x", number()).guard(le(IntLit(0), Var("x")))
+        assert any("0 <= x" in str(h) for h in env.hypotheses())
+
+    def test_function_bindings_not_embedded(self):
+        env = Env().bind("f", TFun(params=(), ret=number()))
+        assert env.hypotheses() == []
+
+    def test_scope_names_skip_internal(self):
+        env = Env().bind("x", number()).bind("_tmp", number())
+        assert env.scope_names() == ["x"]
+
+    def test_persistence(self):
+        base = Env().bind("x", number())
+        extended = base.guard(le(IntLit(0), Var("x")))
+        assert base.guards == ()
+        assert len(extended.guards) == 1
+
+
+class TestClassTable:
+    SOURCE = """
+    type pos = {v: number | 0 < v};
+    interface Shape { area : number; }
+    class Square {
+      immutable side : pos;
+      area : number;
+      constructor(side: pos) { this.side = side; this.area = side * side; }
+      grow() : void { this.area = this.area + 1; }
+    }
+    class Cube extends Square {
+      depth : number;
+      constructor(side: pos) { this.side = side; this.area = side; this.depth = side; }
+    }
+    """
+
+    def _table(self):
+        diags = DiagnosticBag()
+        program = parse_program(self.SOURCE)
+        table = ClassTable.from_program(program, diags)
+        # member resolution happens in the checker; emulate the relevant bit
+        from repro.core.checker import Checker
+        checker = Checker(program, diags)
+        checker._resolve_class_members()
+        return checker.table
+
+    def test_supertypes_and_subtyping(self):
+        table = self._table()
+        assert table.supertypes("Cube") == ["Square"]
+        assert table.is_subtype_name("Cube", "Square")
+        assert not table.is_subtype_name("Square", "Cube")
+
+    def test_fields_include_inherited(self):
+        table = self._table()
+        fields = table.fields_of("Cube")
+        assert set(fields) == {"side", "area", "depth"}
+        assert fields["side"].immutable
+
+    def test_methods_include_inherited(self):
+        table = self._table()
+        assert "grow" in table.methods_of("Cube")
+
+    def test_constructor_field_params_detected(self):
+        table = self._table()
+        assert table.classes["Square"].ctor_field_params["side"] == "side"
+
+    def test_invariant_mentions_field_refinements(self):
+        table = self._table()
+        inv = str(table.invariant("Square", Var("s")))
+        assert "0 < s.side" in inv
+        assert "impl(s, 'Square')" in inv

@@ -1,0 +1,180 @@
+"""Tests for the refinement type representation and its operations."""
+
+import pytest
+
+from repro.logic import IntLit, Var, VALUE_VAR, conj, eq, le, lt
+from repro.logic.builtins import len_of
+from repro.logic.terms import free_vars
+from repro.rtypes import Mutability
+from repro.rtypes.types import (
+    TArray,
+    TExists,
+    TFun,
+    TInter,
+    TObject,
+    TParam,
+    TPrim,
+    TRef,
+    TUnion,
+    TVar,
+    base_of,
+    boolean,
+    embed,
+    exists,
+    free_kvars,
+    fresh_kvar,
+    is_kvar_app,
+    number,
+    refine,
+    selfify,
+    string,
+    subst_terms,
+    subst_types,
+    type_free_vars,
+    unpack_exists,
+)
+from repro.rtypes.pretty import type_to_str
+
+
+def nat():
+    return number(le(IntLit(0), VALUE_VAR))
+
+
+class TestConstructionAndStrengthening:
+    def test_refine_conjoins(self):
+        t = refine(nat(), lt(VALUE_VAR, IntLit(10)))
+        assert "0 <=" in str(t.pred) and "< 10" in str(t.pred)
+
+    def test_refine_with_true_is_identity(self):
+        t = nat()
+        from repro.logic import true
+        assert refine(t, true()) is t
+
+    def test_selfify_adds_equality(self):
+        t = selfify(number(), Var("x"))
+        assert eq(VALUE_VAR, Var("x")) == t.pred
+
+    def test_selfify_skips_functions(self):
+        f = TFun(params=(TParam("x", number()),), ret=number())
+        assert selfify(f, Var("g")) is f
+
+    def test_selfify_through_existential(self):
+        t = TExists(var="z", bound=number(), body=number())
+        out = refine(t, le(IntLit(0), VALUE_VAR))
+        assert isinstance(out, TExists)
+        assert not out.body.pred.is_true()
+
+    def test_base_of_erases_refinements(self):
+        t = TArray(elem=nat(), mutability=Mutability.IMMUTABLE,
+                   pred=lt(IntLit(0), len_of(VALUE_VAR)))
+        erased = base_of(t)
+        assert erased.pred.is_true()
+        assert erased.elem.pred.is_true()
+
+    def test_mutability_subtyping(self):
+        assert Mutability.IMMUTABLE.is_subtype_of(Mutability.READONLY)
+        assert Mutability.MUTABLE.is_subtype_of(Mutability.READONLY)
+        assert Mutability.UNIQUE.is_subtype_of(Mutability.IMMUTABLE)
+        assert not Mutability.READONLY.is_subtype_of(Mutability.MUTABLE)
+
+    def test_mutability_capabilities(self):
+        assert Mutability.MUTABLE.allows_write
+        assert not Mutability.READONLY.allows_write
+        assert Mutability.IMMUTABLE.allows_length_refinement
+        assert not Mutability.MUTABLE.allows_length_refinement
+
+
+class TestEmbedding:
+    def test_prim_shape_fact(self):
+        fact = embed(nat(), Var("x"))
+        text = str(fact)
+        assert "0 <= x" in text and "ttag(x) = 'number'" in text
+
+    def test_array_embedding(self):
+        t = TArray(elem=number(), mutability=Mutability.IMMUTABLE,
+                   pred=eq(len_of(VALUE_VAR), IntLit(3)))
+        fact = embed(t, Var("a"))
+        assert "len(a) = 3" in str(fact)
+
+    def test_union_embedding_is_disjunction(self):
+        t = TUnion(members=(number(), string()))
+        fact = str(embed(t, Var("x")))
+        assert "||" in fact
+
+    def test_existential_embedding_keeps_witness_facts(self):
+        t = TExists(var="w", bound=nat(), body=number(lt(Var("w"), VALUE_VAR)))
+        fact = str(embed(t, Var("x")))
+        assert "0 <= w" in fact and "w < x" in fact
+
+    def test_embed_without_shape(self):
+        fact = embed(nat(), Var("x"), include_shape=False)
+        assert "ttag" not in str(fact)
+
+
+class TestSubstitution:
+    def test_subst_terms_in_pred(self):
+        t = number(lt(VALUE_VAR, len_of(Var("a"))))
+        out = subst_terms(t, {"a": Var("b")})
+        assert "len(b)" in str(out.pred)
+
+    def test_subst_terms_respects_param_shadowing(self):
+        inner = TFun(params=(TParam("a", number(lt(VALUE_VAR, Var("a")))),),
+                     ret=number())
+        out = subst_terms(inner, {"a": IntLit(99)})
+        # the parameter named `a` shadows the outer substitution
+        assert "99" not in str(out.params[0].type.pred)
+
+    def test_subst_types_replaces_tvar(self):
+        t = TArray(elem=TVar(name="A"), mutability=Mutability.IMMUTABLE)
+        out = subst_types(t, {"A": number()})
+        assert isinstance(out.elem, TPrim) and out.elem.name == "number"
+
+    def test_subst_types_respects_binder(self):
+        f = TFun(tparams=("A",), params=(TParam("x", TVar(name="A")),),
+                 ret=TVar(name="A"))
+        out = subst_types(f, {"A": number()})
+        # A is bound by the function's own tparams: not substituted
+        assert isinstance(out.params[0].type, TVar)
+
+    def test_subst_types_carries_occurrence_refinement(self):
+        occ = TVar(name="A", pred=le(IntLit(0), VALUE_VAR))
+        out = subst_types(occ, {"A": number()})
+        assert "0 <= v" in str(out.pred)
+
+    def test_type_free_vars(self):
+        t = number(lt(VALUE_VAR, len_of(Var("a"))))
+        assert type_free_vars(t) == {"a"}
+
+
+class TestKappasAndExistentials:
+    def test_fresh_kvar_is_recognised(self):
+        occ = fresh_kvar(["x", "y"])
+        assert is_kvar_app(occ)
+        assert free_vars(occ) == {"v", "x", "y"}
+
+    def test_free_kvars_collected(self):
+        t = number(conj(le(IntLit(0), VALUE_VAR), fresh_kvar(["x"])))
+        assert len(free_kvars(t)) == 1
+
+    def test_unpack_and_repack_exists(self):
+        t = exists([("a", number()), ("b", nat())], number(lt(Var("a"), VALUE_VAR)))
+        binders, body = unpack_exists(t)
+        assert [name for name, _ in binders] == ["a", "b"]
+        assert isinstance(body, TPrim)
+
+    def test_pretty_printer_round_trip_smoke(self):
+        t = TFun(tparams=("A",),
+                 params=(TParam("a", TArray(elem=TVar(name="A"))),),
+                 ret=TVar(name="A"))
+        text = type_to_str(t)
+        assert "=>" in text and "A" in text
+
+    def test_intersection_pretty(self):
+        f = TFun(params=(TParam("x", number()),), ret=number())
+        g = TFun(params=(TParam("x", string()),), ret=string())
+        assert "/\\" in type_to_str(TInter(members=(f, g)))
+
+    def test_object_type_fields(self):
+        t = TObject(fields={"x": (Mutability.MUTABLE, number()),
+                            "y": (Mutability.IMMUTABLE, nat())})
+        assert "x" in type_to_str(t)

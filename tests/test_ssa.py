@@ -1,0 +1,216 @@
+"""Tests for the SSA transformation (FRSC statements to IRSC let/letif form)."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.ssa import (
+    ILet,
+    ILetFunc,
+    ILetIf,
+    ILetWhile,
+    IRet,
+    ISetField,
+    ISetIndex,
+    ssa_function,
+)
+from repro.ssa.ir import IJoin, terminates
+from repro.ssa.transform import assigned_vars
+
+
+def _fn(source: str, name: str = "f"):
+    program = parse_program(source)
+    decl = next(d for d in program.functions() if d.name == name)
+    return ssa_function(decl)
+
+
+def _chain(body):
+    """Linearise a body chain into a list of node type names."""
+    out = []
+    node = body
+    while node is not None:
+        out.append(type(node).__name__)
+        node = getattr(node, "rest", None)
+    return out
+
+
+class TestStraightLine:
+    def test_var_decl_becomes_let(self):
+        fn = _fn("function f(x) { var y = x + 1; return y; }")
+        assert isinstance(fn.body, ILet)
+        assert fn.body.name.startswith("y#")
+        assert isinstance(fn.body.rest, IRet)
+
+    def test_reassignment_gets_fresh_name(self):
+        fn = _fn("function f(x) { var y = 1; y = y + 1; return y; }")
+        first = fn.body
+        second = first.rest
+        assert isinstance(first, ILet) and isinstance(second, ILet)
+        assert first.name != second.name
+        # the second let's body refers to the first SSA name
+        assert isinstance(second.expr, ast.Binary)
+        assert second.expr.left.name == first.name
+        # and the return refers to the second
+        assert second.rest.value.name == second.name
+
+    def test_parameters_keep_their_names(self):
+        fn = _fn("function f(a, b) { return a + b; }")
+        assert fn.params == ["a", "b"]
+        assert isinstance(fn.body, IRet)
+
+    def test_field_write_node(self):
+        fn = _fn("function f(o, x) { o.size = x; return x; }")
+        assert isinstance(fn.body, ISetField)
+        assert fn.body.field_name == "size"
+
+    def test_index_write_node(self):
+        fn = _fn("function f(a, x) { a[0] = x; return x; }")
+        assert isinstance(fn.body, ISetIndex)
+
+    def test_expression_statement_is_effect_let(self):
+        fn = _fn("function f(a) { g(a); return 0; }")
+        assert isinstance(fn.body, ILet)
+        assert fn.body.name.startswith("_")
+
+
+class TestConditionals:
+    def test_if_produces_letif_with_phi(self):
+        fn = _fn("""
+            function f(x) {
+              var y = 0;
+              if (x < 0) { y = 1; } else { y = 2; }
+              return y;
+            }""")
+        letif = fn.body.rest
+        assert isinstance(letif, ILetIf)
+        assert len(letif.phis) == 1
+        assert letif.phis[0].source_name == "y"
+        # both branches end in a join carrying the branch-local SSA name
+        assert isinstance(letif.then, ILet) and isinstance(letif.then.rest, IJoin)
+        assert isinstance(letif.els, ILet) and isinstance(letif.els.rest, IJoin)
+        # the continuation returns the phi name
+        assert isinstance(letif.rest, IRet)
+        assert letif.rest.value.name == letif.phis[0].name
+
+    def test_if_with_early_return_has_no_phi_for_unassigned(self):
+        fn = _fn("function f(x) { if (x < 0) { return 0; } return x; }")
+        letif = fn.body
+        assert isinstance(letif, ILetIf)
+        assert letif.phis == []
+        assert terminates(letif.then)
+        assert not terminates(letif.els)
+
+    def test_variables_declared_inside_branch_do_not_leak(self):
+        fn = _fn("""
+            function f(x) {
+              if (x < 0) { var t = 1; x = t; }
+              return x;
+            }""")
+        letif = fn.body
+        assert [phi.source_name for phi in letif.phis] == ["x"]
+
+    def test_assigned_vars_helper(self):
+        program = parse_program("""
+            function f(x) {
+              if (x < 0) { x = 1; var y = 2; y = 3; } else { x = 2; }
+              return x;
+            }""")
+        stmt = program.functions()[0].body.statements[0]
+        assert assigned_vars(stmt.then) == {"x"}
+
+
+class TestLoops:
+    def test_while_produces_loop_phis(self):
+        fn = _fn("""
+            function f(n) {
+              var i = 0;
+              while (i < n) { i = i + 1; }
+              return i;
+            }""")
+        loop = fn.body.rest
+        assert isinstance(loop, ILetWhile)
+        assert [phi.source_name for phi in loop.phis] == ["i"]
+        # condition mentions the phi name, not the initial SSA name
+        assert loop.cond.left.name == loop.phis[0].name
+        assert loop.phis[0].init_name.startswith("i#")
+
+    def test_for_loop_desugars_like_figure_1(self):
+        fn = _fn("""
+            function f(a, g, x) {
+              var res = x;
+              for (var i = 0; i < a.length; i++) { res = g(res, a[i], i); }
+              return res;
+            }""")
+        names = _chain(fn.body)
+        assert "ILetWhile" in names
+        loop = fn.body
+        while not isinstance(loop, ILetWhile):
+            loop = loop.rest
+        assert sorted(phi.source_name for phi in loop.phis) == ["i", "res"]
+        assert isinstance(loop.rest, IRet)
+
+    def test_loop_body_join_carries_updated_names(self):
+        fn = _fn("""
+            function f(n) {
+              var i = 0;
+              while (i < n) { i = i + 1; }
+              return i;
+            }""")
+        loop = fn.body.rest
+        body = loop.body
+        while not isinstance(body, IJoin):
+            body = body.rest
+        assert len(body.values) == 1
+        assert body.values[0] != loop.phis[0].name  # the post-increment name
+
+
+class TestClosures:
+    def test_nested_function_becomes_letfunc(self):
+        fn = _fn("""
+            function f(a) {
+              function step(x) { return x + a; }
+              return step(1);
+            }""")
+        assert isinstance(fn.body, ILetFunc)
+        assert fn.body.name == "step"
+        assert isinstance(fn.body.rest, IRet)
+
+    def test_closure_captures_current_ssa_names(self):
+        fn = _fn("""
+            function f(a) {
+              var b = a + 1;
+              function g(x) { return x + b; }
+              return g(0);
+            }""")
+        letfunc = fn.body.rest
+        assert isinstance(letfunc, ILetFunc)
+        # the closure body references the SSA name of b, not the source name
+        ret = letfunc.decl.body.statements[0]
+        assert isinstance(ret, ast.Return)
+        assert ret.value.right.name.startswith("b#")
+
+    def test_closure_parameters_shadow_captures(self):
+        fn = _fn("""
+            function f(a) {
+              var x = 1;
+              function g(x) { return x; }
+              return g(a);
+            }""")
+        letfunc = fn.body.rest
+        ret = letfunc.decl.body.statements[0]
+        assert ret.value.name == "x"  # the parameter, not x#0
+
+
+class TestTermination:
+    def test_terminates_on_plain_return(self):
+        fn = _fn("function f(x) { return x; }")
+        assert terminates(fn.body)
+
+    def test_terminates_when_both_branches_return(self):
+        fn = _fn("function f(x) { if (x < 0) { return 0; } else { return 1; } }")
+        assert terminates(fn.body)
+
+    def test_not_terminating_when_one_branch_falls_through(self):
+        fn = _fn("function f(x) { if (x < 0) { x = 1; } return x; }")
+        assert terminates(fn.body)  # the continuation returns
+        letif = fn.body
+        assert not terminates(letif.then)
