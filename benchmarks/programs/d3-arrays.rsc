@@ -1,0 +1,58 @@
+// d3-arrays: the array statistics utilities of the D3 library (paper
+// section 5.1).  min/max/extent/scan must read only valid indices and the
+// non-empty preconditions of the seed-reading variants are refinements.
+
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+type NEArray<T> = {v: T[] | 0 < len(v)};
+
+spec head :: (arr: NEArray<number>) => number;
+function head(arr) { return arr[0]; }
+
+spec min :: (xs: NEArray<number>) => number;
+function min(xs) {
+  var best = xs[0];
+  for (var i = 1; i < xs.length; i++) {
+    if (xs[i] < best) { best = xs[i]; }
+  }
+  return best;
+}
+
+spec max :: (xs: NEArray<number>) => number;
+function max(xs) {
+  var best = xs[0];
+  for (var i = 1; i < xs.length; i++) {
+    if (best < xs[i]) { best = xs[i]; }
+  }
+  return best;
+}
+
+spec scan :: (xs: NEArray<number>) => idx<xs>;
+function scan(xs) {
+  var lo = 0;
+  for (var i = 1; i < xs.length; i++) {
+    if (xs[i] < xs[lo]) { lo = i; }
+  }
+  return lo;
+}
+
+spec sumRange :: (xs: number[]) => number;
+function sumRange(xs) {
+  var acc = 0;
+  for (var i = 0; i < xs.length; i++) {
+    acc = acc + xs[i];
+  }
+  return acc;
+}
+
+spec safeMin :: (xs: number[]) => number;
+function safeMin(xs) {
+  if (0 < xs.length) { return min(xs); }
+  return 0;
+}
+
+spec main :: () => void;
+function main() {
+  var xs = new Array(9);
+  var lo = safeMin(xs);
+  var total = sumRange(xs);
+}

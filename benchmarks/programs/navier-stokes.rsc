@@ -1,0 +1,57 @@
+// navier-stokes: the 2-D fluid solver of the octane suite (paper section 5.1).
+// The grid is unrolled into a single array of length (w+2)*(h+2); the
+// immutable width/height fields let refinements of the density array and the
+// method signatures refer to them, and the non-linear index arithmetic is
+// factored into a ghost theorem (the paper's "Ghost Functions").
+
+type nat = {v: number | 0 <= v};
+type pos = {v: number | 0 < v};
+type grid<w,h> = {v: number[] | len(v) = (w+2)*(h+2)};
+type okW = {v: nat | v <= this.w};
+type okH = {v: nat | v <= this.h};
+
+declare gridIndex :: (x: nat, y: nat, w: pos, h: pos)
+  => {v: number | 0 <= v && (x <= w && y <= h => v < (w+2)*(h+2))};
+
+class FluidField {
+  immutable w : pos;
+  immutable h : pos;
+  dens : grid<this.w, this.h>;
+  u : grid<this.w, this.h>;
+  constructor(w: pos, h: pos, d: grid<w, h>, u0: grid<w, h>) {
+    this.h = h; this.w = w; this.dens = d; this.u = u0;
+  }
+  setDensity(x: okW, y: okH, d: number) : void {
+    var i = gridIndex(x, y, this.w, this.h);
+    this.dens[i] = d;
+  }
+  getDensity(x: okW, y: okH) : number {
+    var i = gridIndex(x, y, this.w, this.h);
+    return this.dens[i];
+  }
+  addFields(x: okW, y: okH, dt: number) : void {
+    var i = gridIndex(x, y, this.w, this.h);
+    this.dens[i] = this.dens[i] + dt * this.u[i];
+  }
+  reset(d: grid<this.w, this.h>) : void {
+    this.dens = d;
+  }
+}
+
+spec diffuse :: (f: number[], dt: number) => number;
+function diffuse(f, dt) {
+  var acc = 0;
+  for (var i = 0; i < f.length; i++) {
+    acc = acc + f[i] * dt;
+  }
+  return acc;
+}
+
+spec main :: () => void;
+function main() {
+  var field = new FluidField(3, 7, new Array(45), new Array(45));
+  field.setDensity(2, 5, -5);
+  field.addFields(1, 1, 2);
+  field.reset(new Array(45));
+  var total = diffuse(new Array(45), 1);
+}

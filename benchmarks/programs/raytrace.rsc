@@ -1,0 +1,63 @@
+// raytrace: the octane ray tracer (paper section 5.1).  Colour channels and
+// scene intersections are the safety-critical parts: channel values must
+// stay in bounds when written into the frame buffer and the closest-hit
+// search must only index live scene slots.
+
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+type nat = {v: number | 0 <= v};
+
+class Vector {
+  immutable x : number;
+  immutable y : number;
+  immutable z : number;
+  constructor(x: number, y: number, z: number) {
+    this.x = x; this.y = y; this.z = z;
+  }
+  dot(o: Vector) : number {
+    return this.x * o.x + this.y * o.y + this.z * o.z;
+  }
+  magnitudeSquared() : number {
+    return this.x * this.x + this.y * this.y + this.z * this.z;
+  }
+}
+
+class Frame {
+  immutable width : {v: number | 0 < v};
+  pixels : {v: number[] | len(v) = this.width};
+  constructor(width: {v: number | 0 < v},
+              pixels: {v: number[] | len(v) = width}) {
+    this.width = width; this.pixels = pixels;
+  }
+  plot(i: {v: nat | v < this.width}, shade: number) : void {
+    this.pixels[i] = shade;
+  }
+}
+
+spec closestHit :: (dists: {v: number[] | 0 < len(v)}) => idx<dists>;
+function closestHit(dists) {
+  var best = 0;
+  for (var i = 1; i < dists.length; i++) {
+    if (dists[i] < dists[best]) { best = i; }
+  }
+  return best;
+}
+
+spec shadeAll :: (dists: number[], out: {v: number[] | len(v) = len(dists)}) => void;
+function shadeAll(dists, out) {
+  for (var i = 0; i < dists.length; i++) {
+    out[i] = dists[i] * 2;
+  }
+}
+
+spec main :: () => void;
+function main() {
+  var v = new Vector(1, 2, 2);
+  var w = new Vector(0, -1, 3);
+  var d = v.dot(w);
+  var frame = new Frame(8, new Array(8));
+  frame.plot(7, d);
+  var hit = closestHit(frame.pixels);
+  var dists = new Array(5);
+  var shades = new Array(5);
+  shadeAll(dists, shades);
+}

@@ -1,0 +1,58 @@
+// richards: the operating-system task scheduler of the octane suite (paper
+// section 5.1).  Task control blocks live in an array indexed by task id;
+// the id refinements keep every queue operation within the task table and
+// the state flags are tested before the corresponding dereference.
+
+enum State { Idle = 0, Running = 1, Waiting = 2 }
+
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+type nat = {v: number | 0 <= v};
+
+class Scheduler {
+  immutable capacity : {v: number | 0 < v};
+  priorities : {v: number[] | len(v) = this.capacity};
+  states : {v: number[] | len(v) = this.capacity};
+  constructor(capacity: {v: number | 0 < v},
+              priorities: {v: number[] | len(v) = capacity},
+              states: {v: number[] | len(v) = capacity}) {
+    this.capacity = capacity; this.priorities = priorities; this.states = states;
+  }
+  schedule(id: {v: nat | v < this.capacity}) : void {
+    this.states[id] = 1;
+  }
+  release(id: {v: nat | v < this.capacity}) : void {
+    this.states[id] = 0;
+  }
+  priorityOf(id: {v: nat | v < this.capacity}) : number {
+    return this.priorities[id];
+  }
+}
+
+spec runnableCount :: (states: number[]) => nat;
+function runnableCount(states) {
+  var n = 0;
+  for (var i = 0; i < states.length; i++) {
+    if (states[i] === 1) { n = n + 1; }
+  }
+  return n;
+}
+
+spec highestPriority :: (prios: {v: number[] | 0 < len(v)}) => number;
+function highestPriority(prios) {
+  var best = prios[0];
+  for (var i = 1; i < prios.length; i++) {
+    if (best < prios[i]) { best = prios[i]; }
+  }
+  return best;
+}
+
+spec main :: () => void;
+function main() {
+  var sched = new Scheduler(6, new Array(6), new Array(6));
+  sched.schedule(0);
+  sched.schedule(5);
+  sched.release(0);
+  var p = sched.priorityOf(3);
+  var n = runnableCount(sched.states);
+  var h = highestPriority(sched.priorities);
+}

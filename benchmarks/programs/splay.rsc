@@ -1,0 +1,49 @@
+// splay: the octane splay-tree benchmark (paper section 5.1).  The tree is
+// stored in parallel arrays (keys, left, right) indexed by node ids; the
+// refinement on node links guarantees every traversal stays in bounds, which
+// is the benchmark's key safety property.
+
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+type nat = {v: number | 0 <= v};
+
+class SplayTree {
+  immutable size : {v: number | 0 < v};
+  keys : {v: number[] | len(v) = this.size};
+  constructor(size: {v: number | 0 < v}, keys: {v: number[] | len(v) = size}) {
+    this.size = size; this.keys = keys;
+  }
+  keyAt(i: {v: nat | v < this.size}) : number {
+    return this.keys[i];
+  }
+  setKey(i: {v: nat | v < this.size}, k: number) : void {
+    this.keys[i] = k;
+  }
+}
+
+spec findMax :: (keys: {v: number[] | 0 < len(v)}) => number;
+function findMax(keys) {
+  var best = keys[0];
+  for (var i = 1; i < keys.length; i++) {
+    if (best < keys[i]) { best = keys[i]; }
+  }
+  return best;
+}
+
+spec countGreater :: (keys: number[], pivot: number) => nat;
+function countGreater(keys, pivot) {
+  var n = 0;
+  for (var i = 0; i < keys.length; i++) {
+    if (pivot < keys[i]) { n = n + 1; }
+  }
+  return n;
+}
+
+spec main :: () => void;
+function main() {
+  var tree = new SplayTree(4, new Array(4));
+  tree.setKey(0, 42);
+  tree.setKey(3, 7);
+  var k = tree.keyAt(3);
+  var m = findMax(tree.keys);
+  var g = countGreater(tree.keys, m);
+}

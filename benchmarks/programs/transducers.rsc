@@ -1,0 +1,46 @@
+// transducers: the massively-overloaded reduce of the Transducers library
+// (Figure 8 of the paper).  $reduce accepts either (array, callback) or
+// (array, callback, seed); the seed-less form requires a non-empty array
+// because it seeds the accumulator with a[0].  Each conjunct of the
+// intersection signature is checked separately (two-phase typing).
+
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+
+spec reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function reduce(a, f, x) {
+  var res = x;
+  for (var i = 0; i < a.length; i++) {
+    res = f(res, a[i], i);
+  }
+  return res;
+}
+
+spec $reduce :: <A>(a: {v: A[] | 0 < len(v)}, f: (A, A, idx<a>) => A) => A;
+spec $reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function $reduce(a, f, x) {
+  if (arguments.length === 3) { return reduce(a, f, x); }
+  return reduce(a.slice(1, a.length), f, a[0]);
+}
+
+spec sum :: (xs: number[]) => number;
+function sum(xs) {
+  function step(acc, cur, i) {
+    return acc + cur;
+  }
+  return reduce(xs, step, 0);
+}
+
+spec mapInto :: (xs: number[], out: {v: number[] | len(v) = len(xs)}) => void;
+function mapInto(xs, out) {
+  for (var i = 0; i < xs.length; i++) {
+    out[i] = xs[i] + 1;
+  }
+}
+
+spec main :: () => void;
+function main() {
+  var total = sum(new Array(10));
+  var xs = new Array(4);
+  var out = new Array(4);
+  mapInto(xs, out);
+}

@@ -1,0 +1,49 @@
+// tsc-checker: the getPropertiesOfObjectType fragment of the TypeScript
+// compiler (paper section 4.3 and 5.1).  Kinds of Type objects are
+// discriminated with a bit-vector flags field; the refinement on flags
+// states that if certain mask bits are set the object implements the
+// corresponding sub-interface, so every guarded downcast is provably safe.
+
+enum TypeFlags {
+  Any = 0x00000001, Str = 0x00000002, Num = 0x00000004,
+  Class = 0x00000400, Interface = 0x00000800, Reference = 0x00001000
+}
+
+type flagsT = {v: number | (mask(v, 0x00000002) => impl(this, "StringType"))
+                        && (mask(v, 0x00003C00) => impl(this, "ObjectType")) };
+
+interface Type {
+  immutable flags : flagsT;
+  id : number;
+}
+interface StringType extends Type {
+  text : string;
+}
+interface ObjectType extends Type {
+  members : number[];
+}
+
+spec getPropertiesOfType :: (t: Type) => number;
+function getPropertiesOfType(t) {
+  if (t.flags & 0x00000800) {
+    var o = <ObjectType> t;
+    return o.members.length;
+  }
+  return 0;
+}
+
+spec textLength :: (t: Type) => number;
+function textLength(t) {
+  if (t.flags & 0x00000002) {
+    var s = <StringType> t;
+    return s.text.length;
+  }
+  return 0;
+}
+
+spec countMembers :: (t: Type) => number;
+function countMembers(t) {
+  var n = getPropertiesOfType(t);
+  var m = textLength(t);
+  return n + m;
+}

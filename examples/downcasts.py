@@ -8,7 +8,7 @@ rsc then proves each `<ObjectType> t` downcast safe from the guarding
 bit-mask test — and rejects casts guarded by the wrong test.
 """
 
-from repro import check_source
+from repro import Session
 
 SOURCE = """
 enum TypeFlags {
@@ -49,13 +49,15 @@ UNGUARDED = SOURCE.replace("if (t.flags & 0x00000800) {", "if (true) {")
 
 
 def main() -> None:
+    # one session across the good and bad variants amortises the solver cache
+    session = Session()
     print("== checking guarded downcast (TypeFlags hierarchy) ==")
-    result = check_source(SOURCE, filename="downcast.ts")
+    result = session.check_source(SOURCE, filename="downcast.ts")
     print(result.summary())
     assert result.ok
 
     for label, text in [("wrong mask", BROKEN), ("missing guard", UNGUARDED)]:
-        broken = check_source(text, filename=f"downcast_{label}.ts")
+        broken = session.check_source(text, filename=f"downcast_{label}.ts")
         status = "rejected" if not broken.ok else "ACCEPTED (unexpected!)"
         print(f"  BAD ({label}) -> {status}")
         assert not broken.ok, label

@@ -13,7 +13,7 @@ other fields (and method signatures) may refer to them.  rsc verifies:
 and rejects the same four "BAD" calls the paper lists.
 """
 
-from repro import check_source
+from repro import Session
 
 SOURCE = """
 type nat = {v: number | 0 <= v};
@@ -68,13 +68,16 @@ BAD_VARIANTS = {
 
 
 def main() -> None:
+    # one session across the good program and its four broken variants
+    session = Session()
     print("== checking Figure 2 (Field class) ==")
-    result = check_source(SOURCE, filename="figure2.ts")
+    result = session.check_source(SOURCE, filename="figure2.ts")
     print(result.summary())
     assert result.ok, "the OK program must verify"
 
     for label, replacement in BAD_VARIANTS.items():
-        broken = check_source(SOURCE.replace(*replacement), filename="figure2_bad.ts")
+        broken = session.check_source(SOURCE.replace(*replacement),
+                                      filename="figure2_bad.ts")
         status = "rejected" if not broken.ok else "ACCEPTED (unexpected!)"
         print(f"  BAD: {label:55s} -> {status}")
         assert not broken.ok, label

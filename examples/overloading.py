@@ -11,7 +11,7 @@ This mirrors the massively-overloaded `reduce` of the Transducers library
 (Figure 8 of the paper).
 """
 
-from repro import check_source
+from repro import Session
 
 SOURCE = """
 type idx<a> = {v: number | 0 <= v && v < len(a)};
@@ -40,13 +40,15 @@ BROKEN = SOURCE.replace("{v: A[] | 0 < len(v)}", "A[]")
 
 
 def main() -> None:
+    # one session: the broken variant reuses cached solver queries
+    session = Session()
     print("== checking the overloaded $reduce (two-phase typing) ==")
-    result = check_source(SOURCE, filename="overload.ts")
+    result = session.check_source(SOURCE, filename="overload.ts")
     print(result.summary())
     assert result.ok, "the overloaded function must verify"
 
     print("== checking the broken overload (seed-less form on any array) ==")
-    broken = check_source(BROKEN, filename="overload_bad.ts")
+    broken = session.check_source(BROKEN, filename="overload_bad.ts")
     print(broken.summary())
     for diag in broken.errors[:4]:
         print("  ", diag)

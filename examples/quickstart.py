@@ -8,7 +8,7 @@ the array being reduced, and liquid inference discovers the instantiation
 automatically (section 2.2.1).
 """
 
-from repro import check_source
+from repro import Session
 
 SOURCE = """
 type idx<a> = {v: number | 0 <= v && v < len(a)};
@@ -36,8 +36,10 @@ BROKEN = SOURCE.replace("? i : min", "? i + 1 : min")
 
 
 def main() -> None:
+    # one session: the broken variant below reuses the solver's query cache
+    session = Session()
     print("== checking Figure 1 (reduce / minIndex) ==")
-    result = check_source(SOURCE, filename="figure1.ts")
+    result = session.check_source(SOURCE, filename="figure1.ts")
     print(result.summary())
     print("inferred refinements for the polymorphic instantiation:")
     for kappa, quals in sorted(result.kappa_solution.items()):
@@ -47,7 +49,7 @@ def main() -> None:
 
     print()
     print("== checking a broken variant (step returns i + 1) ==")
-    broken = check_source(BROKEN, filename="figure1_broken.ts")
+    broken = session.check_source(BROKEN, filename="figure1_broken.ts")
     print(broken.summary())
     for diag in broken.errors:
         print("  ", diag)

@@ -1,15 +1,40 @@
 """Refined TypeScript (RSC) - a reproduction of "Refinement Types for
 TypeScript" (Vekris, Cosman, Jhala; PLDI 2016) in pure Python.
 
-Top-level convenience re-exports::
+Session API (preferred — one solver amortised across runs)::
+
+    from repro import CheckConfig, Session
+
+    session = Session(CheckConfig(warnings_as_errors=True))
+    result = session.check_source(source)
+    batch = session.check_files(["a.rsc", "b.rsc"])
+
+One-shot convenience wrappers::
 
     from repro import check_source
     result = check_source("function f(x: {v: number | 0 <= v}): number { return x; }")
     assert result.ok
 """
 
-from repro.core.api import CheckResult, check_program, check_source
+from repro.core.api import check_program, check_source
+from repro.core.config import CheckConfig, SolverOptions
+from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.session import Session
+from repro.errors import ERROR_CATALOG, Diagnostic, explain_code
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["CheckResult", "check_program", "check_source", "__version__"]
+__all__ = [
+    "BatchResult",
+    "CheckConfig",
+    "CheckResult",
+    "Diagnostic",
+    "ERROR_CATALOG",
+    "Session",
+    "SolverOptions",
+    "StageTimings",
+    "check_program",
+    "check_source",
+    "explain_code",
+    "__version__",
+]

@@ -1,52 +1,181 @@
-"""Command-line interface: ``python -m repro program.rsc [more.rsc ...]``.
+"""Command-line interface: ``python -m repro <subcommand> ...``.
 
-Checks each nanoTS source file and prints the diagnostics, mirroring how the
-paper's ``rsc`` binary is used on the benchmark files.  Exits non-zero if any
-file fails to verify.
+Subcommands:
+
+* ``check FILES...`` — check nanoTS source files (the classic mode); exits
+  non-zero if any file fails to verify.  ``--format json`` emits structured
+  diagnostics with stable error codes; ``--jobs N`` checks in parallel.
+* ``bench figure6|figure7`` — regenerate the paper's evaluation tables,
+  amortising one solver across the whole suite.
+* ``explain CODE`` — describe a diagnostic code (e.g. ``RSC-SUB-003``).
+
+For backwards compatibility a bare file list (``python -m repro a.rsc``)
+is treated as ``check a.rsc``.
 """
 
 from __future__ import annotations
 
 import argparse
-import pathlib
+import json
 import sys
+from typing import List, Optional
 
-from repro import check_source
+from repro import CheckConfig, Session
+from repro.errors import ERROR_CATALOG, explain_code
+
+SUBCOMMANDS = ("check", "bench", "explain")
+
+#: Process exit codes of the CLI (stable, part of the public interface).
+EXIT_OK = 0
+EXIT_UNSAFE = 1
+EXIT_USAGE = 2
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Refined TypeScript (RSC): refinement type checking for nanoTS")
-    parser.add_argument("files", nargs="+", help="nanoTS source files (*.rsc)")
-    parser.add_argument("--show-kappas", action="store_true",
-                        help="print the refinements inferred by liquid fixpoint")
-    parser.add_argument("--quiet", action="store_true",
-                        help="only print the per-file verdict")
-    args = parser.parse_args(argv)
+        description="Refined TypeScript (RSC): refinement type checking "
+                    "for nanoTS")
+    sub = parser.add_subparsers(dest="command", required=True)
 
-    exit_code = 0
-    for name in args.files:
-        path = pathlib.Path(name)
-        try:
-            source = path.read_text()
-        except OSError as exc:
-            print(f"{name}: cannot read: {exc}", file=sys.stderr)
-            exit_code = 2
-            continue
-        result = check_source(source, filename=str(path))
-        verdict = "SAFE" if result.ok else "UNSAFE"
-        print(f"{name}: {verdict} ({result.summary()})")
-        if not args.quiet:
-            for diag in result.diagnostics:
-                print(f"  {diag}")
-        if args.show_kappas:
-            for kappa, quals in sorted(result.kappa_solution.items()):
-                rendered = " && ".join(str(q) for q in quals) or "true"
-                print(f"  {kappa} := {rendered}")
-        if not result.ok:
-            exit_code = 1
-    return exit_code
+    check = sub.add_parser(
+        "check", help="check nanoTS source files (*.rsc)")
+    check.add_argument("files", nargs="+", help="nanoTS source files")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text)")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="check files with N parallel workers")
+    check.add_argument("--show-kappas", action="store_true",
+                       help="print the refinements inferred by liquid fixpoint")
+    check.add_argument("--quiet", action="store_true",
+                       help="only print the per-file verdict")
+    check.add_argument("--warnings-as-errors", action="store_true",
+                       help="treat warnings as errors in the verdict")
+    check.add_argument("--max-iterations", type=int, default=40, metavar="N",
+                       help="liquid fixpoint iteration budget (default: 40)")
+    check.add_argument("--qualifiers", choices=("default", "harvested"),
+                       default="default",
+                       help="qualifier pool: built-ins plus harvested "
+                            "(default) or program-harvested only")
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's evaluation tables")
+    bench.add_argument("table", choices=("figure6", "figure7"),
+                       help="which table to regenerate")
+    bench.add_argument("--only", metavar="NAME", action="append",
+                       help="restrict to the named benchmark(s)")
+    bench.add_argument("--programs-dir", metavar="DIR", default=None,
+                       help="directory holding the benchmark .rsc ports")
+    bench.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text)")
+
+    explain = sub.add_parser(
+        "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
+    explain.add_argument("code", nargs="?", default=None,
+                         help="the diagnostic code; omit to list all codes")
+    return parser
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    try:
+        config = CheckConfig(
+            max_fixpoint_iterations=args.max_iterations,
+            warnings_as_errors=args.warnings_as_errors,
+            qualifier_set=args.qualifiers,
+            output_format=args.format,
+            jobs=max(1, args.jobs),
+        )
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    session = Session(config)
+    batch = session.check_files(args.files)
+
+    if args.format == "json":
+        print(batch.to_json(indent=2))
+    else:
+        for result in batch.results:
+            print(f"{result.filename}: {result.summary()}")
+            if not args.quiet:
+                for diag in result.diagnostics:
+                    print(f"  {diag}")
+            if args.show_kappas:
+                for kappa, quals in sorted(result.kappa_solution.items()):
+                    rendered = " && ".join(str(q) for q in quals) or "true"
+                    print(f"  {kappa} := {rendered}")
+        if len(batch.results) > 1:
+            print(batch.summary())
+
+    if any(d.kind.value == "internal"
+           for r in batch.results for d in r.diagnostics):
+        return EXIT_USAGE
+    return EXIT_OK if batch.ok else EXIT_UNSAFE
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+    import pathlib
+    programs_dir = pathlib.Path(args.programs_dir) if args.programs_dir else None
+    try:
+        names = args.only or bench.BENCHMARKS
+        unknown = [n for n in names if n not in bench.BENCHMARKS]
+        if unknown:
+            print(f"repro: unknown benchmark(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if args.table == "figure6":
+            rows = bench.figure6_rows(names, programs_dir=programs_dir)
+            if args.format == "json":
+                print(json.dumps([row.to_dict() for row in rows], indent=2))
+            else:
+                print(bench.format_figure6(rows))
+            return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
+        if args.format == "json":
+            payload = [{"name": n, "loc": bench.count_loc(
+                            bench.source_of(n, programs_dir)),
+                        "imp_diff": bench.CODE_CHANGES[n][0],
+                        "all_diff": bench.CODE_CHANGES[n][1]}
+                       for n in names]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(bench.format_figure7(names, programs_dir=programs_dir))
+        return EXIT_OK
+    except FileNotFoundError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    if args.code is None:
+        width = max(len(code) for code in ERROR_CATALOG)
+        for code, (summary, _detail) in sorted(ERROR_CATALOG.items()):
+            print(f"{code:{width}s}  {summary}")
+        return EXIT_OK
+    entry = explain_code(args.code)
+    if entry is None:
+        print(f"repro: unknown diagnostic code {args.code!r} "
+              f"(try `repro explain` for the full list)", file=sys.stderr)
+        return EXIT_USAGE
+    summary, detail = entry
+    print(f"{args.code.upper()}: {summary}")
+    print()
+    print(detail)
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # legacy invocation: `python -m repro [flags] file.rsc ...` (the old CLI
+    # also accepted flags before the file list)
+    if argv and argv[0] not in SUBCOMMANDS and \
+            argv[0] not in ("-h", "--help"):
+        argv.insert(0, "check")
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return cmd_check(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    return cmd_explain(args)
 
 
 if __name__ == "__main__":

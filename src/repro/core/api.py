@@ -1,6 +1,7 @@
-"""Public entry points of the RSC checker.
+"""Back-compat entry points of the RSC checker.
 
-Typical use::
+These are thin wrappers over the session API (:mod:`repro.core.session`),
+kept so that one-shot callers keep working unchanged::
 
     from repro.core import check_source
 
@@ -10,100 +11,34 @@ Typical use::
     else:
         for error in result.errors:
             print(error)
+
+New code — and anything checking more than one program — should construct a
+:class:`repro.core.session.Session` instead and reuse it, so that the
+solver's query cache is amortised across runs.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.errors import Diagnostic, DiagnosticBag, ErrorKind, ParseError
-from repro.lang import ast, parse_program
-from repro.logic.terms import Expr
+from repro.lang import ast
 from repro.smt.solver import Solver
-from repro.core.checker import Checker, CheckerStats
-from repro.core.constraints import Implication
-from repro.core.liquid.fixpoint import LiquidSolver
-from repro.core.subtype import SubtypeSplitter
+from repro.core.config import CheckConfig
+from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.session import Session
 
-
-@dataclass
-class CheckResult:
-    """The outcome of checking one program."""
-
-    diagnostics: List[Diagnostic] = field(default_factory=list)
-    checker_stats: Optional[CheckerStats] = None
-    solver_stats: Optional[object] = None
-    kappa_solution: Dict[str, List[Expr]] = field(default_factory=dict)
-    num_constraints: int = 0
-    num_implications: int = 0
-    num_obligations_checked: int = 0
-    time_seconds: float = 0.0
-
-    @property
-    def errors(self) -> List[Diagnostic]:
-        from repro.errors import Severity
-        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
-
-    @property
-    def warnings(self) -> List[Diagnostic]:
-        from repro.errors import Severity
-        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-    def summary(self) -> str:
-        status = "SAFE" if self.ok else "UNSAFE"
-        return (f"{status}: {len(self.errors)} error(s), {len(self.warnings)} "
-                f"warning(s), {self.num_obligations_checked} obligation(s) in "
-                f"{self.time_seconds:.2f}s")
+__all__ = ["BatchResult", "CheckResult", "StageTimings", "check_program",
+           "check_source"]
 
 
 def check_program(program: ast.Program, solver: Optional[Solver] = None,
                   max_fixpoint_iterations: int = 40) -> CheckResult:
-    """Run the full RSC pipeline on a parsed program."""
-    start = time.perf_counter()
-    diags = DiagnosticBag()
-    solver = solver or Solver()
-    checker = Checker(program, diags, solver)
-    checker.run()
-
-    splitter = SubtypeSplitter(checker.table, checker.constraints)
-    for constraint in list(checker.constraints.subtypings):
-        splitter.split(constraint)
-
-    liquid = LiquidSolver(solver, checker.pool, checker.kappas,
-                          max_iterations=max_fixpoint_iterations)
-    solution = liquid.solve(checker.constraints.implications)
-    results = liquid.check_concrete(checker.constraints.implications, solution)
-
-    for implication, ok in results:
-        if ok:
-            continue
-        diags.error(implication.kind, implication.reason, implication.span)
-
-    elapsed = time.perf_counter() - start
-    return CheckResult(
-        diagnostics=list(diags),
-        checker_stats=checker.stats,
-        solver_stats=solver.stats,
-        kappa_solution=solution,
-        num_constraints=len(checker.constraints.subtypings),
-        num_implications=len(checker.constraints.implications),
-        num_obligations_checked=len(results),
-        time_seconds=elapsed,
-    )
+    """Run the full RSC pipeline on a parsed program (one-shot session)."""
+    config = CheckConfig(max_fixpoint_iterations=max_fixpoint_iterations)
+    return Session(config, solver=solver).check_program(program)
 
 
 def check_source(source: str, filename: str = "<input>",
                  solver: Optional[Solver] = None) -> CheckResult:
-    """Parse and check a nanoTS source string."""
-    try:
-        program = parse_program(source, filename)
-    except ParseError as exc:
-        diag = Diagnostic(ErrorKind.PARSE, exc.message, exc.span)
-        return CheckResult(diagnostics=[diag])
-    return check_program(program, solver=solver)
+    """Parse and check a nanoTS source string (one-shot session)."""
+    return Session(solver=solver).check_source(source, filename=filename)

@@ -105,14 +105,15 @@ class Checker:
     """Constraint generation for a whole program."""
 
     def __init__(self, program: ast.Program, diags: DiagnosticBag,
-                 solver: Optional[Solver] = None) -> None:
+                 solver: Optional[Solver] = None,
+                 pool: Optional[QualifierPool] = None) -> None:
         self.program = program
         self.diags = diags
         self.table = ClassTable.from_program(program, diags)
         self.resolver = Resolver(self.table, diags)
         self.constraints = ConstraintSet()
         self.kappas = KappaRegistry()
-        self.pool = QualifierPool()
+        self.pool = pool or QualifierPool()
         self.solver = solver or Solver()
         self.embedder = ExprEmbedder(self.table.enums)
         self.stats = CheckerStats()
@@ -229,7 +230,7 @@ class Checker:
         if sig is None:
             self.diags.warning(ErrorKind.RESOLUTION,
                                f"function {decl.name!r} has no signature; skipped",
-                               decl.span)
+                               decl.span, code="RSC-RES-005")
             return
         overloads = sig.members if isinstance(sig, TInter) else (sig,)
         for overload in overloads:
@@ -319,7 +320,8 @@ class Checker:
                 return
             value_type, env2, term = self._synth(body.value, env)
             self.constraints.add_sub(env2, _with_self(value_type, term), ret,
-                                     "returned expression", body.span)
+                                     "returned expression", body.span,
+                                     code="RSC-SUB-003")
             return
         if isinstance(body, ir.IJoin):
             if join_sink is not None:
@@ -362,7 +364,8 @@ class Checker:
             ann_type = self.resolver.resolve(node.type_ann,
                                              tuple(env.tvars))
             self.constraints.add_sub(env2, bound, ann_type,
-                                     f"initialiser of {node.name!r}", node.span)
+                                     f"initialiser of {node.name!r}", node.span,
+                                     code="RSC-SUB-004")
             bound = _with_self(ann_type, term if term is not None else Var(node.name))
         env3 = env2.bind(node.name, bound)
         self._check_body(node.rest, env3, ret, join_sink)
@@ -386,7 +389,8 @@ class Checker:
                         value_type = join_env.lookup(value_name) or TPrim(name="any")
                         self.constraints.add_sub(
                             join_env, selfify(value_type, Var(value_name)), template,
-                            f"phi variable {phi.source_name!r}", node.span)
+                            f"phi variable {phi.source_name!r}", node.span,
+                            code="RSC-SUB-005")
             for phi, template in zip(node.phis, templates):
                 env_after = env_after.bind(phi.name,
                                            selfify(template, Var(phi.name)))
@@ -427,7 +431,8 @@ class Checker:
             templates.append(template)
             self.constraints.add_sub(env, selfify(init_type, Var(phi.init_name)),
                                      template,
-                                     f"loop entry for {phi.source_name!r}", node.span)
+                                     f"loop entry for {phi.source_name!r}",
+                                     node.span, code="RSC-SUB-005")
         loop_env = env
         for phi, template in zip(node.phis, templates):
             loop_env = loop_env.bind(phi.name, selfify(template, Var(phi.name)))
@@ -442,7 +447,8 @@ class Checker:
                 value_type = join_env.lookup(value_name) or TPrim(name="any")
                 self.constraints.add_sub(
                     join_env, selfify(value_type, Var(value_name)), template,
-                    f"loop back-edge for {phi.source_name!r}", node.span)
+                    f"loop back-edge for {phi.source_name!r}", node.span,
+                    code="RSC-SUB-005")
         env_after = loop_env_c.guard(guard_false)
         self._check_body(node.rest, env_after, ret, join_sink)
 
@@ -474,18 +480,20 @@ class Checker:
             if fld is None:
                 self.diags.error(ErrorKind.RESOLUTION,
                                  f"class {inner.name!r} has no field "
-                                 f"{node.field_name!r}", node.span)
+                                 f"{node.field_name!r}", node.span,
+                                 code="RSC-RES-003")
                 return env3
             if fld.immutable and not (self._in_constructor and is_this):
                 self.diags.error(ErrorKind.MUTABILITY,
                                  f"cannot assign to immutable field "
                                  f"{node.field_name!r} outside the constructor",
-                                 node.span)
+                                 node.span, code="RSC-MUT-001")
             if not inner.mutability.allows_write and \
                     not (self._in_constructor and is_this):
                 self.diags.error(ErrorKind.MUTABILITY,
                                  f"cannot mutate field {node.field_name!r} through "
-                                 f"a {inner.mutability} reference", node.span)
+                                 f"a {inner.mutability} reference", node.span,
+                                 code="RSC-MUT-002")
             expected = fld.type
             if target_term is not None:
                 expected = subst_terms(expected, {"this": target_term})
@@ -493,7 +501,7 @@ class Checker:
                                      _with_self(value_type, value_term),
                                      expected,
                                      f"assignment to field {node.field_name!r}",
-                                     node.span)
+                                     node.span, code="RSC-SUB-004")
             # Inside a constructor, record the exact value of the field so later
             # field refinements (e.g. grid<this.w, this.h>) can be established.
             if self._in_constructor and is_this and value_term is not None:
@@ -504,7 +512,7 @@ class Checker:
                 self.constraints.add_sub(env3, _with_self(value_type, value_term),
                                          ftype,
                                          f"assignment to field {node.field_name!r}",
-                                         node.span)
+                                         node.span, code="RSC-SUB-004")
         return env3
 
     def _check_setindex(self, node: ir.ISetIndex, env: Env) -> None:
@@ -516,15 +524,18 @@ class Checker:
             if not inner.mutability.allows_write:
                 self.diags.error(ErrorKind.MUTABILITY,
                                  "cannot write through an immutable/read-only "
-                                 "array reference", node.span)
+                                 "array reference", node.span,
+                                 code="RSC-MUT-002")
             self._array_bounds(env4, target_term, index_type, index_term, node.span)
             self.constraints.add_sub(env4, _with_self(value_type, value_term),
-                                     inner.elem, "array element write", node.span)
+                                     inner.elem, "array element write", node.span,
+                                     code="RSC-SUB-004")
         elif isinstance(inner, TPrim) and inner.name == "any":
             pass
         else:
             self.constraints.add_dead_code(env4, "indexed write into a non-array",
-                                           node.span, ErrorKind.BOUNDS)
+                                           node.span, ErrorKind.BOUNDS,
+                                           code="RSC-BND-003")
 
     # ------------------------------------------------------------------
     # expression synthesis
@@ -555,7 +566,7 @@ class Checker:
             t = env.lookup("this")
             if t is None:
                 self.diags.error(ErrorKind.RESOLUTION, "`this` used outside a class",
-                                 expr.span)
+                                 expr.span, code="RSC-RES-002")
                 return TPrim(name="any"), env, term
             return selfify(t, Var("this")), env, term
         if isinstance(expr, ast.VarRef):
@@ -601,7 +612,7 @@ class Checker:
             if name == "Math":
                 return TObject(fields={}, mutability=Mutability.READONLY), env, None
             self.diags.error(ErrorKind.RESOLUTION, f"unbound variable {name!r}",
-                             expr.span)
+                             expr.span, code="RSC-RES-002")
             return TPrim(name="any"), env, term
         return selfify(t, Var(name)), env, term
 
@@ -688,7 +699,8 @@ class Checker:
                     sig = subst_terms(sig, {"this": target_term})
                 return sig, env2, None
             self.diags.error(ErrorKind.RESOLUTION,
-                             f"{inner.name!r} has no member {expr.name!r}", expr.span)
+                             f"{inner.name!r} has no member {expr.name!r}",
+                             expr.span, code="RSC-RES-003")
             return TPrim(name="any"), env2, None
         if isinstance(inner, TObject):
             if expr.name in inner.fields:
@@ -703,7 +715,7 @@ class Checker:
             self.constraints.add_dead_code(env2,
                                            f"property access {expr.name!r} on "
                                            f"{inner.name}", expr.span,
-                                           ErrorKind.BOUNDS)
+                                           ErrorKind.BOUNDS, code="RSC-BND-002")
             return TPrim(name="any"), env2, None
         if isinstance(inner, TUnion):
             # accessing a member of a union requires the undefined/null parts
@@ -717,7 +729,7 @@ class Checker:
                             hyps, ne(builtins.ttag_of(target_term),
                                      StrLit("undefined")),
                             f"possibly-undefined receiver for {expr.name!r}",
-                            expr.span, ErrorKind.BOUNDS)
+                            expr.span, ErrorKind.BOUNDS, code="RSC-BND-002")
             non_null = [m for m in inner.members
                         if m.base_name() not in ("undefined", "null")]
             if len(non_null) == 1:
@@ -761,7 +773,7 @@ class Checker:
             # indexable class (e.g. a map-like interface): element type unknown
             return TPrim(name="any"), env3, None
         self.constraints.add_dead_code(env3, "indexing a non-array value", expr.span,
-                                       ErrorKind.BOUNDS)
+                                       ErrorKind.BOUNDS, code="RSC-BND-003")
         return TPrim(name="any"), env3, None
 
     def _array_bounds(self, env: Env, array_term: Optional[Expr],
@@ -774,17 +786,17 @@ class Checker:
             hyps.append(embed(index_type, VALUE_VAR))
         self.constraints.add_implication(hyps, le(IntLit(0), index),
                                          "array index lower bound", span,
-                                         ErrorKind.BOUNDS)
+                                         ErrorKind.BOUNDS, code="RSC-BND-001")
         if array_term is not None:
             self.constraints.add_implication(hyps,
                                              lt(index, builtins.len_of(array_term)),
                                              "array index upper bound", span,
-                                             ErrorKind.BOUNDS)
+                                             ErrorKind.BOUNDS, code="RSC-BND-001")
         else:
             self.constraints.add_implication(hyps, BoolLit(False),
                                              "array index upper bound "
                                              "(unknown array length)", span,
-                                             ErrorKind.BOUNDS)
+                                             ErrorKind.BOUNDS, code="RSC-BND-001")
 
     # -- calls -----------------------------------------------------------------------
 
@@ -797,7 +809,8 @@ class Checker:
             _t, env2, _ = self._synth(arg, env)
             pred = self.embedder.predicate(arg)
             self.constraints.add_implication(env2.hypotheses(), pred,
-                                             "assert", expr.span, ErrorKind.OVERLOAD)
+                                             "assert", expr.span, ErrorKind.OVERLOAD,
+                                             code="RSC-OVR-002")
             return void(), env2, None
         if isinstance(callee, ast.VarRef) and callee.name == "assume":
             return void(), env, None
@@ -826,7 +839,7 @@ class Checker:
                 _t, env2, _ = self._synth(arg, env2)
             return TPrim(name="any"), env2, None
         self.constraints.add_dead_code(env2, "calling a non-function value",
-                                       expr.span)
+                                       expr.span, code="RSC-BND-003")
         return TPrim(name="any"), env2, None
 
     def _synth_method_call(self, expr: ast.Call, callee: ast.Member, env: Env
@@ -839,7 +852,7 @@ class Checker:
                     not inner.mutability.allows_write:
                 self.diags.error(ErrorKind.MUTABILITY,
                                  f"array method {name!r} requires a mutable receiver",
-                                 expr.span)
+                                 expr.span, code="RSC-MUT-003")
             sig = prelude.array_method(name, inner.elem, target_term,
                                        inner.mutability)
             if sig is None:
@@ -856,14 +869,15 @@ class Checker:
             method = self.table.lookup_method(inner.name, name)
             if method is None:
                 self.diags.error(ErrorKind.RESOLUTION,
-                                 f"{inner.name!r} has no method {name!r}", expr.span)
+                                 f"{inner.name!r} has no method {name!r}",
+                                 expr.span, code="RSC-RES-003")
                 return TPrim(name="any"), env2, None
             if not inner.mutability.is_subtype_of(method.receiver_mutability):
                 self.diags.error(ErrorKind.MUTABILITY,
                                  f"method {name!r} requires a "
                                  f"{method.receiver_mutability} receiver but was "
                                  f"called on a {inner.mutability} reference",
-                                 expr.span)
+                                 expr.span, code="RSC-MUT-003")
             sig = method.signature
             if target_term is not None:
                 sig = subst_terms(sig, {"this": target_term})
@@ -944,7 +958,8 @@ class Checker:
             if index >= len(args):
                 # missing argument: undefined must be acceptable
                 self.constraints.add_sub(env_cur, undefined_t(), expected,
-                                         f"missing argument {param.name!r}", span)
+                                         f"missing argument {param.name!r}", span,
+                                         code="RSC-SUB-002")
                 continue
             closure = closures[index]
             _eb, expected_inner = unpack_exists(expected)
@@ -961,7 +976,8 @@ class Checker:
             assert actual is not None
             self.constraints.add_sub(env_cur,
                                      _with_self(actual, arg_terms[index]), expected,
-                                     f"argument for {param.name!r}", span)
+                                     f"argument for {param.name!r}", span,
+                                     code="RSC-SUB-002")
 
         result = subst_terms(fun.ret, param_subst)
         return result, env_cur, None
@@ -1029,7 +1045,8 @@ class Checker:
         info = self.table.classes.get(expr.class_name)
         if info is None or info.is_interface:
             self.diags.error(ErrorKind.RESOLUTION,
-                             f"unknown class {expr.class_name!r}", expr.span)
+                             f"unknown class {expr.class_name!r}", expr.span,
+                             code="RSC-RES-004")
             return TPrim(name="any"), env, None
         ctor = info.constructor
         env_cur = env
@@ -1050,11 +1067,13 @@ class Checker:
                 if index < len(arg_types):
                     self.constraints.add_sub(
                         env_cur, _with_self(arg_types[index], arg_terms[index]),
-                        expected, f"constructor argument {param.name!r}", expr.span)
+                        expected, f"constructor argument {param.name!r}",
+                        expr.span, code="RSC-SUB-002")
                 else:
                     self.constraints.add_sub(env_cur, undefined_t(), expected,
                                              f"missing constructor argument "
-                                             f"{param.name!r}", expr.span)
+                                             f"{param.name!r}", expr.span,
+                                             code="RSC-SUB-002")
             # exact-value facts for immutable fields assigned from parameters
             for fname, pname in info.ctor_field_params.items():
                 fld = info.fields.get(fname)
@@ -1086,7 +1105,7 @@ class Checker:
             if goal.is_true():
                 continue
             self.constraints.add_implication(hyps, goal, "downcast", expr.span,
-                                             ErrorKind.CAST)
+                                             ErrorKind.CAST, code="RSC-CAST-001")
         result = target_type
         if isinstance(target_inner, TRef) and isinstance(
                 unpack_exists(value_type)[1], TRef):

@@ -1,0 +1,92 @@
+"""Configuration for a checking session.
+
+A :class:`CheckConfig` captures everything that varies between checking
+runs — fixpoint budget, qualifier-pool selection, SMT solver options and
+output preferences — so that a :class:`repro.core.session.Session` can be
+constructed once and reused across many files.  Configs are immutable;
+derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+#: Qualifier-pool selections understood by :class:`CheckConfig`.
+QUALIFIER_SETS: Tuple[str, ...] = ("default", "harvested")
+
+#: Output formats understood by :class:`CheckConfig` and the CLI.
+OUTPUT_FORMATS: Tuple[str, ...] = ("text", "json")
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Options forwarded to the SMT substrate (:class:`repro.smt.Solver`)."""
+
+    max_theory_iterations: int = 5000
+    cache_results: bool = True
+    cache_size_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_theory_iterations < 1:
+            raise ValueError("max_theory_iterations must be positive")
+        if self.cache_size_limit < 0:
+            raise ValueError("cache_size_limit must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_theory_iterations": self.max_theory_iterations,
+            "cache_results": self.cache_results,
+            "cache_size_limit": self.cache_size_limit,
+        }
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Immutable configuration shared by every check in a session.
+
+    * ``max_fixpoint_iterations`` — budget for the liquid fixpoint loop.
+    * ``warnings_as_errors`` — promote warnings to errors in the verdict.
+    * ``qualifier_set`` — ``"default"`` (built-in pool plus qualifiers
+      harvested from the program) or ``"harvested"`` (program-derived
+      qualifiers only; useful to measure how much the built-ins contribute).
+    * ``solver`` — SMT substrate options (:class:`SolverOptions`).
+    * ``output_format`` — ``"text"`` or ``"json"`` (the CLI default).
+    * ``jobs`` — worker count used by batch entry points; each extra worker
+      checks with its own solver, so cache amortisation is per worker.
+    """
+
+    max_fixpoint_iterations: int = 40
+    warnings_as_errors: bool = False
+    qualifier_set: str = "default"
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    output_format: str = "text"
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_fixpoint_iterations < 1:
+            raise ValueError("max_fixpoint_iterations must be positive")
+        if self.qualifier_set not in QUALIFIER_SETS:
+            raise ValueError(
+                f"unknown qualifier_set {self.qualifier_set!r} "
+                f"(expected one of {', '.join(QUALIFIER_SETS)})")
+        if self.output_format not in OUTPUT_FORMATS:
+            raise ValueError(
+                f"unknown output_format {self.output_format!r} "
+                f"(expected one of {', '.join(OUTPUT_FORMATS)})")
+        if self.jobs < 1:
+            raise ValueError("jobs must be positive")
+
+    def with_options(self, **changes) -> "CheckConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_fixpoint_iterations": self.max_fixpoint_iterations,
+            "warnings_as_errors": self.warnings_as_errors,
+            "qualifier_set": self.qualifier_set,
+            "solver": self.solver.to_dict(),
+            "output_format": self.output_format,
+            "jobs": self.jobs,
+        }

@@ -34,6 +34,7 @@ class SubC:
     reason: str
     span: SourceSpan = field(default_factory=SourceSpan.unknown)
     kind: ErrorKind = ErrorKind.SUBTYPE
+    code: Optional[str] = None
 
 
 @dataclass
@@ -45,6 +46,7 @@ class Implication:
     reason: str
     span: SourceSpan = field(default_factory=SourceSpan.unknown)
     kind: ErrorKind = ErrorKind.SUBTYPE
+    code: Optional[str] = None
 
     def is_dead_code_obligation(self) -> bool:
         return isinstance(self.goal, BoolLit) and self.goal.value is False
@@ -62,21 +64,26 @@ class ConstraintSet:
 
     def add_sub(self, env: Env, lhs: RType, rhs: RType, reason: str,
                 span: Optional[SourceSpan] = None,
-                kind: ErrorKind = ErrorKind.SUBTYPE) -> None:
+                kind: ErrorKind = ErrorKind.SUBTYPE,
+                code: Optional[str] = None) -> None:
         self.subtypings.append(SubC(env, lhs, rhs, reason,
-                                    span or SourceSpan.unknown(), kind))
+                                    span or SourceSpan.unknown(), kind, code))
 
     def add_implication(self, hyps: List[Expr], goal: Expr, reason: str,
                         span: Optional[SourceSpan] = None,
-                        kind: ErrorKind = ErrorKind.SUBTYPE) -> None:
+                        kind: ErrorKind = ErrorKind.SUBTYPE,
+                        code: Optional[str] = None) -> None:
         self.implications.append(Implication(list(hyps), goal, reason,
-                                             span or SourceSpan.unknown(), kind))
+                                             span or SourceSpan.unknown(), kind,
+                                             code))
 
     def add_dead_code(self, env: Env, reason: str,
                       span: Optional[SourceSpan] = None,
-                      kind: ErrorKind = ErrorKind.OVERLOAD) -> None:
+                      kind: ErrorKind = ErrorKind.OVERLOAD,
+                      code: Optional[str] = None) -> None:
         """Require that ``env`` is inconsistent (the program point is dead)."""
-        self.add_implication(env.hypotheses(), BoolLit(False), reason, span, kind)
+        self.add_implication(env.hypotheses(), BoolLit(False), reason, span,
+                             kind, code)
 
     def extend(self, other: "ConstraintSet") -> None:
         self.subtypings.extend(other.subtypings)

@@ -103,7 +103,10 @@ class QualifierPool:
     """The set of qualifiers available for a checking run."""
 
     def __init__(self, qualifiers: Optional[Iterable[Qualifier]] = None) -> None:
-        self.qualifiers: List[Qualifier] = list(qualifiers or default_qualifiers())
+        # an explicitly empty iterable means "no built-ins" (harvested-only
+        # runs), so only None selects the default pool
+        self.qualifiers: List[Qualifier] = list(
+            default_qualifiers() if qualifiers is None else qualifiers)
         self._seen: Set[str] = {str(q.template) for q in self.qualifiers}
 
     def add(self, qualifier: Qualifier) -> None:

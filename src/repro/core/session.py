@@ -1,0 +1,363 @@
+"""The session-based checking pipeline — the primary public API.
+
+A :class:`Session` owns one long-lived :class:`repro.smt.Solver` whose
+query/result cache is reused across every program checked through it, so
+batch runs (benchmark suites, whole projects, generate-and-check loops)
+amortise repeated verification conditions instead of rebuilding a solver
+per file.
+
+The pipeline is explicit and inspectable.  Each stage returns an artifact
+object that the next stage consumes, and wall-clock time is recorded per
+stage in a :class:`repro.core.result.StageTimings`::
+
+    session = Session(CheckConfig(max_fixpoint_iterations=60))
+    parsed  = session.parse(source, "a.rsc")   # -> ParseStage (AST)
+    ssa     = session.ssa(parsed)              # -> SsaStage   (IRSC bodies)
+    cons    = session.constraints(ssa)         # -> ConstraintsStage
+    solved  = session.solve(cons)              # -> SolveStage (kappa solution)
+    result  = session.verify(solved)           # -> CheckResult
+
+For the common cases the batch entry points drive all five stages::
+
+    result = session.check_source(source)          # one string
+    result = session.check_file("a.rsc")           # one file
+    batch  = session.check_files(paths, jobs=4)    # many files
+    batch  = session.check_project("benchmarks")   # a directory tree
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import (
+    Diagnostic,
+    DiagnosticBag,
+    ErrorKind,
+    ParseError,
+    Severity,
+    SourceSpan,
+)
+from repro.lang import ast, parse_program
+from repro.smt.solver import Solver, SolverStats
+from repro.ssa import ir
+from repro.ssa.transform import SsaTransformer
+from repro.core.checker import Checker
+from repro.core.config import CheckConfig
+from repro.core.liquid.fixpoint import LiquidSolver, Solution
+from repro.core.liquid.qualifiers import QualifierPool
+from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.subtype import SubtypeSplitter
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _check_chunk(config: CheckConfig, paths: List[str]) -> tuple:
+    """Process-pool worker: check a chunk of files in a fresh session."""
+    session = Session(config)
+    results = [Session._checked(pathlib.Path(p), session) for p in paths]
+    return results, session.solver.stats, session.files_checked
+
+
+# ---------------------------------------------------------------------------
+# stage artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParseStage:
+    """Output of :meth:`Session.parse`: the AST (or a parse diagnostic)."""
+
+    source: str
+    filename: str
+    program: Optional[ast.Program]
+    diagnostics: List[Diagnostic]
+    timings: StageTimings
+
+    @property
+    def ok(self) -> bool:
+        return self.program is not None
+
+
+@dataclass
+class SsaStage:
+    """Output of :meth:`Session.ssa`: SSA/IRSC bodies keyed by function name.
+
+    Purely inspectable — the checker re-derives SSA per callable while
+    generating constraints — but handy for debugging transforms and for
+    tooling that wants the intermediate representation.
+    """
+
+    parse: ParseStage
+    functions: Dict[str, ir.IRFunction]
+    timings: StageTimings
+
+    @property
+    def filename(self) -> str:
+        return self.parse.filename
+
+
+@dataclass
+class ConstraintsStage:
+    """Output of :meth:`Session.constraints`: the constraint system."""
+
+    parse: ParseStage
+    checker: Checker
+    diags: DiagnosticBag
+    stats_base: SolverStats
+    timings: StageTimings
+
+    @property
+    def num_subtypings(self) -> int:
+        return len(self.checker.constraints.subtypings)
+
+    @property
+    def num_implications(self) -> int:
+        return len(self.checker.constraints.implications)
+
+
+@dataclass
+class SolveStage:
+    """Output of :meth:`Session.solve`: the liquid fixpoint solution."""
+
+    constraints: ConstraintsStage
+    liquid: LiquidSolver
+    solution: Solution
+    timings: StageTimings
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """A reusable checking pipeline sharing one solver across programs."""
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 solver: Optional[Solver] = None) -> None:
+        self.config = config or CheckConfig()
+        opts = self.config.solver
+        self.solver = solver or Solver(
+            max_theory_iterations=opts.max_theory_iterations,
+            cache_results=opts.cache_results,
+            cache_size_limit=opts.cache_size_limit)
+        self.files_checked = 0
+
+    # -- staged pipeline ---------------------------------------------------
+
+    def parse(self, source: str, filename: str = "<input>") -> ParseStage:
+        """Stage 1: lex and parse ``source`` into an AST."""
+        timings = StageTimings()
+        start = time.perf_counter()
+        program: Optional[ast.Program] = None
+        diagnostics: List[Diagnostic] = []
+        try:
+            program = parse_program(source, filename)
+        except ParseError as exc:
+            span = exc.span
+            if span.filename != filename:
+                # a ParseError raised without a span would otherwise lose the
+                # file being checked
+                span = span.with_filename(filename)
+            diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message, span,
+                                          code="RSC-PARSE-001"))
+        timings.record("parse", time.perf_counter() - start)
+        return ParseStage(source, filename, program, diagnostics, timings)
+
+    def ssa(self, parsed: ParseStage) -> SsaStage:
+        """Stage 2: SSA-convert every callable body (inspectable IRSC)."""
+        if parsed.program is None:
+            raise ValueError("cannot run the ssa stage on a failed parse")
+        start = time.perf_counter()
+        functions: Dict[str, ir.IRFunction] = {}
+        for decl in parsed.program.declarations:
+            if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
+                functions[decl.name] = SsaTransformer().function(decl)
+            elif isinstance(decl, ast.ClassDecl):
+                for method in decl.methods:
+                    if method.body is None:
+                        continue
+                    wrapped = ast.FunctionDecl(
+                        name=f"{decl.name}.{method.sig.name}",
+                        params=method.sig.params, ret=method.sig.ret,
+                        body=method.body, span=method.sig.span)
+                    functions[wrapped.name] = SsaTransformer().function(wrapped)
+        parsed.timings.record("ssa", time.perf_counter() - start)
+        return SsaStage(parsed, functions, parsed.timings)
+
+    def constraints(self, stage: Union[ParseStage, SsaStage]) -> ConstraintsStage:
+        """Stage 3: generate and flatten the subtyping constraints."""
+        parsed = stage.parse if isinstance(stage, SsaStage) else stage
+        if parsed.program is None:
+            raise ValueError("cannot generate constraints on a failed parse")
+        stats_base = self.solver.stats.copy()
+        start = time.perf_counter()
+        diags = DiagnosticBag()
+        diags.extend(parsed.diagnostics)
+        checker = Checker(parsed.program, diags, self.solver,
+                          pool=self._new_pool())
+        checker.run()
+        splitter = SubtypeSplitter(checker.table, checker.constraints)
+        for constraint in list(checker.constraints.subtypings):
+            splitter.split(constraint)
+        parsed.timings.record("constraints", time.perf_counter() - start)
+        return ConstraintsStage(parsed, checker, diags, stats_base,
+                                parsed.timings)
+
+    def solve(self, stage: ConstraintsStage) -> SolveStage:
+        """Stage 4: liquid fixpoint — infer the kappa refinements."""
+        start = time.perf_counter()
+        checker = stage.checker
+        liquid = LiquidSolver(
+            self.solver, checker.pool, checker.kappas,
+            max_iterations=self.config.max_fixpoint_iterations)
+        solution = liquid.solve(checker.constraints.implications)
+        stage.timings.record("solve", time.perf_counter() - start)
+        return SolveStage(stage, liquid, solution, stage.timings)
+
+    def verify(self, stage: SolveStage) -> CheckResult:
+        """Stage 5: discharge the concrete obligations, build the verdict."""
+        start = time.perf_counter()
+        cons = stage.constraints
+        checker = cons.checker
+        results = stage.liquid.check_concrete(
+            checker.constraints.implications, stage.solution)
+        for implication, ok in results:
+            if ok:
+                continue
+            cons.diags.error(implication.kind, implication.reason,
+                             implication.span, code=implication.code or "")
+        stage.timings.record("verify", time.perf_counter() - start)
+        diagnostics = list(cons.diags)
+        if self.config.warnings_as_errors:
+            diagnostics = [replace(d, severity=Severity.ERROR)
+                           if d.severity is Severity.WARNING else d
+                           for d in diagnostics]
+        self.files_checked += 1
+        return CheckResult(
+            diagnostics=diagnostics,
+            checker_stats=checker.stats,
+            stats=self.solver.stats.delta_since(cons.stats_base),
+            kappa_solution=stage.solution,
+            num_constraints=len(checker.constraints.subtypings),
+            num_implications=len(checker.constraints.implications),
+            num_obligations_checked=len(results),
+            time_seconds=stage.timings.total,
+            filename=cons.parse.filename,
+            timings=stage.timings,
+        )
+
+    # -- batch entry points ------------------------------------------------
+
+    def check_source(self, source: str, filename: str = "<input>") -> CheckResult:
+        """Run the full pipeline on one nanoTS source string.
+
+        The inspectable :meth:`ssa` stage is skipped here — the checker
+        re-derives SSA per callable while generating constraints, so running
+        it eagerly would only duplicate work (its timing stays 0 unless the
+        staged pipeline is driven explicitly).
+        """
+        parsed = self.parse(source, filename)
+        if not parsed.ok:
+            self.files_checked += 1
+            return CheckResult(diagnostics=list(parsed.diagnostics),
+                               time_seconds=parsed.timings.total,
+                               filename=filename, timings=parsed.timings)
+        return self.verify(self.solve(self.constraints(parsed)))
+
+    def check_program(self, program: ast.Program) -> CheckResult:
+        """Run the pipeline from stage 3 on an already-parsed program."""
+        parsed = ParseStage(source="", filename=program.source_name,
+                            program=program, diagnostics=[],
+                            timings=StageTimings())
+        return self.verify(self.solve(self.constraints(parsed)))
+
+    def check_file(self, path: PathLike) -> CheckResult:
+        """Check one file.  Raises :class:`OSError` if it cannot be read."""
+        path = pathlib.Path(path)
+        return self.check_source(path.read_text(), filename=str(path))
+
+    def check_files(self, paths: Sequence[PathLike],
+                    jobs: Optional[int] = None) -> BatchResult:
+        """Check many files, aggregating diagnostics and solver statistics.
+
+        With ``jobs > 1`` the paths are partitioned over worker sessions,
+        each with its own solver (cache amortisation is then per worker);
+        with the default single job every file shares this session's solver
+        and its cache.
+        """
+        paths = [pathlib.Path(p) for p in paths]
+        jobs = jobs if jobs is not None else self.config.jobs
+        start = time.perf_counter()
+        parallel: Optional[tuple] = None
+        if jobs > 1 and len(paths) > 1:
+            parallel = self._check_files_parallel(paths, min(jobs, len(paths)))
+        if parallel is not None:
+            results, stats = parallel
+        else:
+            base = self.solver.stats.copy()
+            results = [self._checked(p, self) for p in paths]
+            stats = self.solver.stats.delta_since(base)
+        return BatchResult(results=results, stats=stats,
+                           time_seconds=time.perf_counter() - start)
+
+    def _check_files_parallel(self, paths: List[pathlib.Path],
+                              jobs: int) -> Optional[tuple]:
+        """Fan the paths out over worker *processes* (the checker is pure
+        CPU-bound Python, so threads would serialise on the GIL).  Returns
+        None when no process pool can be spawned (restricted environments);
+        the caller then falls back to the sequential shared-cache path."""
+        chunks: List[List[str]] = [[] for _ in range(jobs)]
+        for index, path in enumerate(paths):
+            chunks[index % jobs].append(str(path))
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [pool.submit(_check_chunk, self.config, chunk)
+                           for chunk in chunks]
+                per_chunk = [f.result() for f in futures]
+        except (OSError, RuntimeError, BrokenProcessPool):
+            return None
+        by_path: Dict[str, CheckResult] = {}
+        stats = SolverStats()
+        for results, worker_stats, checked in per_chunk:
+            stats.merge(worker_stats)
+            self.files_checked += checked
+            for result in results:
+                by_path[result.filename] = result
+        return [by_path[str(p)] for p in paths], stats
+
+    def check_project(self, root: PathLike, pattern: str = "**/*.rsc",
+                      jobs: Optional[int] = None) -> BatchResult:
+        """Check every file under ``root`` matching ``pattern``."""
+        files = sorted(pathlib.Path(root).glob(pattern))
+        return self.check_files(files, jobs=jobs)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _checked(path: pathlib.Path, session: "Session") -> CheckResult:
+        try:
+            return session.check_file(path)
+        except OSError as exc:
+            diag = Diagnostic(ErrorKind.INTERNAL, f"cannot read: {exc}",
+                              SourceSpan(filename=str(path)),
+                              code="RSC-INT-001")
+            return CheckResult(diagnostics=[diag], filename=str(path))
+
+    def _new_pool(self) -> QualifierPool:
+        if self.config.qualifier_set == "harvested":
+            return QualifierPool(qualifiers=[])
+        return QualifierPool()
+
+    @property
+    def cache_size(self) -> int:
+        return self.solver.cache_size
+
+    def reset_cache(self) -> None:
+        """Drop the solver's query cache (statistics are kept)."""
+        self.solver._cache.clear()

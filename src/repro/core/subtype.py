@@ -77,14 +77,15 @@ class SubtypeSplitter:
         if isinstance(lhs, TUnion):
             for member in lhs.members:
                 self.split(SubC(env, _carry(member, lhs), rhs, c.reason, c.span,
-                                c.kind))
+                                c.kind, c.code))
             return
         if isinstance(rhs, TUnion):
             target = _matching_member(lhs, rhs)
             if target is None:
                 self._mismatch(env, lhs, rhs, c)
                 return
-            self.split(SubC(env, lhs, _carry(target, rhs), c.reason, c.span, c.kind))
+            self.split(SubC(env, lhs, _carry(target, rhs), c.reason, c.span,
+                            c.kind, c.code))
             return
 
         if isinstance(lhs, TPrim) and isinstance(rhs, TPrim):
@@ -118,7 +119,7 @@ class SubtypeSplitter:
                     self.constraints.add_dead_code(
                         env, f"mutability {lhs.mutability} is not compatible with "
                              f"{rhs.mutability} ({c.reason})", c.span,
-                        ErrorKind.MUTABILITY)
+                        ErrorKind.MUTABILITY, "RSC-MUT-002")
                 self._leaf(env, lhs, rhs, c)
             elif rhs_info is not None and rhs_info.is_interface:
                 # A class may be used where a structurally-compatible interface
@@ -148,7 +149,8 @@ class SubtypeSplitter:
             return
         if isinstance(lhs, TInter) and isinstance(rhs, TInter):
             for member in rhs.members:
-                self.split(SubC(env, lhs, member, c.reason, c.span, c.kind))
+                self.split(SubC(env, lhs, member, c.reason, c.span, c.kind,
+                                c.code))
             return
 
         self._mismatch(env, lhs, rhs, c)
@@ -162,7 +164,8 @@ class SubtypeSplitter:
         hyps = env.hypotheses()
         hyps.append(embed(lhs, VALUE_VAR))
         for goal in conjuncts(rhs.pred):
-            self.constraints.add_implication(hyps, goal, c.reason, c.span, c.kind)
+            self.constraints.add_implication(hyps, goal, c.reason, c.span, c.kind,
+                                             c.code)
 
     def _mismatch(self, env: Env, lhs: RType, rhs: RType, c: SubC) -> None:
         """Two-phase typing: a base-type mismatch is acceptable exactly when
@@ -173,21 +176,22 @@ class SubtypeSplitter:
         self.constraints.add_implication(
             hyps, BoolLit(False),
             f"{c.reason}: incompatible types {lhs.base_name()!r} and "
-            f"{rhs.base_name()!r}", c.span, c.kind)
+            f"{rhs.base_name()!r}", c.span, c.kind, c.code)
 
     def _split_array(self, env: Env, lhs: TArray, rhs: TArray, c: SubC) -> None:
         if not lhs.mutability.is_subtype_of(rhs.mutability):
             self.constraints.add_dead_code(
                 env, f"array mutability {lhs.mutability} is not compatible with "
-                     f"{rhs.mutability} ({c.reason})", c.span, ErrorKind.MUTABILITY)
+                     f"{rhs.mutability} ({c.reason})", c.span, ErrorKind.MUTABILITY,
+                "RSC-MUT-002")
         self._leaf(env, lhs, rhs, c)
         self.split(SubC(env, lhs.elem, rhs.elem, c.reason + " (array elements)",
-                        c.span, c.kind))
+                        c.span, c.kind, c.code))
         if rhs.mutability.allows_write:
             # writes through the supertype view flow back: invariance
             self.split(SubC(env, rhs.elem, lhs.elem,
                             c.reason + " (mutable array elements, contravariant)",
-                            c.span, c.kind))
+                            c.span, c.kind, c.code))
 
     def _split_object(self, env: Env, lhs: RType, rhs: TObject, c: SubC) -> None:
         self._leaf(env, lhs, rhs, c)
@@ -203,7 +207,8 @@ class SubtypeSplitter:
                 self._mismatch(env, lhs, rhs, c)
                 return
             self.split(SubC(env, lhs_fields[name][1], ftype,
-                            c.reason + f" (field {name!r})", c.span, c.kind))
+                            c.reason + f" (field {name!r})", c.span, c.kind,
+                            c.code))
 
     def _split_structural_ref(self, env: Env, lhs: TRef, rhs: TRef, c: SubC) -> None:
         """Width subtyping of a class against a structurally-compatible
@@ -217,7 +222,8 @@ class SubtypeSplitter:
                 self._mismatch(env, lhs, rhs, c)
                 return
             self.split(SubC(env, lhs_fields[name].type, fld.type,
-                            c.reason + f" (field {name!r})", c.span, c.kind))
+                            c.reason + f" (field {name!r})", c.span, c.kind,
+                            c.code))
         self._leaf(env, lhs, rhs, c)
 
     def _split_object_nominal(self, env: Env, lhs: TObject, rhs: TRef, c: SubC) -> None:
@@ -233,7 +239,8 @@ class SubtypeSplitter:
                 self._mismatch(env, lhs, rhs, c)
                 return
             self.split(SubC(env, lhs.fields[name][1], fld.type,
-                            c.reason + f" (field {name!r})", c.span, c.kind))
+                            c.reason + f" (field {name!r})", c.span, c.kind,
+                            c.code))
         self._leaf(env, lhs, rhs, c)
 
     def _split_fun(self, env: Env, lhs: TFun, rhs: TFun, c: SubC) -> None:
@@ -252,10 +259,11 @@ class SubtypeSplitter:
         for lp, rp in zip(lhs.params, rhs.params):
             lhs_param = subst_terms(lp.type, renaming)
             self.split(SubC(inner, rp.type, lhs_param,
-                            c.reason + f" (parameter {rp.name!r})", c.span, c.kind))
+                            c.reason + f" (parameter {rp.name!r})", c.span,
+                            c.kind, c.code))
         lhs_ret = subst_terms(lhs.ret, renaming)
         self.split(SubC(inner, lhs_ret, rhs.ret, c.reason + " (result)",
-                        c.span, c.kind))
+                        c.span, c.kind, c.code))
 
 
 def _carry(member: RType, parent: RType) -> RType:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,14 @@ class SourceSpan:
     @staticmethod
     def unknown() -> "SourceSpan":
         return SourceSpan()
+
+    def with_filename(self, filename: str) -> "SourceSpan":
+        return SourceSpan(self.line, self.col, self.end_line, self.end_col,
+                          filename)
+
+    def to_dict(self) -> dict:
+        return {"file": self.filename, "line": self.line, "col": self.col,
+                "end_line": self.end_line, "end_col": self.end_col}
 
 
 class Severity(Enum):
@@ -54,17 +62,151 @@ class ErrorKind(Enum):
     INTERNAL = "internal"
 
 
+#: Fallback diagnostic code for each :class:`ErrorKind` (used when a call
+#: site does not attach a more specific code).
+DEFAULT_CODES: Dict[ErrorKind, str] = {
+    ErrorKind.PARSE: "RSC-PARSE-001",
+    ErrorKind.RESOLUTION: "RSC-RES-001",
+    ErrorKind.WELLFORMED: "RSC-WF-001",
+    ErrorKind.SUBTYPE: "RSC-SUB-001",
+    ErrorKind.MUTABILITY: "RSC-MUT-001",
+    ErrorKind.OVERLOAD: "RSC-OVR-001",
+    ErrorKind.CAST: "RSC-CAST-001",
+    ErrorKind.BOUNDS: "RSC-BND-001",
+    ErrorKind.INITIALIZATION: "RSC-INIT-001",
+    ErrorKind.INTERNAL: "RSC-INT-001",
+}
+
+#: Stable error-code catalog: code -> (one-line summary, longer explanation).
+#: Codes are part of the public API: tools may match on them, so existing
+#: codes must never be renumbered (add new ones instead).
+ERROR_CATALOG: Dict[str, tuple] = {
+    "RSC-PARSE-001": (
+        "syntax error",
+        "The source file is not well-formed nanoTS and could not be parsed. "
+        "The span points at the offending token."),
+    "RSC-RES-001": (
+        "name resolution failed",
+        "A name, member or type could not be resolved in the current scope."),
+    "RSC-RES-002": (
+        "unbound variable",
+        "A variable is used that is neither a parameter, a local, a declared "
+        "global nor a known function."),
+    "RSC-RES-003": (
+        "unknown member",
+        "The receiver's type has no field or method with this name."),
+    "RSC-RES-004": (
+        "unknown class or interface",
+        "A `new` expression or type annotation refers to a class that is not "
+        "defined (or instantiates an interface)."),
+    "RSC-RES-005": (
+        "missing signature",
+        "A function has no `spec` signature and none could be inferred; its "
+        "body is skipped."),
+    "RSC-WF-001": (
+        "ill-formed type",
+        "A type annotation is not well-formed (e.g. a refinement mentions "
+        "variables that are not in scope)."),
+    "RSC-SUB-001": (
+        "subtyping obligation failed",
+        "A value flows into a context whose refinement type it cannot be "
+        "proven to satisfy."),
+    "RSC-SUB-002": (
+        "argument does not satisfy parameter type",
+        "At a call site, an argument could not be proven to satisfy the "
+        "declared (possibly dependent) parameter type."),
+    "RSC-SUB-003": (
+        "returned expression does not satisfy return type",
+        "The value returned by a function body could not be proven to "
+        "satisfy the declared return type."),
+    "RSC-SUB-004": (
+        "initialiser/assignment violates declared type",
+        "The right-hand side of a declaration or assignment could not be "
+        "proven to satisfy the annotated type."),
+    "RSC-SUB-005": (
+        "loop or join invariant not preserved",
+        "A phi variable at a control-flow join (including loop back-edges) "
+        "does not preserve the inferred invariant template."),
+    "RSC-MUT-001": (
+        "write to immutable field",
+        "An `immutable` field may only be assigned inside its class's "
+        "constructor."),
+    "RSC-MUT-002": (
+        "mutation through a non-mutable reference",
+        "A field or array element is written through a reference whose "
+        "mutability qualifier does not permit writes."),
+    "RSC-MUT-003": (
+        "receiver mutability violation",
+        "A method that requires a mutable (or unique) receiver was invoked "
+        "on a reference with weaker mutability."),
+    "RSC-OVR-001": (
+        "dead-code obligation failed (two-phase overloading)",
+        "Under the selected overload this program point must be unreachable, "
+        "but the environment could not be proven inconsistent."),
+    "RSC-OVR-002": (
+        "assertion not provable",
+        "The argument of `assert(...)` could not be proven from the current "
+        "environment."),
+    "RSC-CAST-001": (
+        "unsafe downcast",
+        "A `<T> e` cast could not be proven safe from the guarding tests on "
+        "the value's tag or flag bits."),
+    "RSC-BND-001": (
+        "array bounds violation",
+        "An array index could not be proven to satisfy 0 <= i < len(a)."),
+    "RSC-BND-002": (
+        "possibly undefined or null access",
+        "A member access has a receiver whose type admits undefined/null and "
+        "that case could not be ruled out."),
+    "RSC-BND-003": (
+        "operation on a non-indexable value",
+        "An indexing or call operation is applied to a value that is not an "
+        "array/function under the current typing."),
+    "RSC-INIT-001": (
+        "initialization error",
+        "A field is read before the constructor has definitely assigned it."),
+    "RSC-INT-001": (
+        "internal checker error",
+        "The checker hit an unexpected state; please report this as a bug."),
+}
+
+
+def explain_code(code: str) -> Optional[tuple]:
+    """Catalog entry ``(summary, detail)`` for ``code``, or None."""
+    return ERROR_CATALOG.get(code.strip().upper())
+
+
 @dataclass
 class Diagnostic:
-    """A single problem discovered by some phase of the checker."""
+    """A single problem discovered by some phase of the checker.
+
+    Every diagnostic carries a stable machine-readable ``code`` (see
+    :data:`ERROR_CATALOG`); when a call site does not supply one the family
+    default for its :class:`ErrorKind` is used.
+    """
 
     kind: ErrorKind
     message: str
     span: SourceSpan = field(default_factory=SourceSpan.unknown)
     severity: Severity = Severity.ERROR
+    code: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            self.code = DEFAULT_CODES[self.kind]
 
     def __str__(self) -> str:
-        return f"{self.span}: {self.severity.value}: [{self.kind.value}] {self.message}"
+        return (f"{self.span}: {self.severity.value}: {self.code} "
+                f"[{self.kind.value}] {self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "kind": self.kind.value,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": self.span.to_dict(),
+        }
 
 
 class RscError(Exception):
@@ -109,12 +251,14 @@ class DiagnosticBag:
         self._items.append(diag)
 
     def error(self, kind: ErrorKind, message: str,
-              span: Optional[SourceSpan] = None) -> None:
-        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(), Severity.ERROR))
+              span: Optional[SourceSpan] = None, code: str = "") -> None:
+        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(),
+                            Severity.ERROR, code))
 
     def warning(self, kind: ErrorKind, message: str,
-                span: Optional[SourceSpan] = None) -> None:
-        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(), Severity.WARNING))
+                span: Optional[SourceSpan] = None, code: str = "") -> None:
+        self.add(Diagnostic(kind, message, span or SourceSpan.unknown(),
+                            Severity.WARNING, code))
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
         for d in diags:

@@ -47,6 +47,7 @@ class SolverStats:
     sat_calls: int = 0
     theory_checks: int = 0
     blocking_clauses: int = 0
+    cache_hits: int = 0
     time_seconds: float = 0.0
 
     def merge(self, other: "SolverStats") -> None:
@@ -56,24 +57,66 @@ class SolverStats:
         self.sat_calls += other.sat_calls
         self.theory_checks += other.theory_checks
         self.blocking_clauses += other.blocking_clauses
+        self.cache_hits += other.cache_hits
         self.time_seconds += other.time_seconds
+
+    def copy(self) -> "SolverStats":
+        return SolverStats(**self.to_dict())
+
+    def delta_since(self, earlier: "SolverStats") -> "SolverStats":
+        """The stats accumulated since the ``earlier`` snapshot was taken."""
+        return SolverStats(
+            queries=self.queries - earlier.queries,
+            valid=self.valid - earlier.valid,
+            invalid=self.invalid - earlier.invalid,
+            sat_calls=self.sat_calls - earlier.sat_calls,
+            theory_checks=self.theory_checks - earlier.theory_checks,
+            blocking_clauses=self.blocking_clauses - earlier.blocking_clauses,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            time_seconds=self.time_seconds - earlier.time_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "valid": self.valid,
+            "invalid": self.invalid,
+            "sat_calls": self.sat_calls,
+            "theory_checks": self.theory_checks,
+            "blocking_clauses": self.blocking_clauses,
+            "cache_hits": self.cache_hits,
+            "time_seconds": self.time_seconds,
+        }
 
 
 class Solver:
-    """A stateless (per query) SMT solver with accumulated statistics."""
+    """A stateless (per query) SMT solver with accumulated statistics.
+
+    The query/result cache is keyed by the (hashable) formula and survives
+    for the lifetime of the solver, so a long-lived solver shared by a
+    :class:`repro.core.session.Session` amortises repeated obligations
+    across many files.
+    """
 
     def __init__(self, max_theory_iterations: int = 5000,
-                 cache_results: bool = True) -> None:
+                 cache_results: bool = True,
+                 cache_size_limit: int = 200_000) -> None:
         self.max_theory_iterations = max_theory_iterations
         self.stats = SolverStats()
         self.cache_results = cache_results
+        self.cache_size_limit = cache_size_limit
         self._cache: dict = {}
 
     # -- public queries ------------------------------------------------------
 
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
     def check(self, formula: Expr) -> Result:
         """Satisfiability of ``formula``."""
         if self.cache_results and formula in self._cache:
+            self.stats.cache_hits += 1
             return self._cache[formula]
         start = time.perf_counter()
         self.stats.queries += 1
@@ -81,7 +124,7 @@ class Solver:
             result = self._check_sat(formula)
         finally:
             self.stats.time_seconds += time.perf_counter() - start
-        if self.cache_results and len(self._cache) < 200_000:
+        if self.cache_results and len(self._cache) < self.cache_size_limit:
             self._cache[formula] = result
         return result
 

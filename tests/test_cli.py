@@ -1,0 +1,175 @@
+"""The subcommand CLI: exit codes, output shaping, JSON format, explain."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXIT_OK, EXIT_UNSAFE, EXIT_USAGE, main
+
+SAFE_SOURCE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+spec get :: (a: number[], i: idx<a>) => number;
+function get(a, i) { return a[i]; }
+"""
+
+UNSAFE_SOURCE = """
+spec get :: (a: number[], i: number) => number;
+function get(a, i) { return a[i]; }
+"""
+
+PARSE_ERROR_SOURCE = "function f( {"
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.rsc"
+    path.write_text(SAFE_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def unsafe_file(tmp_path):
+    path = tmp_path / "unsafe.rsc"
+    path.write_text(UNSAFE_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.rsc"
+    path.write_text(PARSE_ERROR_SOURCE)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_safe_file_exits_zero(self, safe_file):
+        assert main(["check", safe_file]) == EXIT_OK
+
+    def test_unsafe_file_exits_one(self, unsafe_file):
+        assert main(["check", unsafe_file]) == EXIT_UNSAFE
+
+    def test_parse_error_exits_one(self, broken_file):
+        assert main(["check", broken_file]) == EXIT_UNSAFE
+
+    def test_unreadable_file_exits_two(self, tmp_path):
+        assert main(["check", str(tmp_path / "missing.rsc")]) == EXIT_USAGE
+
+    def test_mixed_files_exit_one(self, safe_file, unsafe_file):
+        assert main(["check", safe_file, unsafe_file]) == EXIT_UNSAFE
+
+    def test_legacy_invocation_without_subcommand(self, safe_file):
+        """`python -m repro file.rsc` still works as `check file.rsc`."""
+        assert main([safe_file]) == EXIT_OK
+
+
+class TestTextOutput:
+    def test_verdict_not_duplicated(self, safe_file, capsys):
+        """The old CLI printed `name: SAFE (SAFE: ...)`; the status must
+        appear exactly once per file line now."""
+        main(["check", safe_file])
+        line = capsys.readouterr().out.splitlines()[0]
+        assert line.count("SAFE") == 1
+        assert line.startswith(f"{safe_file}: SAFE")
+
+    def test_diagnostics_printed_by_default(self, unsafe_file, capsys):
+        main(["check", unsafe_file])
+        out = capsys.readouterr().out
+        assert "RSC-BND-001" in out
+        assert "array index" in out
+
+    def test_quiet_suppresses_diagnostics(self, unsafe_file, capsys):
+        main(["check", "--quiet", unsafe_file])
+        out = capsys.readouterr().out
+        assert "array index" not in out
+        assert "UNSAFE" in out
+
+    def test_show_kappas_prints_inferred_refinements(self, tmp_path, capsys):
+        # the quickstart reduce example infers len(a)-based kappas
+        path = tmp_path / "reduce.rsc"
+        path.write_text("""
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+spec reduce :: <A,B>(a: A[], f: (B, A, idx<a>) => B, x: B) => B;
+function reduce(a, f, x) {
+  var res = x;
+  for (var i = 0; i < a.length; i++) {
+    res = f(res, a[i], i);
+  }
+  return res;
+}
+""")
+        assert main(["check", "--show-kappas", str(path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "$k" in out and ":=" in out
+
+    def test_parse_error_carries_filename(self, broken_file, capsys):
+        main(["check", broken_file])
+        out = capsys.readouterr().out
+        assert "RSC-PARSE-001" in out
+        assert "broken.rsc" in out.splitlines()[1]
+
+
+class TestJsonOutput:
+    def test_json_round_trips(self, safe_file, unsafe_file, capsys):
+        code = main(["check", "--format", "json", safe_file, unsafe_file])
+        assert code == EXIT_UNSAFE
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "UNSAFE"
+        assert payload["num_files"] == 2
+        by_name = {entry["file"]: entry for entry in payload["files"]}
+        assert by_name[safe_file]["ok"] is True
+        assert by_name[unsafe_file]["ok"] is False
+
+    def test_json_diagnostics_have_stable_codes(self, unsafe_file, capsys):
+        main(["check", "--format", "json", unsafe_file])
+        payload = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for f in payload["files"] for d in f["diagnostics"]]
+        assert codes and all(c.startswith("RSC-") for c in codes)
+        assert "RSC-BND-001" in codes
+
+    def test_json_includes_timings_and_solver_stats(self, safe_file, capsys):
+        main(["check", "--format", "json", safe_file])
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["files"][0]
+        assert set(entry["timings"]) >= {"parse", "ssa", "constraints",
+                                         "solve", "verify", "total"}
+        assert entry["solver_stats"]["queries"] >= 0
+        assert "cache_hits" in payload["solver_stats"]
+
+
+class TestFlags:
+    def test_jobs_flag_checks_all_files(self, tmp_path, capsys):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"f{index}.rsc"
+            path.write_text(SAFE_SOURCE)
+            paths.append(str(path))
+        assert main(["check", "--jobs", "2", "--format", "json", *paths]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_files"] == 3
+        assert [f["file"] for f in payload["files"]] == paths
+
+    def test_warnings_as_errors_flag(self, tmp_path):
+        # a function without a spec only warns by default
+        path = tmp_path / "warn.rsc"
+        path.write_text("function untyped(x) { return x; }")
+        assert main(["check", str(path)]) == EXIT_OK
+        assert main(["check", "--warnings-as-errors", str(path)]) == EXIT_UNSAFE
+
+
+class TestExplain:
+    def test_known_code(self, capsys):
+        assert main(["explain", "RSC-SUB-003"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "RSC-SUB-003" in out and "return" in out
+
+    def test_lowercase_code_accepted(self, capsys):
+        assert main(["explain", "rsc-bnd-001"]) == EXIT_OK
+        assert "bounds" in capsys.readouterr().out
+
+    def test_unknown_code_exits_two(self, capsys):
+        assert main(["explain", "RSC-NOPE-999"]) == EXIT_USAGE
+
+    def test_listing_all_codes(self, capsys):
+        assert main(["explain"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "RSC-PARSE-001" in out and "RSC-CAST-001" in out

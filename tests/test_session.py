@@ -1,0 +1,222 @@
+"""The session-based pipeline API: stages, timings, cache reuse, config."""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro import CheckConfig, Session, SolverOptions, check_source
+from repro.core.session import ConstraintsStage, ParseStage, SolveStage, SsaStage
+from repro.errors import Severity
+
+SAFE_SOURCE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+spec get :: (a: number[], i: idx<a>) => number;
+function get(a, i) { return a[i]; }
+"""
+
+UNSAFE_SOURCE = """
+spec get :: (a: number[], i: number) => number;
+function get(a, i) { return a[i]; }
+"""
+
+
+class TestStagedPipeline:
+    def test_stages_chain_and_types(self):
+        session = Session()
+        parsed = session.parse(SAFE_SOURCE, "a.rsc")
+        assert isinstance(parsed, ParseStage) and parsed.ok
+        ssa = session.ssa(parsed)
+        assert isinstance(ssa, SsaStage)
+        assert "get" in ssa.functions
+        cons = session.constraints(ssa)
+        assert isinstance(cons, ConstraintsStage)
+        assert cons.num_implications > 0
+        solved = session.solve(cons)
+        assert isinstance(solved, SolveStage)
+        result = session.verify(solved)
+        assert result.ok
+        assert result.filename == "a.rsc"
+
+    def test_constraints_accepts_parse_stage_directly(self):
+        session = Session()
+        cons = session.constraints(session.parse(SAFE_SOURCE))
+        assert session.verify(session.solve(cons)).ok
+
+    def test_per_stage_timings_recorded(self):
+        session = Session()
+        result = session.check_source(SAFE_SOURCE)
+        timings = result.timings
+        assert timings.parse > 0
+        # check_source skips the inspectable ssa stage (the checker re-derives
+        # SSA itself), so its time is only recorded when driven explicitly
+        assert timings.ssa == 0
+        assert timings.constraints > 0
+        assert timings.total == pytest.approx(result.time_seconds)
+        payload = timings.to_dict()
+        assert set(payload) == {"parse", "ssa", "constraints", "solve",
+                                "verify", "total"}
+
+    def test_explicit_ssa_stage_records_its_time(self):
+        session = Session()
+        ssa = session.ssa(session.parse(SAFE_SOURCE))
+        assert ssa.timings.ssa > 0
+
+    def test_ssa_stage_refuses_failed_parse(self):
+        session = Session()
+        parsed = session.parse("function f( {")
+        assert not parsed.ok
+        with pytest.raises(ValueError):
+            session.ssa(parsed)
+
+
+class TestParseErrors:
+    def test_parse_error_carries_filename_and_time(self):
+        result = Session().check_source("function f( {", filename="oops.rsc")
+        assert not result.ok
+        assert result.time_seconds > 0
+        assert result.filename == "oops.rsc"
+        [diag] = result.diagnostics
+        assert diag.code == "RSC-PARSE-001"
+        assert diag.span.filename == "oops.rsc"
+
+    def test_wrapper_check_source_parse_error_also_fixed(self):
+        result = check_source("function f( {", filename="oops.rsc")
+        assert result.time_seconds > 0
+        assert result.diagnostics[0].span.filename == "oops.rsc"
+
+
+class TestSolverReuse:
+    def test_cache_reused_across_files(self):
+        session = Session()
+        first = session.check_source(SAFE_SOURCE, "a.rsc")
+        second = session.check_source(SAFE_SOURCE, "b.rsc")
+        assert first.ok and second.ok
+        assert first.stats.queries > 0
+        assert second.stats.cache_hits > 0
+        assert second.stats.queries < first.stats.queries
+
+    def test_check_files_reports_batch_cache_hits(self, tmp_path):
+        paths = []
+        for name in ("a", "b", "c"):
+            path = tmp_path / f"{name}.rsc"
+            path.write_text(SAFE_SOURCE)
+            paths.append(path)
+        batch = Session().check_files(paths)
+        assert batch.ok
+        assert batch.num_files == 3
+        assert batch.cache_hits > 0
+        assert batch.stats.cache_hits == batch.cache_hits
+
+    def test_parallel_jobs_produce_ordered_results(self, tmp_path):
+        paths = []
+        for index, source in enumerate([SAFE_SOURCE, UNSAFE_SOURCE, SAFE_SOURCE]):
+            path = tmp_path / f"f{index}.rsc"
+            path.write_text(source)
+            paths.append(path)
+        batch = Session().check_files(paths, jobs=2)
+        assert [r.filename for r in batch.results] == [str(p) for p in paths]
+        assert [r.ok for r in batch.results] == [True, False, True]
+
+    def test_check_project_globs_directory(self, tmp_path):
+        (tmp_path / "nested").mkdir()
+        (tmp_path / "a.rsc").write_text(SAFE_SOURCE)
+        (tmp_path / "nested" / "b.rsc").write_text(UNSAFE_SOURCE)
+        (tmp_path / "ignored.txt").write_text("not a benchmark")
+        batch = Session().check_project(tmp_path)
+        assert batch.num_files == 2
+        assert not batch.ok
+
+    def test_unreadable_file_becomes_internal_diagnostic(self, tmp_path):
+        batch = Session().check_files([tmp_path / "missing.rsc"])
+        assert not batch.ok
+        [diag] = batch.results[0].diagnostics
+        assert diag.code == "RSC-INT-001"
+
+
+class TestConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CheckConfig(max_fixpoint_iterations=0)
+        with pytest.raises(ValueError):
+            CheckConfig(qualifier_set="everything")
+        with pytest.raises(ValueError):
+            CheckConfig(output_format="yaml")
+        with pytest.raises(ValueError):
+            CheckConfig(jobs=0)
+        with pytest.raises(ValueError):
+            SolverOptions(max_theory_iterations=0)
+
+    def test_config_is_immutable_but_derivable(self):
+        config = CheckConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.jobs = 4
+        derived = config.with_options(jobs=4, warnings_as_errors=True)
+        assert derived.jobs == 4 and derived.warnings_as_errors
+        assert config.jobs == 1
+
+    def test_warnings_as_errors_changes_verdict(self):
+        source = "function untyped(x) { return x; }"
+        relaxed = Session().check_source(source)
+        assert relaxed.ok and relaxed.warnings
+        strict = Session(CheckConfig(warnings_as_errors=True)).check_source(source)
+        assert not strict.ok
+        assert all(d.severity is Severity.ERROR for d in strict.diagnostics)
+
+    def test_harvested_qualifier_set_still_solves_annotated_code(self):
+        # every qualifier needed by SAFE_SOURCE appears in its annotations,
+        # so the harvested-only pool suffices
+        result = Session(CheckConfig(qualifier_set="harvested")).check_source(
+            SAFE_SOURCE)
+        assert result.ok
+
+    def test_solver_options_forwarded(self):
+        session = Session(CheckConfig(solver=SolverOptions(
+            max_theory_iterations=7, cache_results=False)))
+        assert session.solver.max_theory_iterations == 7
+        assert not session.solver.cache_results
+
+
+class TestResultSerialisation:
+    def test_to_json_round_trips(self):
+        result = Session().check_source(UNSAFE_SOURCE, "u.rsc")
+        payload = json.loads(result.to_json())
+        assert payload["status"] == "UNSAFE"
+        assert payload["file"] == "u.rsc"
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert "RSC-BND-001" in codes
+        spans = [d["span"] for d in payload["diagnostics"]]
+        assert all(s["file"] == "u.rsc" for s in spans)
+
+    def test_batch_to_json(self, tmp_path):
+        path = tmp_path / "a.rsc"
+        path.write_text(SAFE_SOURCE)
+        payload = json.loads(Session().check_files([path]).to_json())
+        assert payload["ok"] is True
+        assert payload["files"][0]["file"] == str(path)
+
+    def test_typed_stats_replaces_untyped_field(self):
+        result = Session().check_source(SAFE_SOURCE)
+        assert result.stats is not None
+        assert result.stats.queries > 0
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = result.solver_stats
+        assert legacy is result.stats
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+class TestBackCompatWrappers:
+    def test_check_source_wrapper_unchanged(self):
+        result = check_source(SAFE_SOURCE)
+        assert result.ok
+        assert result.summary().startswith("SAFE")
+
+    def test_check_program_wrapper(self):
+        from repro import check_program
+        from repro.lang import parse_program
+        program = parse_program(SAFE_SOURCE, "wrapped.rsc")
+        result = check_program(program)
+        assert result.ok
+        assert result.filename == "wrapped.rsc"
