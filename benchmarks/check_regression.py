@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark regresses against the checked-in baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_fixpoint.json \
+        benchmarks/baseline.json [--threshold 0.25] [--time-factor 4.0]
+
+Compares the fixpoint report produced by ``python -m repro bench figure6``
+against ``benchmarks/baseline.json``:
+
+* **queries** — the worklist engine's solve-stage SMT query count is
+  deterministic, so any increase beyond ``--threshold`` (default 25%) over
+  the baseline fails the build.  A benchmark must also still issue fewer
+  queries than the *naive* engine did at baseline time, otherwise the
+  worklist scheduling has silently degenerated.
+* **wall-clock** — CI machines are noisy, so time only fails the build past
+  ``--time-factor`` (default 4x) of the baseline.
+* a benchmark missing from the current report, or reported unsafe, fails.
+
+To refresh the baseline after an intentional change, run the bench locally
+and copy the new numbers in (see README "Performance & benchmarking").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
+    parser.add_argument("baseline", help="benchmarks/baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional query-count increase "
+                             "(default: 0.25)")
+    parser.add_argument("--time-factor", type=float, default=4.0,
+                        help="allowed wall-clock multiple of the baseline "
+                             "(default: 4.0; generous because CI is noisy)")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    current = report.get("benchmarks", {})
+    failures = []
+    for name, base in sorted(baseline.get("benchmarks", {}).items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the current report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: no longer verifies (unsafe)")
+        queries = entry["worklist"]["queries"]
+        allowed = base["worklist_queries"] * (1.0 + args.threshold)
+        if queries > allowed:
+            failures.append(
+                f"{name}: {queries} solve queries, baseline "
+                f"{base['worklist_queries']} (+{args.threshold:.0%} allowed)")
+        if queries >= base["naive_queries"] > 0:
+            failures.append(
+                f"{name}: {queries} solve queries is no better than the "
+                f"naive engine's baseline {base['naive_queries']}")
+        seconds = entry["worklist"]["time_seconds"]
+        if seconds > base["time_seconds"] * args.time_factor:
+            failures.append(
+                f"{name}: {seconds:.2f}s, baseline {base['time_seconds']:.2f}s "
+                f"(x{args.time_factor:g} allowed)")
+
+    if failures:
+        print("benchmark regression(s) against "
+              f"{args.baseline}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    names = ", ".join(sorted(baseline.get("benchmarks", {})))
+    print(f"no regressions: {names}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

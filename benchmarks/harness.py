@@ -31,6 +31,8 @@ from repro.bench import (  # noqa: E402  (path setup must precede the import)
     shared_session,
 )
 from repro.bench import check_benchmark as _check_benchmark  # noqa: E402
+from repro.bench import figure6_with_comparison as _figure6_with_comparison  # noqa: E402
+from repro.bench import fixpoint_report, format_fixpoint_comparison  # noqa: E402,F401
 from repro.bench import figure6_rows as _figure6_rows  # noqa: E402
 from repro.bench import format_figure7 as _format_figure7  # noqa: E402
 from repro.bench import source_of as _source_of  # noqa: E402
@@ -41,7 +43,8 @@ __all__ = [
     "BENCHMARKS", "CODE_CHANGES", "PAPER_FIGURE6", "PAPER_FIGURE7",
     "PROGRAMS_DIR", "BenchmarkRow", "check_benchmark", "count_annotations",
     "count_loc", "figure6_rows", "format_figure6", "format_figure7",
-    "shared_session", "source_of",
+    "shared_session", "source_of", "figure6_with_comparison",
+    "format_fixpoint_comparison", "fixpoint_report",
 ]
 
 
@@ -55,6 +58,10 @@ def check_benchmark(name: str, session=None) -> BenchmarkRow:
 
 def figure6_rows(names=None, session=None):
     return _figure6_rows(names, session=session, programs_dir=PROGRAMS_DIR)
+
+
+def figure6_with_comparison(names=None):
+    return _figure6_with_comparison(names, programs_dir=PROGRAMS_DIR)
 
 
 def format_figure7(names=None) -> str:

@@ -47,3 +47,14 @@ function countMembers(t) {
   var m = textLength(t);
   return n + m;
 }
+
+// getPropertiesOfObjectType iterates the members table; the loop index
+// invariant (0 <= i < len(members)) is inferred by liquid fixpoint.
+spec sumMemberIds :: (o: ObjectType) => number;
+function sumMemberIds(o) {
+  var total = 0;
+  for (var i = 0; i < o.members.length; i++) {
+    total = total + o.members[i];
+  }
+  return total;
+}

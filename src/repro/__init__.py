@@ -18,7 +18,8 @@ One-shot convenience wrappers::
 
 from repro.core.api import check_program, check_source
 from repro.core.config import CheckConfig, SolverOptions
-from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.result import (BatchResult, CheckResult, SolveStats,
+                               StageTimings)
 from repro.core.session import Session
 from repro.errors import ERROR_CATALOG, Diagnostic, explain_code
 
@@ -31,6 +32,7 @@ __all__ = [
     "Diagnostic",
     "ERROR_CATALOG",
     "Session",
+    "SolveStats",
     "SolverOptions",
     "StageTimings",
     "check_program",

@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="treat warnings as errors in the verdict")
     check.add_argument("--max-iterations", type=int, default=40, metavar="N",
                        help="liquid fixpoint iteration budget (default: 40)")
+    check.add_argument("--fixpoint", choices=("worklist", "naive"),
+                       default="worklist",
+                       help="fixpoint scheduler: dependency-directed worklist "
+                            "(default) or the naive global-round sweep")
     check.add_argument("--qualifiers", choices=("default", "harvested"),
                        default="default",
                        help="qualifier pool: built-ins plus harvested "
@@ -68,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory holding the benchmark .rsc ports")
     bench.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (default: text)")
+    bench.add_argument("--out", metavar="FILE", default="BENCH_fixpoint.json",
+                       help="where figure6 writes the fixpoint report "
+                            "(default: BENCH_fixpoint.json in the current "
+                            "directory, i.e. the repo root in CI)")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="figure6: skip the naive-engine comparison run "
+                            "and the report dump")
 
     explain = sub.add_parser(
         "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
@@ -80,6 +91,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     try:
         config = CheckConfig(
             max_fixpoint_iterations=args.max_iterations,
+            fixpoint_strategy=args.fixpoint,
             warnings_as_errors=args.warnings_as_errors,
             qualifier_set=args.qualifiers,
             output_format=args.format,
@@ -124,11 +136,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
         if args.table == "figure6":
-            rows = bench.figure6_rows(names, programs_dir=programs_dir)
+            if args.no_compare:
+                rows = bench.figure6_rows(names, programs_dir=programs_dir)
+                if args.format == "json":
+                    print(json.dumps([row.to_dict() for row in rows],
+                                     indent=2))
+                else:
+                    print(bench.format_figure6(rows))
+                return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
+            rows, comparisons = bench.figure6_with_comparison(
+                names, programs_dir=programs_dir)
+            report = bench.fixpoint_report(rows, comparisons)
+            # A partial (--only) run would clobber a full report with one the
+            # regression gate reads as missing benchmarks, so only dump it
+            # for full runs unless the user redirected the output explicitly.
+            full_run = set(names) == set(bench.BENCHMARKS)
+            dump = full_run or args.out != "BENCH_fixpoint.json"
+            if dump:
+                pathlib.Path(args.out).write_text(json.dumps(report, indent=2)
+                                                  + "\n")
             if args.format == "json":
-                print(json.dumps([row.to_dict() for row in rows], indent=2))
+                print(json.dumps(report, indent=2))
             else:
                 print(bench.format_figure6(rows))
+                print()
+                print(bench.format_fixpoint_comparison(comparisons))
+                if dump:
+                    print(f"\nfixpoint report written to {args.out}")
+                else:
+                    print("\npartial run: fixpoint report not written "
+                          "(pass --out FILE to dump it)")
             return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
         if args.format == "json":
             payload = [{"name": n, "loc": bench.count_loc(

@@ -22,6 +22,13 @@ All checking goes through one shared :class:`repro.Session`, so a Figure 6
 run amortises a single solver (and its query cache) across all seven
 benchmarks — pass an explicit session to :func:`check_benchmark` to control
 the lifetime yourself.
+
+A Figure 6 run also reports the liquid-fixpoint engine's counters and a
+before/after comparison of the worklist scheduler against the reference
+naive global-round loop (:func:`figure6_with_comparison`); the machine
+readable report (:func:`fixpoint_report`) is what ``repro bench figure6``
+dumps as ``BENCH_fixpoint.json`` and what CI diffs against
+``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -102,6 +109,10 @@ class BenchmarkRow:
     time_seconds: float
     errors: int
     safe: bool
+    queries: int = 0            # SMT validity/sat queries issued for this file
+    solve_rounds: int = 0       # fixpoint scheduler steps
+    queries_pruned: int = 0     # candidates discharged without an SMT query
+    cache_hits: int = 0         # solver-cache hits while checking this file
 
     def to_dict(self) -> dict:
         return {
@@ -112,6 +123,50 @@ class BenchmarkRow:
             "refinements": self.refinements,
             "time_seconds": self.time_seconds,
             "errors": self.errors,
+            "safe": self.safe,
+            "queries": self.queries,
+            "solve_rounds": self.solve_rounds,
+            "queries_pruned": self.queries_pruned,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
+class FixpointComparison:
+    """Per-benchmark before/after numbers: naive rounds vs the worklist."""
+
+    name: str
+    naive_queries: int
+    worklist_queries: int
+    naive_time_seconds: float
+    worklist_time_seconds: float
+    rounds: int
+    queries_pruned: int
+    cache_hits: int
+    safe: bool
+
+    @property
+    def query_reduction(self) -> float:
+        """Fraction of the naive engine's solve queries the worklist avoided."""
+        if self.naive_queries == 0:
+            return 0.0
+        return 1.0 - self.worklist_queries / self.naive_queries
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "naive": {
+                "queries": self.naive_queries,
+                "time_seconds": self.naive_time_seconds,
+            },
+            "worklist": {
+                "queries": self.worklist_queries,
+                "time_seconds": self.worklist_time_seconds,
+                "rounds": self.rounds,
+                "queries_pruned": self.queries_pruned,
+                "cache_hits": self.cache_hits,
+            },
+            "query_reduction": self.query_reduction,
             "safe": self.safe,
         }
 
@@ -181,10 +236,15 @@ def check_benchmark(name: str, session: Optional[Session] = None,
     session = session or shared_session()
     result = session.check_source(source, filename=f"{name}.rsc")
     trivial, mut, refs = count_annotations(source)
+    solve = result.solve_stats
     return BenchmarkRow(name=name, loc=count_loc(source), trivial=trivial,
                         mutability=mut, refinements=refs,
                         time_seconds=result.time_seconds,
-                        errors=len(result.errors), safe=result.ok)
+                        errors=len(result.errors), safe=result.ok,
+                        queries=result.stats.queries if result.stats else 0,
+                        solve_rounds=solve.rounds if solve else 0,
+                        queries_pruned=solve.queries_pruned if solve else 0,
+                        cache_hits=result.stats.cache_hits if result.stats else 0)
 
 
 def figure6_rows(names: Optional[List[str]] = None,
@@ -196,21 +256,127 @@ def figure6_rows(names: Optional[List[str]] = None,
             for name in (names or BENCHMARKS)]
 
 
+def figure6_with_comparison(names: Optional[List[str]] = None,
+                            programs_dir: Optional[pathlib.Path] = None
+                            ) -> tuple:
+    """Run Figure 6 under both fixpoint strategies.
+
+    Returns ``(rows, comparisons)``: the worklist-engine benchmark rows plus
+    a per-benchmark :class:`FixpointComparison` against the naive
+    global-round engine.  Each strategy gets its own fresh session so the
+    query counts are not distorted by the other strategy's solver cache.
+    """
+    names = list(names or BENCHMARKS)
+    worklist = Session(CheckConfig(fixpoint_strategy="worklist"))
+    naive = Session(CheckConfig(fixpoint_strategy="naive"))
+    rows: List[BenchmarkRow] = []
+    comparisons: List[FixpointComparison] = []
+    for name in names:
+        source = source_of(name, programs_dir)
+        filename = f"{name}.rsc"
+        naive_result = naive.check_source(source, filename=filename)
+        worklist_result = worklist.check_source(source, filename=filename)
+        trivial, mut, refs = count_annotations(source)
+        solve = worklist_result.solve_stats
+        stats = worklist_result.stats
+        rows.append(BenchmarkRow(
+            name=name, loc=count_loc(source), trivial=trivial,
+            mutability=mut, refinements=refs,
+            time_seconds=worklist_result.time_seconds,
+            errors=len(worklist_result.errors), safe=worklist_result.ok,
+            queries=stats.queries if stats else 0,
+            solve_rounds=solve.rounds if solve else 0,
+            queries_pruned=solve.queries_pruned if solve else 0,
+            cache_hits=stats.cache_hits if stats else 0))
+        naive_solve = naive_result.solve_stats
+        comparisons.append(FixpointComparison(
+            name=name,
+            naive_queries=naive_solve.queries_issued if naive_solve else 0,
+            worklist_queries=solve.queries_issued if solve else 0,
+            naive_time_seconds=naive_result.time_seconds,
+            worklist_time_seconds=worklist_result.time_seconds,
+            rounds=solve.rounds if solve else 0,
+            queries_pruned=solve.queries_pruned if solve else 0,
+            cache_hits=solve.cache_hits if solve else 0,
+            safe=worklist_result.ok and naive_result.ok))
+    return rows, comparisons
+
+
+def format_fixpoint_comparison(comparisons: List[FixpointComparison]) -> str:
+    """The before/after table printed under the Figure 6 results."""
+    lines = [
+        "Fixpoint engine: naive global rounds vs dependency-directed worklist",
+        "Benchmark        Queries(naive)  Queries(worklist)  Saved%  "
+        "Time(naive)  Time(worklist)",
+        "-" * 86,
+    ]
+    tot_nq = tot_wq = 0
+    tot_nt = tot_wt = 0.0
+    for cmp in comparisons:
+        lines.append(
+            f"{cmp.name:15s} {cmp.naive_queries:14d} {cmp.worklist_queries:18d} "
+            f"{100 * cmp.query_reduction:6.1f} {cmp.naive_time_seconds:12.2f} "
+            f"{cmp.worklist_time_seconds:15.2f}")
+        tot_nq += cmp.naive_queries
+        tot_wq += cmp.worklist_queries
+        tot_nt += cmp.naive_time_seconds
+        tot_wt += cmp.worklist_time_seconds
+    lines.append("-" * 86)
+    saved = 100 * (1.0 - tot_wq / tot_nq) if tot_nq else 0.0
+    lines.append(f"{'TOTAL':15s} {tot_nq:14d} {tot_wq:18d} {saved:6.1f} "
+                 f"{tot_nt:12.2f} {tot_wt:15.2f}")
+    return "\n".join(lines)
+
+
+#: Schema identifier stamped into fixpoint reports (bump on layout changes).
+FIXPOINT_REPORT_SCHEMA = "repro-bench-fixpoint/1"
+
+
+def fixpoint_report(rows: List[BenchmarkRow],
+                    comparisons: List[FixpointComparison]) -> dict:
+    """The machine-readable report dumped as ``BENCH_fixpoint.json``."""
+    benchmarks = {}
+    by_name = {row.name: row for row in rows}
+    for cmp in comparisons:
+        entry = cmp.to_dict()
+        row = by_name.get(cmp.name)
+        if row is not None:
+            entry["figure6"] = row.to_dict()
+        benchmarks[cmp.name] = entry
+    return {
+        "schema": FIXPOINT_REPORT_SCHEMA,
+        "benchmarks": benchmarks,
+        "totals": {
+            "naive_queries": sum(c.naive_queries for c in comparisons),
+            "worklist_queries": sum(c.worklist_queries for c in comparisons),
+            "naive_time_seconds": sum(c.naive_time_seconds
+                                      for c in comparisons),
+            "worklist_time_seconds": sum(c.worklist_time_seconds
+                                         for c in comparisons),
+        },
+    }
+
+
 def format_figure6(rows: List[BenchmarkRow]) -> str:
-    lines = ["Benchmark        LOC    T    M    R   Time(s)  Errors",
-             "-" * 58]
+    lines = ["Benchmark        LOC    T    M    R   Time(s)  Errors  "
+             "Queries  Pruned",
+             "-" * 74]
     total_loc = total_t = total_m = total_r = 0
+    total_q = total_p = 0
     for row in rows:
         lines.append(f"{row.name:15s} {row.loc:4d} {row.trivial:4d} "
                      f"{row.mutability:4d} {row.refinements:4d} "
-                     f"{row.time_seconds:8.2f} {row.errors:6d}")
+                     f"{row.time_seconds:8.2f} {row.errors:6d} "
+                     f"{row.queries:8d} {row.queries_pruned:7d}")
         total_loc += row.loc
         total_t += row.trivial
         total_m += row.mutability
         total_r += row.refinements
-    lines.append("-" * 58)
+        total_q += row.queries
+        total_p += row.queries_pruned
+    lines.append("-" * 74)
     lines.append(f"{'TOTAL':15s} {total_loc:4d} {total_t:4d} {total_m:4d} "
-                 f"{total_r:4d}")
+                 f"{total_r:4d} {'':8s} {'':6s} {total_q:8d} {total_p:7d}")
     return "\n".join(lines)
 
 

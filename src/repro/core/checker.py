@@ -20,8 +20,8 @@ remaining concrete verification conditions are discharged by the SMT layer.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DiagnosticBag, ErrorKind, SourceSpan
 from repro.lang import ast
@@ -40,7 +40,6 @@ from repro.logic.terms import (
     le,
     lt,
     ne,
-    neg,
     true,
 )
 from repro.rtypes import Mutability
@@ -59,7 +58,6 @@ from repro.rtypes.types import (
     base_of,
     boolean,
     embed,
-    fresh_name,
     number,
     refine,
     selfify,
@@ -295,7 +293,6 @@ class Checker:
             else:
                 ptype = undefined_t()
             inner = inner.bind(param.name, ptype)
-        arity = min(len(sig.params), len(decl.params)) if sig.params else len(decl.params)
         arguments_type = TArray(elem=TPrim(name="any"),
                                 mutability=Mutability.IMMUTABLE,
                                 pred=eq(builtins.len_of(VALUE_VAR),

@@ -10,19 +10,13 @@ hierarchy used for downcast verification, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DiagnosticBag, ErrorKind
 from repro.lang import ast
 from repro.logic import builtins
-from repro.logic.terms import Expr, StrLit, Var, VALUE_VAR, conj, eq, substitute
-from repro.rtypes import (
-    Mutability,
-    RType,
-    TFun,
-    TInter,
-)
-from repro.rtypes.types import subst_terms
+from repro.logic.terms import Expr, StrLit, conj, substitute
+from repro.rtypes import Mutability, RType, TFun
 
 
 @dataclass

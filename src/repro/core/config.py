@@ -18,6 +18,9 @@ QUALIFIER_SETS: Tuple[str, ...] = ("default", "harvested")
 #: Output formats understood by :class:`CheckConfig` and the CLI.
 OUTPUT_FORMATS: Tuple[str, ...] = ("text", "json")
 
+#: Liquid fixpoint scheduling strategies (see :mod:`repro.core.liquid.fixpoint`).
+FIXPOINT_STRATEGIES: Tuple[str, ...] = ("worklist", "naive")
+
 
 @dataclass(frozen=True)
 class SolverOptions:
@@ -46,6 +49,9 @@ class CheckConfig:
     """Immutable configuration shared by every check in a session.
 
     * ``max_fixpoint_iterations`` — budget for the liquid fixpoint loop.
+    * ``fixpoint_strategy`` — ``"worklist"`` (dependency-graph-driven
+      scheduling with pre-SMT pruning, the default) or ``"naive"`` (the
+      reference global-round sweep, kept for comparison benchmarks).
     * ``warnings_as_errors`` — promote warnings to errors in the verdict.
     * ``qualifier_set`` — ``"default"`` (built-in pool plus qualifiers
       harvested from the program) or ``"harvested"`` (program-derived
@@ -57,6 +63,7 @@ class CheckConfig:
     """
 
     max_fixpoint_iterations: int = 40
+    fixpoint_strategy: str = "worklist"
     warnings_as_errors: bool = False
     qualifier_set: str = "default"
     solver: SolverOptions = field(default_factory=SolverOptions)
@@ -66,6 +73,10 @@ class CheckConfig:
     def __post_init__(self) -> None:
         if self.max_fixpoint_iterations < 1:
             raise ValueError("max_fixpoint_iterations must be positive")
+        if self.fixpoint_strategy not in FIXPOINT_STRATEGIES:
+            raise ValueError(
+                f"unknown fixpoint_strategy {self.fixpoint_strategy!r} "
+                f"(expected one of {', '.join(FIXPOINT_STRATEGIES)})")
         if self.qualifier_set not in QUALIFIER_SETS:
             raise ValueError(
                 f"unknown qualifier_set {self.qualifier_set!r} "
@@ -84,6 +95,7 @@ class CheckConfig:
     def to_dict(self) -> dict:
         return {
             "max_fixpoint_iterations": self.max_fixpoint_iterations,
+            "fixpoint_strategy": self.fixpoint_strategy,
             "warnings_as_errors": self.warnings_as_errors,
             "qualifier_set": self.qualifier_set,
             "solver": self.solver.to_dict(),

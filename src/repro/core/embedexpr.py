@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 from repro.lang import ast
 from repro.logic import builtins
-from repro.logic.sorts import BOOL, INT, STR
+from repro.logic.sorts import BOOL, INT
 from repro.logic.terms import (
     App,
     BinOp,
@@ -33,7 +33,6 @@ from repro.logic.terms import (
     VALUE_VAR,
     conj,
     disj,
-    eq,
     ne,
     neg,
     true,

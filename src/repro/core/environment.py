@@ -12,8 +12,8 @@ that constraint snapshots remain valid after the checker moves on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
 from repro.logic.terms import Expr, Var, conj
 from repro.rtypes.types import RType, TFun, TInter, embed, unpack_exists

@@ -8,6 +8,14 @@ qualifiers and weakens each kappa until all its constraints hold.
 """
 
 from repro.core.liquid.qualifiers import QualifierPool, default_qualifiers
-from repro.core.liquid.fixpoint import KappaRegistry, LiquidSolver
+from repro.core.liquid.fixpoint import (
+    KappaRegistry,
+    LiquidSolver,
+    ObligationOutcome,
+    build_dependency_graph,
+    scc_ranks,
+)
 
-__all__ = ["QualifierPool", "default_qualifiers", "KappaRegistry", "LiquidSolver"]
+__all__ = ["QualifierPool", "default_qualifiers", "KappaRegistry",
+           "LiquidSolver", "ObligationOutcome", "build_dependency_graph",
+           "scc_ranks"]

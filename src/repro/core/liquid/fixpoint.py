@@ -11,20 +11,60 @@ hypotheses mention kappa occurrences), the solver
 3. stops at a fixpoint, which is the strongest assignment consistent with the
    constraints (standard predicate-abstraction argument).
 
+Two scheduling strategies are available:
+
+* ``"worklist"`` (the default) — builds the kappa dependency graph (an edge
+  ``A -> B`` when kappa ``A`` occurs in a hypothesis of an implication whose
+  goal is kappa ``B``), condenses it into strongly connected components, and
+  schedules weakening in topological order of the condensation.  An
+  implication is only revisited when one of the kappas its hypotheses
+  mention actually changed, so stable regions of the constraint graph are
+  never re-queried.  Cheap pre-SMT pruning (syntactic tautologies,
+  syntactically inconsistent hypotheses, and a per-``(kappa, qualifier)``
+  memo of already-refuted candidates) further cuts the validity queries that
+  reach the solver; the survivors are batched through
+  :meth:`repro.smt.solver.Solver.check_implication_batch` so the shared
+  antecedent is built once per visit.
+* ``"naive"`` — the historical global-round loop that sweeps every Horn
+  implication each round.  It is kept as the reference oracle: the worklist
+  engine must produce the identical solution while issuing fewer queries
+  (asserted by the test-suite and reported by ``repro bench figure6``).
+
+Typed counters for either strategy are recorded in a
+:class:`repro.core.result.SolveStats` (``LiquidSolver.stats``).
+
 Implications with concrete goals are *not* used during solving; they are the
-final verification conditions checked afterwards by the caller.
+final verification conditions checked afterwards by the caller
+(:meth:`LiquidSolver.check_concrete`, which reports typed
+:class:`ObligationOutcome` objects carrying the failing implication's
+``RSC-*`` diagnostic code and origin span).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.logic.terms import App, Expr, Var, VALUE_VAR, conj, subterms, substitute
+from repro.errors import DEFAULT_CODES, SourceSpan
+from repro.logic.terms import (
+    App,
+    Expr,
+    conj,
+    conjuncts,
+    neg,
+    subterms,
+    substitute,
+)
 from repro.rtypes.types import is_kvar_app
 from repro.smt.solver import Solver
+from repro.core.config import FIXPOINT_STRATEGIES
 from repro.core.constraints import Implication
 from repro.core.liquid.qualifiers import QualifierPool
+from repro.core.result import SolveStats
+
+#: Scheduling strategies understood by :class:`LiquidSolver` (the single
+#: source of truth lives in :mod:`repro.core.config`).
+STRATEGIES = FIXPOINT_STRATEGIES
 
 
 @dataclass
@@ -56,13 +96,163 @@ class KappaRegistry:
 Solution = Dict[str, List[Expr]]
 
 
+@dataclass
+class ObligationOutcome:
+    """The verdict on one concrete implication under the kappa solution.
+
+    Carries the implication itself so callers can report *which* obligation
+    failed: :attr:`code` resolves the implication's ``RSC-*`` diagnostic code
+    (falling back to the family default for its kind) and :attr:`span` is the
+    origin span threaded from constraint generation.  Iterating yields
+    ``(implication, ok)`` for callers written against the old tuple API.
+    """
+
+    implication: Implication
+    ok: bool
+    goal: Expr
+
+    @property
+    def code(self) -> str:
+        return self.implication.code or DEFAULT_CODES[self.implication.kind]
+
+    @property
+    def span(self) -> SourceSpan:
+        return self.implication.span
+
+    def message(self) -> str:
+        return self.implication.reason
+
+    def __iter__(self) -> Iterator:
+        yield self.implication
+        yield self.ok
+
+
+# ---------------------------------------------------------------------------
+# kappa dependency graph
+# ---------------------------------------------------------------------------
+
+
+def kappa_occurrences(expr: Expr) -> Set[str]:
+    """Names of every kappa occurring anywhere in ``expr``."""
+    return {sub.fn for sub in subterms(expr)
+            if is_kvar_app(sub) and isinstance(sub, App)}
+
+
+def build_dependency_graph(implications: Sequence[Implication]
+                           ) -> Dict[str, Set[str]]:
+    """The kappa dependency graph as an adjacency map ``A -> {B, ...}``.
+
+    There is an edge ``A -> B`` when kappa ``A`` occurs in a hypothesis of an
+    implication whose goal is kappa ``B`` — weakening ``A`` weakens that
+    hypothesis, so ``B`` may need to be weakened in turn.  Every kappa
+    mentioned by any implication appears as a node (possibly isolated).
+    """
+    graph: Dict[str, Set[str]] = {}
+    for imp in implications:
+        if not (is_kvar_app(imp.goal) and isinstance(imp.goal, App)):
+            continue
+        goal_name = imp.goal.fn
+        graph.setdefault(goal_name, set())
+        for hyp in imp.hyps:
+            for dep in kappa_occurrences(hyp):
+                graph.setdefault(dep, set()).add(goal_name)
+    return graph
+
+
+def scc_ranks(graph: Dict[str, Set[str]]) -> Tuple[Dict[str, int], int]:
+    """Condense ``graph`` into SCCs and rank them topologically.
+
+    Returns ``(rank, count)`` where ``rank[node]`` is the topological index
+    of the node's SCC in the condensation (sources first: if ``A -> B`` and
+    the two are in different components, ``rank[A] < rank[B]``) and ``count``
+    is the number of components.  Tarjan's algorithm, iterative so deep
+    chains of kappas cannot hit the recursion limit.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    # Tarjan emits components in reverse topological order of the
+    # condensation, so the rank is the emission index flipped.
+    count = len(sccs)
+    rank: Dict[str, int] = {}
+    for emitted, component in enumerate(sccs):
+        for node in component:
+            rank[node] = count - 1 - emitted
+    return rank, count
+
+
+# ---------------------------------------------------------------------------
+# the solver
+# ---------------------------------------------------------------------------
+
+
 class LiquidSolver:
     def __init__(self, solver: Solver, pool: QualifierPool,
-                 registry: KappaRegistry, max_iterations: int = 40) -> None:
+                 registry: KappaRegistry, max_iterations: int = 40,
+                 strategy: str = "worklist") -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown fixpoint strategy {strategy!r} "
+                             f"(expected one of {', '.join(STRATEGIES)})")
         self.solver = solver
         self.pool = pool
         self.registry = registry
         self.max_iterations = max_iterations
+        self.strategy = strategy
+        self.stats = SolveStats(strategy=strategy)
+        # (kappa name, qualifier template) pairs refuted in an earlier solve
+        # on this instance; such candidates are dropped without a new query.
+        # The memo is sound only while the constraint set does not change
+        # between calls (one checking run), which is how sessions use it.
+        self._refuted: Set[Tuple[str, Expr]] = set()
+
+    @property
+    def refuted(self) -> Set[Tuple[str, Expr]]:
+        """Read-only view of the refuted-candidate memo."""
+        return set(self._refuted)
 
     # -- solution application ---------------------------------------------------------
 
@@ -91,46 +281,181 @@ class LiquidSolver:
         for name, info in self.registry.kappas.items():
             candidates = {formal: info.kinds.get(formal, "any")
                           for formal in info.formals[1:]}
-            solution[name] = self.pool.instantiate(candidates)
+            instantiated = self.pool.instantiate(candidates)
+            kept: List[Expr] = []
+            for qual in instantiated:
+                if (name, qual) in self._refuted:
+                    self.stats.queries_pruned += 1
+                else:
+                    kept.append(qual)
+            solution[name] = kept
         return solution
 
     def solve(self, implications: Sequence[Implication]) -> Solution:
+        self.stats = SolveStats(strategy=self.strategy)
         solution = self.initial_solution()
-        horn = [imp for imp in implications if self._goal_kappa(imp) is not None]
+        horn = [imp for imp in implications
+                if self._goal_kappa(imp) is not None
+                and self._goal_kappa(imp).fn in self.registry]
+        self.stats.kappas = len(self.registry.kappas)
+        self.stats.horn_implications = len(horn)
+        cache_before = self.solver.stats.cache_hits
+        if self.strategy == "naive":
+            self._solve_naive(horn, solution)
+        else:
+            self._solve_worklist(horn, solution)
+        self.stats.cache_hits = self.solver.stats.cache_hits - cache_before
+        return solution
+
+    def _solve_naive(self, horn: Sequence[Implication],
+                     solution: Solution) -> None:
+        """The reference global-round loop: sweep everything every round."""
         for _ in range(self.max_iterations):
+            self.stats.rounds += 1
             changed = False
             for imp in horn:
                 occurrence = self._goal_kappa(imp)
                 assert occurrence is not None
                 name = occurrence.fn
-                if name not in self.registry:
-                    continue
                 info = self.registry.info(name)
                 mapping = _occurrence_subst(info, occurrence)
                 hyps = [self.apply(h, solution) for h in imp.hyps]
                 kept: List[Expr] = []
                 for qual in solution.get(name, []):
                     goal = substitute(qual, mapping)
+                    self.stats.queries_issued += 1
                     if self.solver.check_implication(hyps, goal):
                         kept.append(qual)
                     else:
+                        self._refuted.add((name, qual))
                         changed = True
                 solution[name] = kept
             if not changed:
                 break
-        return solution
+
+    def _solve_worklist(self, horn: Sequence[Implication],
+                        solution: Solution) -> None:
+        """Dependency-directed weakening in SCC-topological order.
+
+        The schedule proceeds in rounds: each round visits, in topological
+        rank order of the goal kappa's SCC, exactly the implications whose
+        hypothesis kappas changed since their last visit (the first round
+        visits everything).  Changes discovered mid-round are picked up by
+        later visits in the same round; implications already behind the
+        cursor are deferred to the next round.  Compared with scheduling
+        each change individually this batches weakenings, so a revisited
+        implication sees one consolidated new hypothesis state instead of a
+        fresh SMT formula per predecessor change — and unlike the naive
+        sweep, implications whose dependencies are stable are never
+        reconsidered and no final confirmation sweep is needed.
+        """
+        graph = build_dependency_graph(horn)
+        rank, scc_count = scc_ranks(graph)
+        self.stats.sccs = scc_count
+
+        # kappa name -> indices of implications whose hypotheses mention it
+        # (the implications to revisit when that kappa weakens).
+        goal_of: List[str] = []
+        watchers: Dict[str, Set[int]] = {}
+        for idx, imp in enumerate(horn):
+            occurrence = self._goal_kappa(imp)
+            assert occurrence is not None
+            goal_of.append(occurrence.fn)
+            for hyp in imp.hyps:
+                for dep in kappa_occurrences(hyp):
+                    watchers.setdefault(dep, set()).add(idx)
+
+        def priority(idx: int) -> Tuple[int, int]:
+            return (rank.get(goal_of[idx], 0), idx)
+
+        budget = self.max_iterations * max(1, len(horn))
+        current = sorted(range(len(horn)), key=priority)
+        while current and self.stats.rounds < budget:
+            position = {idx: pos for pos, idx in enumerate(current)}
+            dirty: Set[int] = set()
+            for pos, idx in enumerate(current):
+                if self.stats.rounds >= budget:
+                    break
+                self.stats.rounds += 1
+                if not self._visit(horn[idx], solution):
+                    continue
+                for watcher in watchers.get(goal_of[idx], ()):
+                    # a watcher still ahead of the cursor this round will
+                    # observe the change anyway; everything else is deferred
+                    if position.get(watcher, -1) <= pos:
+                        dirty.add(watcher)
+            current = sorted(dirty, key=priority)
+
+    def _visit(self, imp: Implication, solution: Solution) -> bool:
+        """Weaken the goal kappa of ``imp``; True iff its assignment shrank."""
+        occurrence = self._goal_kappa(imp)
+        assert occurrence is not None
+        name = occurrence.fn
+        quals = solution.get(name, [])
+        if not quals:
+            return False
+        info = self.registry.info(name)
+        mapping = _occurrence_subst(info, occurrence)
+        hyps = [self.apply(h, solution) for h in imp.hyps]
+        hyp_atoms: Set[Expr] = set()
+        for hyp in hyps:
+            hyp_atoms.update(conjuncts(hyp))
+        vacuous = _syntactically_inconsistent(hyp_atoms)
+
+        # Classify each candidate before touching the SMT solver: keep
+        # syntactic tautologies for free, drop memoised refutations, and
+        # gather the rest for one batched round of validity queries.
+        KEEP, DROP, QUERY = 0, 1, 2
+        decisions: List[int] = []
+        pending_goals: List[Expr] = []
+        for qual in quals:
+            if (name, qual) in self._refuted:
+                decisions.append(DROP)
+                self.stats.queries_pruned += 1
+                continue
+            goal = substitute(qual, mapping)
+            if vacuous or goal.is_true() or goal in hyp_atoms:
+                decisions.append(KEEP)
+                self.stats.queries_pruned += 1
+                continue
+            decisions.append(QUERY)
+            pending_goals.append(goal)
+
+        verdicts: List[bool] = []
+        if pending_goals:
+            self.stats.queries_issued += len(pending_goals)
+            verdicts = self.solver.check_implication_batch(hyps, pending_goals)
+
+        kept: List[Expr] = []
+        changed = False
+        verdict_at = 0
+        for qual, decision in zip(quals, decisions):
+            if decision == KEEP:
+                kept.append(qual)
+            elif decision == DROP:
+                changed = True
+            else:
+                if verdicts[verdict_at]:
+                    kept.append(qual)
+                else:
+                    self._refuted.add((name, qual))
+                    changed = True
+                verdict_at += 1
+        if changed:
+            solution[name] = kept
+        return changed
 
     def check_concrete(self, implications: Sequence[Implication],
-                       solution: Solution) -> List[Tuple[Implication, bool]]:
+                       solution: Solution) -> List[ObligationOutcome]:
         """Check every implication with a concrete goal under the solution."""
-        results: List[Tuple[Implication, bool]] = []
+        results: List[ObligationOutcome] = []
         for imp in implications:
             if self._goal_kappa(imp) is not None:
                 continue
             hyps = [self.apply(h, solution) for h in imp.hyps]
             goal = self.apply(imp.goal, solution)
             ok = self.solver.check_implication(hyps, goal)
-            results.append((imp, ok))
+            results.append(ObligationOutcome(imp, ok, goal))
         return results
 
     @staticmethod
@@ -138,6 +463,18 @@ class LiquidSolver:
         if is_kvar_app(imp.goal) and isinstance(imp.goal, App):
             return imp.goal
         return None
+
+
+def _syntactically_inconsistent(atoms: Set[Expr]) -> bool:
+    """True when the hypothesis conjuncts are contradictory by syntax alone
+    (a literal ``false``, or some atom alongside its negation) — every goal
+    then follows vacuously without consulting the solver."""
+    for atom in atoms:
+        if atom.is_false():
+            return True
+        if neg(atom) in atoms:
+            return True
+    return False
 
 
 def _occurrence_subst(info: KappaInfo, occurrence: App) -> Dict[str, Expr]:

@@ -12,12 +12,10 @@ explicit ``qualifier p;`` declarations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.logic import builtins
 from repro.logic.terms import (
-    App,
-    BinOp,
     Expr,
     IntLit,
     StrLit,

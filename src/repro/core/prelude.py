@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.logic import builtins
-from repro.logic.terms import IntLit, Var, VALUE_VAR, conj, eq, ge, le, lt, minus, plus
+from repro.logic.terms import IntLit, Var, VALUE_VAR, conj, eq, ge, le
 from repro.rtypes import Mutability
 from repro.rtypes.types import (
     RType,
@@ -23,7 +22,6 @@ from repro.rtypes.types import (
     TFun,
     TParam,
     TPrim,
-    TVar,
     number,
     boolean,
     string,
@@ -41,8 +39,6 @@ def _true_bool() -> TPrim:
 
 def global_bindings() -> Dict[str, RType]:
     """Types of globally available functions."""
-    a = Var("a")
-    x = Var("x")
     return {
         "assert": TFun(params=(TParam("b", boolean(eq(VALUE_VAR, Var("true")))),),
                        ret=void()),

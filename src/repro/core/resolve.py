@@ -17,16 +17,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.errors import DiagnosticBag, ErrorKind, SourceSpan
+from repro.errors import DiagnosticBag, ErrorKind
 from repro.lang import ast
-from repro.logic.terms import Expr, IntLit, Var, true
+from repro.logic.terms import Expr, Var
 from repro.rtypes import Mutability
 from repro.rtypes.types import (
     RType,
     TArray,
     TFun,
     TInter,
-    TObject,
     TParam,
     TPrim,
     TRef,

@@ -25,6 +25,51 @@ STAGES = ("parse", "ssa", "constraints", "solve", "verify")
 
 
 @dataclass
+class SolveStats:
+    """Typed counters from one liquid-fixpoint run (the ``solve`` stage).
+
+    ``rounds`` counts scheduler steps: full sweeps over the Horn constraints
+    for the ``naive`` strategy, individual worklist visits for the
+    ``worklist`` strategy.  ``queries_pruned`` counts candidate qualifiers
+    discharged without an SMT query (syntactic tautologies, inconsistent
+    hypotheses, and refuted-memo hits); ``cache_hits`` is the solver-cache
+    delta observed while solving.
+    """
+
+    strategy: str = "worklist"
+    kappas: int = 0
+    horn_implications: int = 0
+    sccs: int = 0
+    rounds: int = 0
+    queries_issued: int = 0
+    queries_pruned: int = 0
+    cache_hits: int = 0
+
+    def merge(self, other: "SolveStats") -> None:
+        if self.strategy != other.strategy:
+            self.strategy = "mixed"
+        self.kappas += other.kappas
+        self.horn_implications += other.horn_implications
+        self.sccs += other.sccs
+        self.rounds += other.rounds
+        self.queries_issued += other.queries_issued
+        self.queries_pruned += other.queries_pruned
+        self.cache_hits += other.cache_hits
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "kappas": self.kappas,
+            "horn_implications": self.horn_implications,
+            "sccs": self.sccs,
+            "rounds": self.rounds,
+            "queries_issued": self.queries_issued,
+            "queries_pruned": self.queries_pruned,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass
 class StageTimings:
     """Wall-clock seconds spent in each pipeline stage."""
 
@@ -56,6 +101,7 @@ class CheckResult:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     checker_stats: Optional[object] = None
     stats: Optional[SolverStats] = None
+    solve_stats: Optional[SolveStats] = None
     kappa_solution: Dict[str, List[Expr]] = field(default_factory=dict)
     num_constraints: int = 0
     num_implications: int = 0
@@ -109,6 +155,8 @@ class CheckResult:
                               if dataclasses.is_dataclass(self.checker_stats)
                               else None),
             "solver_stats": self.stats.to_dict() if self.stats else None,
+            "solve_stats": (self.solve_stats.to_dict()
+                            if self.solve_stats else None),
             "kappas": {name: [str(q) for q in quals]
                        for name, quals in sorted(self.kappa_solution.items())},
         }
@@ -144,6 +192,16 @@ class BatchResult:
         files."""
         return self.stats.cache_hits
 
+    @property
+    def solve_stats(self) -> SolveStats:
+        """Fixpoint-engine counters aggregated over every checked file."""
+        stats = [r.solve_stats for r in self.results
+                 if r.solve_stats is not None]
+        total = SolveStats(strategy=stats[0].strategy) if stats else SolveStats()
+        for s in stats:
+            total.merge(s)
+        return total
+
     def summary(self) -> str:
         status = "SAFE" if self.ok else "UNSAFE"
         unsafe = sum(0 if r.ok else 1 for r in self.results)
@@ -160,6 +218,7 @@ class BatchResult:
             "num_errors": self.num_errors,
             "time_seconds": self.time_seconds,
             "solver_stats": self.stats.to_dict(),
+            "solve_stats": self.solve_stats.to_dict(),
             "files": [r.to_dict() for r in self.results],
         }
 

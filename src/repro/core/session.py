@@ -31,8 +31,8 @@ import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import (
     Diagnostic,
@@ -50,7 +50,7 @@ from repro.core.checker import Checker
 from repro.core.config import CheckConfig
 from repro.core.liquid.fixpoint import LiquidSolver, Solution
 from repro.core.liquid.qualifiers import QualifierPool
-from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.result import BatchResult, CheckResult, SolveStats, StageTimings
 from repro.core.subtype import SubtypeSplitter
 
 PathLike = Union[str, pathlib.Path]
@@ -128,6 +128,11 @@ class SolveStage:
     liquid: LiquidSolver
     solution: Solution
     timings: StageTimings
+
+    @property
+    def solve_stats(self) -> SolveStats:
+        """Typed fixpoint-engine counters for this solve run."""
+        return self.liquid.stats
 
 
 # ---------------------------------------------------------------------------
@@ -215,7 +220,8 @@ class Session:
         checker = stage.checker
         liquid = LiquidSolver(
             self.solver, checker.pool, checker.kappas,
-            max_iterations=self.config.max_fixpoint_iterations)
+            max_iterations=self.config.max_fixpoint_iterations,
+            strategy=self.config.fixpoint_strategy)
         solution = liquid.solve(checker.constraints.implications)
         stage.timings.record("solve", time.perf_counter() - start)
         return SolveStage(stage, liquid, solution, stage.timings)
@@ -227,11 +233,11 @@ class Session:
         checker = cons.checker
         results = stage.liquid.check_concrete(
             checker.constraints.implications, stage.solution)
-        for implication, ok in results:
-            if ok:
+        for outcome in results:
+            if outcome.ok:
                 continue
-            cons.diags.error(implication.kind, implication.reason,
-                             implication.span, code=implication.code or "")
+            cons.diags.error(outcome.implication.kind, outcome.message(),
+                             outcome.span, code=outcome.code)
         stage.timings.record("verify", time.perf_counter() - start)
         diagnostics = list(cons.diags)
         if self.config.warnings_as_errors:
@@ -243,6 +249,7 @@ class Session:
             diagnostics=diagnostics,
             checker_stats=checker.stats,
             stats=self.solver.stats.delta_since(cons.stats_base),
+            solve_stats=stage.solve_stats,
             kappa_solution=stage.solution,
             num_constraints=len(checker.constraints.subtypings),
             num_implications=len(checker.constraints.implications),

@@ -14,10 +14,8 @@ unreachable under the overload being checked.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.errors import ErrorKind
-from repro.logic.terms import BoolLit, Expr, Var, VALUE_VAR, conjuncts, substitute
+from repro.logic.terms import BoolLit, Var, VALUE_VAR, conjuncts
 from repro.rtypes import Mutability
 from repro.rtypes.types import (
     RType,
@@ -30,7 +28,6 @@ from repro.rtypes.types import (
     TUnion,
     TVar,
     embed,
-    fresh_name,
     subst_terms,
     unpack_exists,
 )

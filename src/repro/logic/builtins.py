@@ -13,7 +13,7 @@ The paper's measure/uninterpreted functions:
 
 from __future__ import annotations
 
-from repro.logic.sorts import BOOL, BV32, INT, STR, Sort
+from repro.logic.sorts import BOOL, INT, STR, Sort
 from repro.logic.terms import App, Expr, app
 
 LEN = "len"

@@ -11,10 +11,10 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
 
-from repro.logic.sorts import ANY, BOOL, BV32, INT, REF, STR, Sort
+from repro.logic.sorts import ANY, BOOL, INT, STR, Sort
 
 # ---------------------------------------------------------------------------
 # Expression nodes

@@ -19,13 +19,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.logic import builtins
-from repro.logic.sorts import BOOL, INT, REF, STR
+from repro.logic.sorts import BOOL
 from repro.logic.terms import (
     App,
-    BoolLit,
     Expr,
     Var,
     VALUE_VAR,

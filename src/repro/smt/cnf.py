@@ -20,19 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.logic.terms import (
-    App,
-    BinOp,
-    BoolLit,
-    Expr,
-    Field,
-    Ite,
-    StrLit,
-    UnOp,
-    Var,
-    eq,
-    ne,
-)
+from repro.logic.terms import App, BinOp, BoolLit, Expr, Field, Ite, UnOp, Var
 from repro.logic.sorts import BOOL
 
 

@@ -18,8 +18,7 @@ man's Nelson–Oppen equality propagation, sufficient for RSC's VCs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.logic.terms import (
     App,

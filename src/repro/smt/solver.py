@@ -19,11 +19,10 @@ model is found (satisfiable) or the SAT solver reports unsatisfiability.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.errors import SolverError
 from repro.logic.simplify import simplify
 from repro.logic.terms import BoolLit, Expr, conj, implies, neg
 from repro.smt.cnf import AtomMap, tseitin, to_nnf
@@ -145,6 +144,17 @@ class Solver:
         """Validity of ``/\\ hypotheses => goal`` — the VC entry point."""
         antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
         return self.is_valid(implies(antecedent, goal))
+
+    def check_implication_batch(self, hypotheses: Sequence[Expr],
+                                goals: Sequence[Expr]) -> List[bool]:
+        """Validity of ``/\\ hypotheses => goal`` for each goal in turn.
+
+        The antecedent conjunction is built once and every query still flows
+        through the result cache, so batches sharing hypotheses (the liquid
+        fixpoint weakening a kappa) amortise both the term construction and
+        any repeated obligations."""
+        antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
+        return [self.is_valid(implies(antecedent, goal)) for goal in goals]
 
     def environment_inconsistent(self, hypotheses: Sequence[Expr]) -> bool:
         """True iff the hypotheses are unsatisfiable (dead code detection)."""

@@ -27,18 +27,7 @@ from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.logic import builtins
-from repro.logic.sorts import BOOL
-from repro.logic.terms import (
-    App,
-    BinOp,
-    BoolLit,
-    Expr,
-    Field,
-    IntLit,
-    StrLit,
-    UnOp,
-    Var,
-)
+from repro.logic.terms import App, BinOp, BoolLit, Expr, IntLit, UnOp
 from repro.smt.bvmask import BvMaskSolver
 from repro.smt.euf import CongruenceClosure
 from repro.smt.lia import LiaProblem, LinExpr, is_satisfiable, linearize

@@ -20,7 +20,7 @@ early returns, writes and closures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import SourceSpan
 from repro.lang import ast

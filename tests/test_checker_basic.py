@@ -1,6 +1,5 @@
 """End-to-end checker tests: small programs, positive and negative."""
 
-import pytest
 
 from repro import check_source
 from repro.errors import ErrorKind

@@ -1,6 +1,5 @@
 """Checker tests for classes, interfaces, mutability, casts and overloading."""
 
-import pytest
 
 from repro import check_source
 from repro.errors import ErrorKind
@@ -75,7 +74,7 @@ class TestClassInvariants:
            }""")
 
     def test_immutable_field_write_outside_constructor_rejected(self):
-        result = bad(FIELD_CLASS + """
+        bad(FIELD_CLASS + """
            spec main :: () => void;
            function main() {
              var z = new Field(3, 7, new Array(45));

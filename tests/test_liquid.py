@@ -1,6 +1,5 @@
 """Tests for qualifier instantiation and the liquid fixpoint solver."""
 
-import pytest
 
 from repro.core.constraints import Implication
 from repro.core.liquid.fixpoint import KappaRegistry, LiquidSolver
@@ -11,7 +10,7 @@ from repro.core.liquid.qualifiers import (
     QualifierPool,
     default_qualifiers,
 )
-from repro.logic import IntLit, Var, VALUE_VAR, conj, eq, le, lt, plus, var
+from repro.logic import IntLit, Var, VALUE_VAR, eq, le, lt, plus
 from repro.logic.builtins import len_of
 from repro.rtypes.types import kvar_occurrence
 from repro.smt.solver import Solver

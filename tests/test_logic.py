@@ -10,15 +10,11 @@ from repro.logic import (
     BoolLit,
     IntLit,
     StrLit,
-    Var,
     VALUE_VAR,
-    app,
     conj,
     disj,
     eq,
     free_vars,
-    ge,
-    gt,
     implies,
     le,
     lt,

@@ -1,7 +1,6 @@
 """Tests for annotation resolution, expression embedding, environments and
 the class table."""
 
-import pytest
 
 from repro.core.classtable import ClassTable
 from repro.core.embedexpr import ExprEmbedder
@@ -9,9 +8,7 @@ from repro.core.environment import Env
 from repro.core.resolve import Resolver
 from repro.errors import DiagnosticBag
 from repro.lang import parse_expression, parse_program, parse_type
-from repro.lang.parser import Parser
 from repro.logic import IntLit, Var, VALUE_VAR, eq, le
-from repro.logic.builtins import len_of
 from repro.rtypes import Mutability
 from repro.rtypes.types import (
     TArray,
@@ -231,7 +228,7 @@ class TestClassTable:
     def _table(self):
         diags = DiagnosticBag()
         program = parse_program(self.SOURCE)
-        table = ClassTable.from_program(program, diags)
+        ClassTable.from_program(program, diags)
         # member resolution happens in the checker; emulate the relevant bit
         from repro.core.checker import Checker
         checker = Checker(program, diags)

@@ -1,6 +1,5 @@
 """Tests for the refinement type representation and its operations."""
 
-import pytest
 
 from repro.logic import IntLit, Var, VALUE_VAR, conj, eq, le, lt
 from repro.logic.builtins import len_of
@@ -14,11 +13,9 @@ from repro.rtypes.types import (
     TObject,
     TParam,
     TPrim,
-    TRef,
     TUnion,
     TVar,
     base_of,
-    boolean,
     embed,
     exists,
     free_kvars,

@@ -1,25 +1,19 @@
 """Tests for the SMT substrate: SAT core, theories, and the combined solver."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import (
     BinOp,
-    BoolLit,
     INT,
     IntLit,
     StrLit,
-    Var,
     conj,
     disj,
     eq,
-    ge,
-    gt,
     implies,
     le,
     lt,
     ne,
-    neg,
     plus,
     times,
     var,
@@ -166,7 +160,6 @@ class TestEuf:
         cc = CongruenceClosure()
         a, b = var("a"), var("b")
         cc.assert_eq(a, b)
-        f_a = len_of(len_of(a) if False else a)
         assert cc.are_equal(plus(len_of(a), IntLit(1)), plus(len_of(b), IntLit(1)))
 
 

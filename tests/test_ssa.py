@@ -1,6 +1,5 @@
 """Tests for the SSA transformation (FRSC statements to IRSC let/letif form)."""
 
-import pytest
 
 from repro.lang import ast, parse_program
 from repro.ssa import (
