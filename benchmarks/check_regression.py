@@ -4,7 +4,8 @@
 Usage::
 
     python benchmarks/check_regression.py BENCH_fixpoint.json \
-        benchmarks/baseline.json [--threshold 0.25] [--time-factor 4.0]
+        benchmarks/baseline.json [--threshold 0.25] [--time-factor 4.0] \
+        [--incremental BENCH_incremental.json]
 
 Compares the fixpoint report produced by ``python -m repro bench figure6``
 against ``benchmarks/baseline.json``:
@@ -18,6 +19,17 @@ against ``benchmarks/baseline.json``:
   ``--time-factor`` (default 4x) of the baseline.
 * a benchmark missing from the current report, or reported unsafe, fails.
 
+With ``--incremental`` the edit-recheck report produced by
+``python -m repro bench incremental`` is additionally gated against the
+baseline's ``incremental`` section:
+
+* every replayed edit must still verify,
+* the comment-only edit must issue **zero** solver queries (the artifact
+  layer must recognise an AST-identical document),
+* the revert edit must issue zero queries (content-hash cache hit),
+* the single-body edit must issue strictly fewer queries than the cold
+  check, and no more than baseline ``warm_queries`` + ``--threshold``.
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -27,6 +39,46 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+
+def check_incremental(report: dict, baseline: dict, threshold: float) -> list:
+    """Failures of the incremental (edit-recheck) report vs the baseline."""
+    failures = []
+    current = report.get("benchmarks", {})
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the incremental report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: an edit re-check no longer verifies")
+        edits = {edit["label"]: edit for edit in entry.get("edits", [])}
+        for label in ("comment", "revert"):
+            edit = edits.get(label)
+            if edit is None:
+                failures.append(f"{name}: {label} edit missing")
+            elif edit["queries"] != 0:
+                failures.append(
+                    f"{name}: {label} edit issued {edit['queries']} solver "
+                    f"queries (expected 0 — reuse has degenerated)")
+        body = edits.get("body")
+        cold = entry.get("cold", {}).get("queries", 0)
+        if body is None:
+            failures.append(f"{name}: body edit missing")
+            continue
+        if not body.get("warm", False):
+            failures.append(f"{name}: body edit did not warm-start")
+        if cold and body["queries"] >= cold:
+            failures.append(
+                f"{name}: body edit issued {body['queries']} queries, not "
+                f"fewer than the cold check's {cold}")
+        allowed = base["warm_queries"] * (1.0 + threshold)
+        # small counts wobble with solver-cache layout; allow a few extras
+        if body["queries"] > max(allowed, base["warm_queries"] + 5):
+            failures.append(
+                f"{name}: body edit issued {body['queries']} queries, "
+                f"baseline {base['warm_queries']} (+{threshold:.0%} allowed)")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -39,6 +91,9 @@ def main(argv=None) -> int:
     parser.add_argument("--time-factor", type=float, default=4.0,
                         help="allowed wall-clock multiple of the baseline "
                              "(default: 4.0; generous because CI is noisy)")
+    parser.add_argument("--incremental", metavar="FILE", default=None,
+                        help="also gate BENCH_incremental.json against the "
+                             "baseline's 'incremental' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -70,6 +125,13 @@ def main(argv=None) -> int:
             failures.append(
                 f"{name}: {seconds:.2f}s, baseline {base['time_seconds']:.2f}s "
                 f"(x{args.time_factor:g} allowed)")
+
+    if args.incremental is not None:
+        with open(args.incremental) as f:
+            incremental_report = json.load(f)
+        failures.extend(check_incremental(
+            incremental_report, baseline.get("incremental", {}),
+            args.threshold))
 
     if failures:
         print("benchmark regression(s) against "

@@ -1,15 +1,23 @@
 """Refined TypeScript (RSC) - a reproduction of "Refinement Types for
 TypeScript" (Vekris, Cosman, Jhala; PLDI 2016) in pure Python.
 
-Session API (preferred — one solver amortised across runs)::
+Workspace API (preferred — long-lived documents, incremental re-checks)::
 
-    from repro import CheckConfig, Session
+    from repro import CheckConfig, Workspace
+
+    ws = Workspace(CheckConfig())
+    result = ws.open("a.rsc", source)      # cold check
+    result = ws.update("a.rsc", edited)    # warm re-check of the edit only
+
+Session API (one-shot facade — one solver amortised across batch runs)::
+
+    from repro import Session
 
     session = Session(CheckConfig(warnings_as_errors=True))
     result = session.check_source(source)
     batch = session.check_files(["a.rsc", "b.rsc"])
 
-One-shot convenience wrappers::
+One-shot convenience wrappers (deprecated)::
 
     from repro import check_source
     result = check_source("function f(x: {v: number | 0 <= v}): number { return x; }")
@@ -21,9 +29,10 @@ from repro.core.config import CheckConfig, SolverOptions
 from repro.core.result import (BatchResult, CheckResult, SolveStats,
                                StageTimings)
 from repro.core.session import Session
+from repro.core.workspace import Workspace
 from repro.errors import ERROR_CATALOG, Diagnostic, explain_code
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "BatchResult",
@@ -35,6 +44,7 @@ __all__ = [
     "SolveStats",
     "SolverOptions",
     "StageTimings",
+    "Workspace",
     "check_program",
     "check_source",
     "explain_code",

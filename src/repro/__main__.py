@@ -5,8 +5,13 @@ Subcommands:
 * ``check FILES...`` — check nanoTS source files (the classic mode); exits
   non-zero if any file fails to verify.  ``--format json`` emits structured
   diagnostics with stable error codes; ``--jobs N`` checks in parallel.
-* ``bench figure6|figure7`` — regenerate the paper's evaluation tables,
-  amortising one solver across the whole suite.
+* ``bench figure6|figure7|incremental`` — regenerate the paper's evaluation
+  tables (and the edit-recheck scenario), amortising one solver across the
+  whole suite.
+* ``serve`` — a newline-delimited JSON check/update/diagnostics/shutdown
+  loop over stdin/stdout backed by an incremental workspace.
+* ``watch FILES...`` — re-check files on mtime change, printing per-edit
+  timing deltas.
 * ``explain CODE`` — describe a diagnostic code (e.g. ``RSC-SUB-003``).
 
 For backwards compatibility a bare file list (``python -m repro a.rsc``)
@@ -23,7 +28,7 @@ from typing import List, Optional
 from repro import CheckConfig, Session
 from repro.errors import ERROR_CATALOG, explain_code
 
-SUBCOMMANDS = ("check", "bench", "explain")
+SUBCOMMANDS = ("check", "bench", "explain", "serve", "watch")
 
 #: Process exit codes of the CLI (stable, part of the public interface).
 EXIT_OK = 0
@@ -64,27 +69,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="regenerate the paper's evaluation tables")
-    bench.add_argument("table", choices=("figure6", "figure7"),
-                       help="which table to regenerate")
+    bench.add_argument("table", choices=("figure6", "figure7", "incremental"),
+                       help="which table to regenerate (incremental replays "
+                            "a scripted edit sequence per benchmark)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
                        help="directory holding the benchmark .rsc ports")
     bench.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (default: text)")
-    bench.add_argument("--out", metavar="FILE", default="BENCH_fixpoint.json",
-                       help="where figure6 writes the fixpoint report "
-                            "(default: BENCH_fixpoint.json in the current "
-                            "directory, i.e. the repo root in CI)")
+    bench.add_argument("--out", metavar="FILE", default=None,
+                       help="where to write the machine-readable report "
+                            "(default: BENCH_fixpoint.json for figure6, "
+                            "BENCH_incremental.json for incremental, in the "
+                            "current directory, i.e. the repo root in CI)")
     bench.add_argument("--no-compare", action="store_true",
                        help="figure6: skip the naive-engine comparison run "
                             "and the report dump")
+
+    serve = sub.add_parser(
+        "serve", help="newline-delimited JSON request/response loop over "
+                      "stdin/stdout (check/update/diagnostics/shutdown)")
+    _workspace_flags(serve)
+
+    watchp = sub.add_parser(
+        "watch", help="re-check files whenever their mtime changes")
+    watchp.add_argument("files", nargs="+", help="nanoTS source files")
+    watchp.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="polling interval (default: 0.5s)")
+    watchp.add_argument("--max-scans", type=int, default=None, metavar="N",
+                        help="stop after N filesystem scans (default: run "
+                             "until interrupted)")
+    _workspace_flags(watchp)
 
     explain = sub.add_parser(
         "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
     explain.add_argument("code", nargs="?", default=None,
                          help="the diagnostic code; omit to list all codes")
     return parser
+
+
+def _workspace_flags(parser: argparse.ArgumentParser) -> None:
+    """Config flags shared by the workspace-backed subcommands."""
+    parser.add_argument("--max-iterations", type=int, default=40, metavar="N",
+                        help="liquid fixpoint iteration budget (default: 40)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="disable artifact caching and warm-started "
+                             "fixpoint (every update is a cold check)")
+    parser.add_argument("--warnings-as-errors", action="store_true",
+                        help="treat warnings as errors in the verdict")
+
+
+def _workspace_config(args: argparse.Namespace) -> CheckConfig:
+    return CheckConfig(
+        max_fixpoint_iterations=args.max_iterations,
+        warnings_as_errors=args.warnings_as_errors,
+        incremental=not args.no_incremental,
+    )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -124,6 +165,51 @@ def cmd_check(args: argparse.Namespace) -> int:
     return EXIT_OK if batch.ok else EXIT_UNSAFE
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve
+    try:
+        config = _workspace_config(args)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return serve(config=config)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.watch import watch
+    try:
+        config = _workspace_config(args)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return watch(args.files, config=config, poll_seconds=args.poll,
+                 max_scans=args.max_scans)
+
+
+def _emit_bench_report(args: argparse.Namespace, report: dict,
+                       default_out: str, label: str, partial: bool,
+                       render_text) -> None:
+    """Dump and print a machine-readable bench report.
+
+    A partial (--only) run would clobber a full report with one the
+    regression gate reads as missing benchmarks, so it is only written for
+    full runs unless the user redirected the output explicitly."""
+    import pathlib
+    out = args.out or default_out
+    dump = not partial or args.out is not None
+    if dump:
+        pathlib.Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return
+    print(render_text())
+    if dump:
+        print(f"\n{label} report written to {out}")
+    else:
+        print(f"\npartial run: {label} report not written "
+              "(pass --out FILE to dump it)")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
     import pathlib
@@ -135,6 +221,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"repro: unknown benchmark(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return EXIT_USAGE
+        partial = set(names) != set(bench.BENCHMARKS)
+        if args.table == "incremental":
+            rows = bench.incremental_rows(names, programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.incremental_report(rows),
+                "BENCH_incremental.json", "incremental", partial,
+                lambda: bench.format_incremental(rows))
+            return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
         if args.table == "figure6":
             if args.no_compare:
                 rows = bench.figure6_rows(names, programs_dir=programs_dir)
@@ -146,26 +240,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
             rows, comparisons = bench.figure6_with_comparison(
                 names, programs_dir=programs_dir)
-            report = bench.fixpoint_report(rows, comparisons)
-            # A partial (--only) run would clobber a full report with one the
-            # regression gate reads as missing benchmarks, so only dump it
-            # for full runs unless the user redirected the output explicitly.
-            full_run = set(names) == set(bench.BENCHMARKS)
-            dump = full_run or args.out != "BENCH_fixpoint.json"
-            if dump:
-                pathlib.Path(args.out).write_text(json.dumps(report, indent=2)
-                                                  + "\n")
-            if args.format == "json":
-                print(json.dumps(report, indent=2))
-            else:
-                print(bench.format_figure6(rows))
-                print()
-                print(bench.format_fixpoint_comparison(comparisons))
-                if dump:
-                    print(f"\nfixpoint report written to {args.out}")
-                else:
-                    print("\npartial run: fixpoint report not written "
-                          "(pass --out FILE to dump it)")
+            _emit_bench_report(
+                args, bench.fixpoint_report(rows, comparisons),
+                "BENCH_fixpoint.json", "fixpoint", partial,
+                lambda: "\n".join([bench.format_figure6(rows), "",
+                                   bench.format_fixpoint_comparison(
+                                       comparisons)]))
             return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
         if args.format == "json":
             payload = [{"name": n, "loc": bench.count_loc(
@@ -212,6 +292,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_check(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "watch":
+        return cmd_watch(args)
     return cmd_explain(args)
 
 

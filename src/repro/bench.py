@@ -36,11 +36,12 @@ from __future__ import annotations
 import os
 import pathlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import CheckConfig
 from repro.core.session import Session
+from repro.core.workspace import Workspace
 
 #: Paper's Figure 6 numbers: benchmark -> (LOC, T, M, R, time seconds)
 PAPER_FIGURE6: Dict[str, tuple] = {
@@ -377,6 +378,188 @@ def format_figure6(rows: List[BenchmarkRow]) -> str:
     lines.append("-" * 74)
     lines.append(f"{'TOTAL':15s} {total_loc:4d} {total_t:4d} {total_m:4d} "
                  f"{total_r:4d} {'':8s} {'':6s} {total_q:8d} {total_p:7d}")
+    return "\n".join(lines)
+
+
+#: Function edited by the scripted ``incremental`` scenario, per benchmark.
+#: The edit inserts a harmless statement at the top of this function's body,
+#: dirtying exactly one declaration while the program keeps verifying.
+EDIT_TARGETS: Dict[str, str] = {
+    "navier-stokes": "diffuse",
+    "splay": "findMax",
+    "richards": "runnableCount",
+    "raytrace": "closestHit",
+    "transducers": "sum",
+    "d3-arrays": "min",
+    "tsc-checker": "countMembers",
+}
+
+
+def edit_function_body(source: str, name: str) -> str:
+    """Insert a no-op statement at the start of function ``name``'s body."""
+    pattern = re.compile(rf"(function\s+{re.escape(name)}\s*\([^)]*\)\s*\{{)")
+    edited, count = pattern.subn(r"\1 var __bench_edit = 0;", source, count=1)
+    if count != 1:
+        raise ValueError(f"cannot find function {name!r} to edit")
+    return edited
+
+
+def scripted_edits(name: str, source: str) -> List[tuple]:
+    """The ``(label, text)`` edit sequence the incremental bench replays.
+
+    * ``comment`` — whitespace/comment-only change: the AST is unchanged, so
+      every declaration's artifacts must be reused (0 solve queries).
+    * ``body`` — one declaration's body changes: only that partition is
+      re-solved, warm-started from the previous solution.
+    * ``revert`` — back to the original text: served from the per-document
+      content-hash artifact cache without running the pipeline at all.
+    """
+    return [
+        ("comment", source + "\n// bench: comment-only edit\n"),
+        ("body", edit_function_body(source, EDIT_TARGETS[name])),
+        ("revert", source),
+    ]
+
+
+@dataclass
+class IncrementalEdit:
+    """Counters for one replayed edit of the incremental scenario."""
+
+    label: str
+    queries: int
+    time_seconds: float
+    warm: bool
+    declarations_rechecked: int
+    declarations_reused: int
+    safe: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "queries": self.queries,
+            "time_seconds": self.time_seconds,
+            "warm": self.warm,
+            "declarations_rechecked": self.declarations_rechecked,
+            "declarations_reused": self.declarations_reused,
+            "safe": self.safe,
+        }
+
+
+@dataclass
+class IncrementalRow:
+    """Cold-check vs. edit-replay numbers for one benchmark."""
+
+    name: str
+    cold_queries: int
+    cold_time_seconds: float
+    edits: List[IncrementalEdit] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return all(edit.safe for edit in self.edits)
+
+    @property
+    def body_edit(self) -> Optional[IncrementalEdit]:
+        for edit in self.edits:
+            if edit.label == "body":
+                return edit
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "cold": {
+                "queries": self.cold_queries,
+                "time_seconds": self.cold_time_seconds,
+            },
+            "edits": [edit.to_dict() for edit in self.edits],
+            "safe": self.safe,
+        }
+
+
+def incremental_rows(names: Optional[List[str]] = None,
+                     programs_dir: Optional[pathlib.Path] = None
+                     ) -> List[IncrementalRow]:
+    """Replay the scripted edit sequence per benchmark through a workspace.
+
+    Each benchmark gets a fresh :class:`repro.Workspace` (cold solver) so
+    the cold-open numbers are comparable across runs; the per-edit numbers
+    then show what the incremental machinery saves inside one editing loop.
+    """
+    rows: List[IncrementalRow] = []
+    for name in (names or BENCHMARKS):
+        source = source_of(name, programs_dir)
+        uri = f"{name}.rsc"
+        workspace = Workspace(CheckConfig())
+        cold = workspace.open(uri, source)
+        row = IncrementalRow(
+            name=name,
+            cold_queries=cold.stats.queries if cold.stats else 0,
+            cold_time_seconds=cold.time_seconds)
+        for label, text in scripted_edits(name, source):
+            result = workspace.update(uri, text)
+            solve = result.solve_stats
+            row.edits.append(IncrementalEdit(
+                label=label,
+                queries=result.stats.queries if result.stats else 0,
+                time_seconds=result.time_seconds,
+                warm=bool(solve and solve.warm_starts),
+                declarations_rechecked=(solve.declarations_rechecked
+                                        if solve else 0),
+                declarations_reused=solve.declarations_reused if solve else 0,
+                safe=result.ok))
+        rows.append(row)
+    return rows
+
+
+#: Schema identifier stamped into incremental reports.
+INCREMENTAL_REPORT_SCHEMA = "repro-bench-incremental/1"
+
+
+def incremental_report(rows: List[IncrementalRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_incremental.json``."""
+    body_total = sum(r.body_edit.queries for r in rows if r.body_edit)
+    return {
+        "schema": INCREMENTAL_REPORT_SCHEMA,
+        "benchmarks": {row.name: row.to_dict() for row in rows},
+        "totals": {
+            "cold_queries": sum(r.cold_queries for r in rows),
+            "body_edit_queries": body_total,
+        },
+    }
+
+
+def format_incremental(rows: List[IncrementalRow]) -> str:
+    """The edit-recheck table printed by ``repro bench incremental``."""
+    lines = [
+        "Incremental re-check: cold open vs scripted edits "
+        "(comment-only / one body / revert)",
+        "Benchmark        Cold-q  Comment-q  Body-q  Saved%  Re/Reused  "
+        "Cold(s)  Body(s)",
+        "-" * 82,
+    ]
+    tot_cold = tot_body = 0
+    for row in rows:
+        by_label = {edit.label: edit for edit in row.edits}
+        comment = by_label.get("comment")
+        body = by_label.get("body")
+        saved = (100 * (1 - body.queries / row.cold_queries)
+                 if body and row.cold_queries else 0.0)
+        rechecked = body.declarations_rechecked if body else 0
+        reused = body.declarations_reused if body else 0
+        lines.append(
+            f"{row.name:15s} {row.cold_queries:7d} "
+            f"{comment.queries if comment else 0:10d} "
+            f"{body.queries if body else 0:7d} {saved:6.1f} "
+            f"{rechecked:4d}/{reused:<4d} "
+            f"{row.cold_time_seconds:8.2f} "
+            f"{body.time_seconds if body else 0.0:8.2f}")
+        tot_cold += row.cold_queries
+        tot_body += body.queries if body else 0
+    lines.append("-" * 82)
+    saved = 100 * (1 - tot_body / tot_cold) if tot_cold else 0.0
+    lines.append(f"{'TOTAL':15s} {tot_cold:7d} {'':10s} {tot_body:7d} "
+                 f"{saved:6.1f}")
     return "\n".join(lines)
 
 

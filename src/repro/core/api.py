@@ -14,11 +14,15 @@ kept so that one-shot callers keep working unchanged::
 
 New code — and anything checking more than one program — should construct a
 :class:`repro.core.session.Session` instead and reuse it, so that the
-solver's query cache is amortised across runs.
+solver's query cache is amortised across runs; code re-checking the same
+document across edits should use a
+:class:`repro.core.workspace.Workspace`.  Both wrappers emit a
+:class:`DeprecationWarning` to point callers there.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.lang import ast
@@ -34,6 +38,10 @@ __all__ = ["BatchResult", "CheckResult", "StageTimings", "check_program",
 def check_program(program: ast.Program, solver: Optional[Solver] = None,
                   max_fixpoint_iterations: int = 40) -> CheckResult:
     """Run the full RSC pipeline on a parsed program (one-shot session)."""
+    warnings.warn(
+        "check_program is deprecated; construct a repro.Session (one-shot "
+        "batches) or a repro.Workspace (re-checking across edits) instead",
+        DeprecationWarning, stacklevel=2)
     config = CheckConfig(max_fixpoint_iterations=max_fixpoint_iterations)
     return Session(config, solver=solver).check_program(program)
 
@@ -41,4 +49,8 @@ def check_program(program: ast.Program, solver: Optional[Solver] = None,
 def check_source(source: str, filename: str = "<input>",
                  solver: Optional[Solver] = None) -> CheckResult:
     """Parse and check a nanoTS source string (one-shot session)."""
+    warnings.warn(
+        "check_source is deprecated; construct a repro.Session (one-shot "
+        "batches) or a repro.Workspace (re-checking across edits) instead",
+        DeprecationWarning, stacklevel=2)
     return Session(solver=solver).check_source(source, filename=filename)

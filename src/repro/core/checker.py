@@ -116,7 +116,11 @@ class Checker:
         self.embedder = ExprEmbedder(self.table.enums)
         self.stats = CheckerStats()
         self._closures: Dict[str, ClosureInfo] = {}
-        self._kappa_counter = itertools.count()
+        # Kappa names are deterministic *per checkable unit* (the constraint
+        # partition owner), so re-checking an unchanged declaration after an
+        # edit elsewhere reproduces identical kappa names — the property the
+        # incremental workspace's warm-started fixpoint relies on.
+        self._kappa_counters: Dict[Optional[str], "itertools.count"] = {}
         self._in_constructor = False
         self._signatures: Dict[str, RType] = {}
         # Class-typed binders carry their class invariant in their embedding
@@ -134,7 +138,8 @@ class Checker:
         global_env = self._global_env()
         for decl in self.program.declarations:
             if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
-                self._check_function_decl(decl, global_env)
+                with self.constraints.owned(decl.name):
+                    self._check_function_decl(decl, global_env)
             elif isinstance(decl, ast.ClassDecl):
                 self._check_class(decl, global_env)
         self.stats.constraints = len(self.constraints)
@@ -238,7 +243,8 @@ class Checker:
     def _check_class(self, decl: ast.ClassDecl, env: Env) -> None:
         info = self.table.classes[decl.name]
         if decl.constructor is not None and decl.constructor.body is not None:
-            self._check_constructor(decl, info, env)
+            with self.constraints.owned(f"{decl.name}.constructor"):
+                self._check_constructor(decl, info, env)
         for method in decl.methods:
             if method.body is None:
                 continue
@@ -249,7 +255,9 @@ class Checker:
                                      tparams=list(decl.tparams) + list(method.sig.tparams),
                                      params=method.sig.params, ret=method.sig.ret,
                                      body=method.body, span=method.sig.span)
-            self._check_callable(fdecl, minfo.signature, env, this_type=this_type)
+            with self.constraints.owned(fdecl.name):
+                self._check_callable(fdecl, minfo.signature, env,
+                                     this_type=this_type)
 
     def _this_type(self, class_name: str, mutability: Mutability) -> RType:
         inv = self.table.invariant(class_name, VALUE_VAR)
@@ -1162,7 +1170,10 @@ class Checker:
 
     def _fresh_template(self, base: RType, env: Env) -> RType:
         """A refinement template ``{v: base | kappa(v, scope...)}``."""
-        kname = f"{KVAR_PREFIX}{next(self._kappa_counter)}"
+        owner = self.constraints.current_owner
+        if owner not in self._kappa_counters:
+            self._kappa_counters[owner] = itertools.count()
+        kname = f"{KVAR_PREFIX}{owner or ''}#{next(self._kappa_counters[owner])}"
         kinds: Dict[str, str] = {}
         scope: List[str] = []
         for name in env.scope_names():
@@ -1185,7 +1196,8 @@ class Checker:
             else:
                 kinds[name] = "any"
             scope.append(name)
-        self.kappas.register(kname, [VALUE_VAR.name] + scope, kinds)
+        self.kappas.register(kname, [VALUE_VAR.name] + scope, kinds,
+                             owner=owner)
         self.stats.kappas_created += 1
         occurrence = App(kname, tuple([VALUE_VAR] + [Var(s) for s in scope]),
                          sort=BoolSort())

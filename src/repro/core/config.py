@@ -60,6 +60,12 @@ class CheckConfig:
     * ``output_format`` — ``"text"`` or ``"json"`` (the CLI default).
     * ``jobs`` — worker count used by batch entry points; each extra worker
       checks with its own solver, so cache amortisation is per worker.
+    * ``incremental`` — let a :class:`repro.core.workspace.Workspace` reuse
+      per-document artifacts across edits (content-hash cache, warm-started
+      fixpoint, obligation reuse).  Off, every update is a cold check.
+    * ``document_cache_limit`` — how many content-hash snapshots each open
+      document keeps (bounds workspace memory; the most recent snapshot is
+      always retained).
     """
 
     max_fixpoint_iterations: int = 40
@@ -69,6 +75,8 @@ class CheckConfig:
     solver: SolverOptions = field(default_factory=SolverOptions)
     output_format: str = "text"
     jobs: int = 1
+    incremental: bool = True
+    document_cache_limit: int = 8
 
     def __post_init__(self) -> None:
         if self.max_fixpoint_iterations < 1:
@@ -87,6 +95,8 @@ class CheckConfig:
                 f"(expected one of {', '.join(OUTPUT_FORMATS)})")
         if self.jobs < 1:
             raise ValueError("jobs must be positive")
+        if self.document_cache_limit < 1:
+            raise ValueError("document_cache_limit must be positive")
 
     def with_options(self, **changes) -> "CheckConfig":
         """A copy of this config with the given fields replaced."""
@@ -101,4 +111,6 @@ class CheckConfig:
             "solver": self.solver.to_dict(),
             "output_format": self.output_format,
             "jobs": self.jobs,
+            "incremental": self.incremental,
+            "document_cache_limit": self.document_cache_limit,
         }

@@ -15,8 +15,9 @@ inconsistent, i.e. the code is unreachable under the current overload.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ErrorKind, SourceSpan
 from repro.logic.terms import BoolLit, Expr, conj
@@ -26,7 +27,12 @@ from repro.core.environment import Env
 
 @dataclass
 class SubC:
-    """A subtyping constraint ``env |- lhs <: rhs``."""
+    """A subtyping constraint ``env |- lhs <: rhs``.
+
+    ``owner`` names the checkable unit (function, method, constructor) whose
+    checking emitted the constraint; the incremental workspace uses it to
+    invalidate only the partitions an edit touched.
+    """
 
     env: Env
     lhs: RType
@@ -35,6 +41,7 @@ class SubC:
     span: SourceSpan = field(default_factory=SourceSpan.unknown)
     kind: ErrorKind = ErrorKind.SUBTYPE
     code: Optional[str] = None
+    owner: Optional[str] = None
 
 
 @dataclass
@@ -47,6 +54,7 @@ class Implication:
     span: SourceSpan = field(default_factory=SourceSpan.unknown)
     kind: ErrorKind = ErrorKind.SUBTYPE
     code: Optional[str] = None
+    owner: Optional[str] = None
 
     def is_dead_code_obligation(self) -> bool:
         return isinstance(self.goal, BoolLit) and self.goal.value is False
@@ -57,33 +65,58 @@ class Implication:
 
 @dataclass
 class ConstraintSet:
-    """All constraints collected while checking one program."""
+    """All constraints collected while checking one program.
+
+    While the checker walks one checkable unit it sets
+    :attr:`current_owner` (via the :meth:`owned` context manager); every
+    constraint added without an explicit ``owner`` inherits it.  The
+    subtype splitter, which runs after checking, passes the originating
+    constraint's owner explicitly instead.
+    """
 
     subtypings: List[SubC] = field(default_factory=list)
     implications: List[Implication] = field(default_factory=list)
+    current_owner: Optional[str] = None
+
+    @contextmanager
+    def owned(self, owner: Optional[str]) -> Iterator[None]:
+        """Attribute constraints added inside the block to ``owner``."""
+        previous = self.current_owner
+        self.current_owner = owner
+        try:
+            yield
+        finally:
+            self.current_owner = previous
 
     def add_sub(self, env: Env, lhs: RType, rhs: RType, reason: str,
                 span: Optional[SourceSpan] = None,
                 kind: ErrorKind = ErrorKind.SUBTYPE,
-                code: Optional[str] = None) -> None:
+                code: Optional[str] = None,
+                owner: Optional[str] = None) -> None:
         self.subtypings.append(SubC(env, lhs, rhs, reason,
-                                    span or SourceSpan.unknown(), kind, code))
+                                    span or SourceSpan.unknown(), kind, code,
+                                    owner if owner is not None
+                                    else self.current_owner))
 
     def add_implication(self, hyps: List[Expr], goal: Expr, reason: str,
                         span: Optional[SourceSpan] = None,
                         kind: ErrorKind = ErrorKind.SUBTYPE,
-                        code: Optional[str] = None) -> None:
+                        code: Optional[str] = None,
+                        owner: Optional[str] = None) -> None:
         self.implications.append(Implication(list(hyps), goal, reason,
                                              span or SourceSpan.unknown(), kind,
-                                             code))
+                                             code,
+                                             owner if owner is not None
+                                             else self.current_owner))
 
     def add_dead_code(self, env: Env, reason: str,
                       span: Optional[SourceSpan] = None,
                       kind: ErrorKind = ErrorKind.OVERLOAD,
-                      code: Optional[str] = None) -> None:
+                      code: Optional[str] = None,
+                      owner: Optional[str] = None) -> None:
         """Require that ``env`` is inconsistent (the program point is dead)."""
         self.add_implication(env.hypotheses(), BoolLit(False), reason, span,
-                             kind, code)
+                             kind, code, owner)
 
     def extend(self, other: "ConstraintSet") -> None:
         self.subtypings.extend(other.subtypings)

@@ -69,11 +69,17 @@ STRATEGIES = FIXPOINT_STRATEGIES
 
 @dataclass
 class KappaInfo:
-    """Metadata recorded when a kappa template is created."""
+    """Metadata recorded when a kappa template is created.
+
+    ``owner`` names the checkable unit (constraint partition) whose checking
+    created the kappa; the incremental workspace uses it to decide which
+    kappa assignments an edit invalidates.
+    """
 
     name: str
     formals: List[str]                    # first formal is the value variable
     kinds: Dict[str, str] = field(default_factory=dict)   # formal -> kind
+    owner: Optional[str] = None
 
 
 class KappaRegistry:
@@ -83,14 +89,20 @@ class KappaRegistry:
         self.kappas: Dict[str, KappaInfo] = {}
 
     def register(self, name: str, formals: Sequence[str],
-                 kinds: Optional[Dict[str, str]] = None) -> None:
-        self.kappas[name] = KappaInfo(name, list(formals), dict(kinds or {}))
+                 kinds: Optional[Dict[str, str]] = None,
+                 owner: Optional[str] = None) -> None:
+        self.kappas[name] = KappaInfo(name, list(formals), dict(kinds or {}),
+                                      owner)
 
     def __contains__(self, name: str) -> bool:
         return name in self.kappas
 
     def info(self, name: str) -> KappaInfo:
         return self.kappas[name]
+
+    def owners_of(self) -> Dict[str, Optional[str]]:
+        """Kappa name -> owning partition (None for unowned kappas)."""
+        return {name: info.owner for name, info in self.kappas.items()}
 
 
 Solution = Dict[str, List[Expr]]
@@ -278,22 +290,63 @@ class LiquidSolver:
 
     def initial_solution(self) -> Solution:
         solution: Solution = {}
-        for name, info in self.registry.kappas.items():
-            candidates = {formal: info.kinds.get(formal, "any")
-                          for formal in info.formals[1:]}
-            instantiated = self.pool.instantiate(candidates)
-            kept: List[Expr] = []
-            for qual in instantiated:
-                if (name, qual) in self._refuted:
-                    self.stats.queries_pruned += 1
-                else:
-                    kept.append(qual)
-            solution[name] = kept
+        for name in self.registry.kappas:
+            solution[name] = self._initial_candidates(name)
         return solution
 
-    def solve(self, implications: Sequence[Implication]) -> Solution:
+    def _initial_candidates(self, name: str) -> List[Expr]:
+        """The strongest starting assignment for one kappa: every pool
+        qualifier instantiated over its scope, minus memoised refutations."""
+        info = self.registry.info(name)
+        candidates = {formal: info.kinds.get(formal, "any")
+                      for formal in info.formals[1:]}
+        instantiated = self.pool.instantiate(candidates)
+        kept: List[Expr] = []
+        for qual in instantiated:
+            if (name, qual) in self._refuted:
+                self.stats.queries_pruned += 1
+            else:
+                kept.append(qual)
+        return kept
+
+    def warm_solution(self, previous: Solution,
+                      dirty_kappas: Set[str]) -> Solution:
+        """The warm starting assignment: previous values for clean kappas,
+        the strongest (pool-instantiated) assignment for dirty ones.
+
+        Sound — i.e. converging to the same fixpoint a cold solve would —
+        exactly when every clean kappa's constraints are unchanged and no
+        implication mixes kappas from clean and dirty partitions; the
+        workspace verifies both before requesting a warm start.
+        """
+        solution: Solution = {}
+        for name in self.registry.kappas:
+            if name in previous and name not in dirty_kappas:
+                solution[name] = list(previous[name])
+            else:
+                solution[name] = self._initial_candidates(name)
+        return solution
+
+    def solve(self, implications: Sequence[Implication],
+              previous: Optional[Solution] = None,
+              dirty_kappas: Optional[Set[str]] = None) -> Solution:
+        """Solve the Horn implications for the strongest kappa assignment.
+
+        With ``previous`` and ``dirty_kappas`` given (worklist strategy
+        only), the solve is *warm-started*: clean kappas begin at their
+        previous fixpoint values and the worklist is seeded with only the
+        implications constraining dirty kappas — everything else is reached
+        through the dependency graph if (and only if) a weakening actually
+        propagates to it.
+        """
         self.stats = SolveStats(strategy=self.strategy)
-        solution = self.initial_solution()
+        warm = (previous is not None and dirty_kappas is not None
+                and self.strategy == "worklist")
+        if warm:
+            solution = self.warm_solution(previous, dirty_kappas)
+            self.stats.warm_starts = 1
+        else:
+            solution = self.initial_solution()
         horn = [imp for imp in implications
                 if self._goal_kappa(imp) is not None
                 and self._goal_kappa(imp).fn in self.registry]
@@ -303,7 +356,8 @@ class LiquidSolver:
         if self.strategy == "naive":
             self._solve_naive(horn, solution)
         else:
-            self._solve_worklist(horn, solution)
+            self._solve_worklist(horn, solution,
+                                 seed_kappas=dirty_kappas if warm else None)
         self.stats.cache_hits = self.solver.stats.cache_hits - cache_before
         return solution
 
@@ -334,7 +388,8 @@ class LiquidSolver:
                 break
 
     def _solve_worklist(self, horn: Sequence[Implication],
-                        solution: Solution) -> None:
+                        solution: Solution,
+                        seed_kappas: Optional[Set[str]] = None) -> None:
         """Dependency-directed weakening in SCC-topological order.
 
         The schedule proceeds in rounds: each round visits, in topological
@@ -348,6 +403,11 @@ class LiquidSolver:
         fresh SMT formula per predecessor change — and unlike the naive
         sweep, implications whose dependencies are stable are never
         reconsidered and no final confirmation sweep is needed.
+
+        ``seed_kappas`` restricts the *initial* worklist to implications
+        whose goal or hypotheses mention one of the named kappas (warm
+        start); the watcher propagation then pulls in downstream
+        implications exactly as for any other weakening.
         """
         graph = build_dependency_graph(horn)
         rank, scc_count = scc_ranks(graph)
@@ -369,7 +429,14 @@ class LiquidSolver:
             return (rank.get(goal_of[idx], 0), idx)
 
         budget = self.max_iterations * max(1, len(horn))
-        current = sorted(range(len(horn)), key=priority)
+        initial = range(len(horn))
+        if seed_kappas is not None:
+            initial = [idx for idx, imp in enumerate(horn)
+                       if goal_of[idx] in seed_kappas
+                       or any(dep in seed_kappas
+                              for hyp in imp.hyps
+                              for dep in kappa_occurrences(hyp))]
+        current = sorted(initial, key=priority)
         while current and self.stats.rounds < budget:
             position = {idx: pos for pos, idx in enumerate(current)}
             dirty: Set[int] = set()

@@ -34,6 +34,12 @@ class SolveStats:
     discharged without an SMT query (syntactic tautologies, inconsistent
     hypotheses, and refuted-memo hits); ``cache_hits`` is the solver-cache
     delta observed while solving.
+
+    The incremental-workspace counters describe warm starts:
+    ``warm_starts`` is 1 when the solve reused a previous solution,
+    ``declarations_rechecked``/``declarations_reused`` count the constraint
+    partitions (checkable declarations) the edit invalidated vs. the ones
+    whose solved refinements and obligation verdicts were carried over.
     """
 
     strategy: str = "worklist"
@@ -44,6 +50,9 @@ class SolveStats:
     queries_issued: int = 0
     queries_pruned: int = 0
     cache_hits: int = 0
+    warm_starts: int = 0
+    declarations_rechecked: int = 0
+    declarations_reused: int = 0
 
     def merge(self, other: "SolveStats") -> None:
         if self.strategy != other.strategy:
@@ -55,6 +64,9 @@ class SolveStats:
         self.queries_issued += other.queries_issued
         self.queries_pruned += other.queries_pruned
         self.cache_hits += other.cache_hits
+        self.warm_starts += other.warm_starts
+        self.declarations_rechecked += other.declarations_rechecked
+        self.declarations_reused += other.declarations_reused
 
     def to_dict(self) -> dict:
         return {
@@ -66,6 +78,9 @@ class SolveStats:
             "queries_issued": self.queries_issued,
             "queries_pruned": self.queries_pruned,
             "cache_hits": self.cache_hits,
+            "warm_starts": self.warm_starts,
+            "declarations_rechecked": self.declarations_rechecked,
+            "declarations_reused": self.declarations_reused,
         }
 
 

@@ -1,10 +1,14 @@
-"""The session-based checking pipeline — the primary public API.
+"""The session-based checking pipeline — a one-shot facade over the
+incremental :class:`repro.core.workspace.Workspace`.
 
-A :class:`Session` owns one long-lived :class:`repro.smt.Solver` whose
-query/result cache is reused across every program checked through it, so
-batch runs (benchmark suites, whole projects, generate-and-check loops)
-amortise repeated verification conditions instead of rebuilding a solver
-per file.
+A :class:`Session` owns one long-lived :class:`repro.smt.Solver` (via its
+workspace) whose query/result cache is reused across every program checked
+through it, so batch runs (benchmark suites, whole projects,
+generate-and-check loops) amortise repeated verification conditions instead
+of rebuilding a solver per file.  Unlike a workspace, a session keeps no
+per-document state: every ``check_*`` call is an independent cold check —
+use a :class:`~repro.core.workspace.Workspace` when the same document is
+re-checked across edits.
 
 The pipeline is explicit and inspectable.  Each stage returns an artifact
 object that the next stage consumes, and wall-clock time is recorded per
@@ -31,27 +35,20 @@ import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.errors import (
-    Diagnostic,
-    DiagnosticBag,
-    ErrorKind,
-    ParseError,
-    Severity,
-    SourceSpan,
-)
-from repro.lang import ast, parse_program
+from repro.errors import Diagnostic, ErrorKind, SourceSpan
+from repro.lang import ast
 from repro.smt.solver import Solver, SolverStats
-from repro.ssa import ir
-from repro.ssa.transform import SsaTransformer
-from repro.core.checker import Checker
 from repro.core.config import CheckConfig
-from repro.core.liquid.fixpoint import LiquidSolver, Solution
-from repro.core.liquid.qualifiers import QualifierPool
-from repro.core.result import BatchResult, CheckResult, SolveStats, StageTimings
-from repro.core.subtype import SubtypeSplitter
+from repro.core.result import BatchResult, CheckResult, StageTimings
+from repro.core.workspace import (  # noqa: F401  (re-exported stage types)
+    ConstraintsStage,
+    ParseStage,
+    SolveStage,
+    SsaStage,
+    Workspace,
+)
 
 PathLike = Union[str, pathlib.Path]
 
@@ -63,201 +60,42 @@ def _check_chunk(config: CheckConfig, paths: List[str]) -> tuple:
     return results, session.solver.stats, session.files_checked
 
 
-# ---------------------------------------------------------------------------
-# stage artifacts
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class ParseStage:
-    """Output of :meth:`Session.parse`: the AST (or a parse diagnostic)."""
-
-    source: str
-    filename: str
-    program: Optional[ast.Program]
-    diagnostics: List[Diagnostic]
-    timings: StageTimings
-
-    @property
-    def ok(self) -> bool:
-        return self.program is not None
-
-
-@dataclass
-class SsaStage:
-    """Output of :meth:`Session.ssa`: SSA/IRSC bodies keyed by function name.
-
-    Purely inspectable — the checker re-derives SSA per callable while
-    generating constraints — but handy for debugging transforms and for
-    tooling that wants the intermediate representation.
-    """
-
-    parse: ParseStage
-    functions: Dict[str, ir.IRFunction]
-    timings: StageTimings
-
-    @property
-    def filename(self) -> str:
-        return self.parse.filename
-
-
-@dataclass
-class ConstraintsStage:
-    """Output of :meth:`Session.constraints`: the constraint system."""
-
-    parse: ParseStage
-    checker: Checker
-    diags: DiagnosticBag
-    stats_base: SolverStats
-    timings: StageTimings
-
-    @property
-    def num_subtypings(self) -> int:
-        return len(self.checker.constraints.subtypings)
-
-    @property
-    def num_implications(self) -> int:
-        return len(self.checker.constraints.implications)
-
-
-@dataclass
-class SolveStage:
-    """Output of :meth:`Session.solve`: the liquid fixpoint solution."""
-
-    constraints: ConstraintsStage
-    liquid: LiquidSolver
-    solution: Solution
-    timings: StageTimings
-
-    @property
-    def solve_stats(self) -> SolveStats:
-        """Typed fixpoint-engine counters for this solve run."""
-        return self.liquid.stats
-
-
-# ---------------------------------------------------------------------------
-# the session
-# ---------------------------------------------------------------------------
-
-
 class Session:
     """A reusable checking pipeline sharing one solver across programs."""
 
     def __init__(self, config: Optional[CheckConfig] = None,
                  solver: Optional[Solver] = None) -> None:
         self.config = config or CheckConfig()
-        opts = self.config.solver
-        self.solver = solver or Solver(
-            max_theory_iterations=opts.max_theory_iterations,
-            cache_results=opts.cache_results,
-            cache_size_limit=opts.cache_size_limit)
+        self.workspace = Workspace(self.config, solver=solver)
         self.files_checked = 0
 
-    # -- staged pipeline ---------------------------------------------------
+    @property
+    def solver(self) -> Solver:
+        return self.workspace.solver
+
+    # -- staged pipeline (delegated to the workspace) ----------------------
 
     def parse(self, source: str, filename: str = "<input>") -> ParseStage:
         """Stage 1: lex and parse ``source`` into an AST."""
-        timings = StageTimings()
-        start = time.perf_counter()
-        program: Optional[ast.Program] = None
-        diagnostics: List[Diagnostic] = []
-        try:
-            program = parse_program(source, filename)
-        except ParseError as exc:
-            span = exc.span
-            if span.filename != filename:
-                # a ParseError raised without a span would otherwise lose the
-                # file being checked
-                span = span.with_filename(filename)
-            diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message, span,
-                                          code="RSC-PARSE-001"))
-        timings.record("parse", time.perf_counter() - start)
-        return ParseStage(source, filename, program, diagnostics, timings)
+        return self.workspace.parse(source, filename)
 
     def ssa(self, parsed: ParseStage) -> SsaStage:
         """Stage 2: SSA-convert every callable body (inspectable IRSC)."""
-        if parsed.program is None:
-            raise ValueError("cannot run the ssa stage on a failed parse")
-        start = time.perf_counter()
-        functions: Dict[str, ir.IRFunction] = {}
-        for decl in parsed.program.declarations:
-            if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
-                functions[decl.name] = SsaTransformer().function(decl)
-            elif isinstance(decl, ast.ClassDecl):
-                for method in decl.methods:
-                    if method.body is None:
-                        continue
-                    wrapped = ast.FunctionDecl(
-                        name=f"{decl.name}.{method.sig.name}",
-                        params=method.sig.params, ret=method.sig.ret,
-                        body=method.body, span=method.sig.span)
-                    functions[wrapped.name] = SsaTransformer().function(wrapped)
-        parsed.timings.record("ssa", time.perf_counter() - start)
-        return SsaStage(parsed, functions, parsed.timings)
+        return self.workspace.ssa(parsed)
 
     def constraints(self, stage: Union[ParseStage, SsaStage]) -> ConstraintsStage:
         """Stage 3: generate and flatten the subtyping constraints."""
-        parsed = stage.parse if isinstance(stage, SsaStage) else stage
-        if parsed.program is None:
-            raise ValueError("cannot generate constraints on a failed parse")
-        stats_base = self.solver.stats.copy()
-        start = time.perf_counter()
-        diags = DiagnosticBag()
-        diags.extend(parsed.diagnostics)
-        checker = Checker(parsed.program, diags, self.solver,
-                          pool=self._new_pool())
-        checker.run()
-        splitter = SubtypeSplitter(checker.table, checker.constraints)
-        for constraint in list(checker.constraints.subtypings):
-            splitter.split(constraint)
-        parsed.timings.record("constraints", time.perf_counter() - start)
-        return ConstraintsStage(parsed, checker, diags, stats_base,
-                                parsed.timings)
+        return self.workspace.constraints(stage)
 
     def solve(self, stage: ConstraintsStage) -> SolveStage:
         """Stage 4: liquid fixpoint — infer the kappa refinements."""
-        start = time.perf_counter()
-        checker = stage.checker
-        liquid = LiquidSolver(
-            self.solver, checker.pool, checker.kappas,
-            max_iterations=self.config.max_fixpoint_iterations,
-            strategy=self.config.fixpoint_strategy)
-        solution = liquid.solve(checker.constraints.implications)
-        stage.timings.record("solve", time.perf_counter() - start)
-        return SolveStage(stage, liquid, solution, stage.timings)
+        return self.workspace.solve(stage)
 
     def verify(self, stage: SolveStage) -> CheckResult:
         """Stage 5: discharge the concrete obligations, build the verdict."""
-        start = time.perf_counter()
-        cons = stage.constraints
-        checker = cons.checker
-        results = stage.liquid.check_concrete(
-            checker.constraints.implications, stage.solution)
-        for outcome in results:
-            if outcome.ok:
-                continue
-            cons.diags.error(outcome.implication.kind, outcome.message(),
-                             outcome.span, code=outcome.code)
-        stage.timings.record("verify", time.perf_counter() - start)
-        diagnostics = list(cons.diags)
-        if self.config.warnings_as_errors:
-            diagnostics = [replace(d, severity=Severity.ERROR)
-                           if d.severity is Severity.WARNING else d
-                           for d in diagnostics]
+        result = self.workspace.verify(stage)
         self.files_checked += 1
-        return CheckResult(
-            diagnostics=diagnostics,
-            checker_stats=checker.stats,
-            stats=self.solver.stats.delta_since(cons.stats_base),
-            solve_stats=stage.solve_stats,
-            kappa_solution=stage.solution,
-            num_constraints=len(checker.constraints.subtypings),
-            num_implications=len(checker.constraints.implications),
-            num_obligations_checked=len(results),
-            time_seconds=stage.timings.total,
-            filename=cons.parse.filename,
-            timings=stage.timings,
-        )
+        return result
 
     # -- batch entry points ------------------------------------------------
 
@@ -356,15 +194,10 @@ class Session:
                               code="RSC-INT-001")
             return CheckResult(diagnostics=[diag], filename=str(path))
 
-    def _new_pool(self) -> QualifierPool:
-        if self.config.qualifier_set == "harvested":
-            return QualifierPool(qualifiers=[])
-        return QualifierPool()
-
     @property
     def cache_size(self) -> int:
         return self.solver.cache_size
 
     def reset_cache(self) -> None:
         """Drop the solver's query cache (statistics are kept)."""
-        self.solver._cache.clear()
+        self.solver.clear_cache()

@@ -74,7 +74,7 @@ class SubtypeSplitter:
         if isinstance(lhs, TUnion):
             for member in lhs.members:
                 self.split(SubC(env, _carry(member, lhs), rhs, c.reason, c.span,
-                                c.kind, c.code))
+                                c.kind, c.code, c.owner))
             return
         if isinstance(rhs, TUnion):
             target = _matching_member(lhs, rhs)
@@ -82,7 +82,7 @@ class SubtypeSplitter:
                 self._mismatch(env, lhs, rhs, c)
                 return
             self.split(SubC(env, lhs, _carry(target, rhs), c.reason, c.span,
-                            c.kind, c.code))
+                            c.kind, c.code, c.owner))
             return
 
         if isinstance(lhs, TPrim) and isinstance(rhs, TPrim):
@@ -116,7 +116,7 @@ class SubtypeSplitter:
                     self.constraints.add_dead_code(
                         env, f"mutability {lhs.mutability} is not compatible with "
                              f"{rhs.mutability} ({c.reason})", c.span,
-                        ErrorKind.MUTABILITY, "RSC-MUT-002")
+                        ErrorKind.MUTABILITY, "RSC-MUT-002", owner=c.owner)
                 self._leaf(env, lhs, rhs, c)
             elif rhs_info is not None and rhs_info.is_interface:
                 # A class may be used where a structurally-compatible interface
@@ -147,7 +147,7 @@ class SubtypeSplitter:
         if isinstance(lhs, TInter) and isinstance(rhs, TInter):
             for member in rhs.members:
                 self.split(SubC(env, lhs, member, c.reason, c.span, c.kind,
-                                c.code))
+                                c.code, c.owner))
             return
 
         self._mismatch(env, lhs, rhs, c)
@@ -162,7 +162,7 @@ class SubtypeSplitter:
         hyps.append(embed(lhs, VALUE_VAR))
         for goal in conjuncts(rhs.pred):
             self.constraints.add_implication(hyps, goal, c.reason, c.span, c.kind,
-                                             c.code)
+                                             c.code, owner=c.owner)
 
     def _mismatch(self, env: Env, lhs: RType, rhs: RType, c: SubC) -> None:
         """Two-phase typing: a base-type mismatch is acceptable exactly when
@@ -173,22 +173,22 @@ class SubtypeSplitter:
         self.constraints.add_implication(
             hyps, BoolLit(False),
             f"{c.reason}: incompatible types {lhs.base_name()!r} and "
-            f"{rhs.base_name()!r}", c.span, c.kind, c.code)
+            f"{rhs.base_name()!r}", c.span, c.kind, c.code, owner=c.owner)
 
     def _split_array(self, env: Env, lhs: TArray, rhs: TArray, c: SubC) -> None:
         if not lhs.mutability.is_subtype_of(rhs.mutability):
             self.constraints.add_dead_code(
                 env, f"array mutability {lhs.mutability} is not compatible with "
                      f"{rhs.mutability} ({c.reason})", c.span, ErrorKind.MUTABILITY,
-                "RSC-MUT-002")
+                "RSC-MUT-002", owner=c.owner)
         self._leaf(env, lhs, rhs, c)
         self.split(SubC(env, lhs.elem, rhs.elem, c.reason + " (array elements)",
-                        c.span, c.kind, c.code))
+                        c.span, c.kind, c.code, c.owner))
         if rhs.mutability.allows_write:
             # writes through the supertype view flow back: invariance
             self.split(SubC(env, rhs.elem, lhs.elem,
                             c.reason + " (mutable array elements, contravariant)",
-                            c.span, c.kind, c.code))
+                            c.span, c.kind, c.code, c.owner))
 
     def _split_object(self, env: Env, lhs: RType, rhs: TObject, c: SubC) -> None:
         self._leaf(env, lhs, rhs, c)
@@ -205,7 +205,7 @@ class SubtypeSplitter:
                 return
             self.split(SubC(env, lhs_fields[name][1], ftype,
                             c.reason + f" (field {name!r})", c.span, c.kind,
-                            c.code))
+                            c.code, c.owner))
 
     def _split_structural_ref(self, env: Env, lhs: TRef, rhs: TRef, c: SubC) -> None:
         """Width subtyping of a class against a structurally-compatible
@@ -220,7 +220,7 @@ class SubtypeSplitter:
                 return
             self.split(SubC(env, lhs_fields[name].type, fld.type,
                             c.reason + f" (field {name!r})", c.span, c.kind,
-                            c.code))
+                            c.code, c.owner))
         self._leaf(env, lhs, rhs, c)
 
     def _split_object_nominal(self, env: Env, lhs: TObject, rhs: TRef, c: SubC) -> None:
@@ -237,7 +237,7 @@ class SubtypeSplitter:
                 return
             self.split(SubC(env, lhs.fields[name][1], fld.type,
                             c.reason + f" (field {name!r})", c.span, c.kind,
-                            c.code))
+                            c.code, c.owner))
         self._leaf(env, lhs, rhs, c)
 
     def _split_fun(self, env: Env, lhs: TFun, rhs: TFun, c: SubC) -> None:
@@ -257,10 +257,10 @@ class SubtypeSplitter:
             lhs_param = subst_terms(lp.type, renaming)
             self.split(SubC(inner, rp.type, lhs_param,
                             c.reason + f" (parameter {rp.name!r})", c.span,
-                            c.kind, c.code))
+                            c.kind, c.code, c.owner))
         lhs_ret = subst_terms(lhs.ret, renaming)
         self.split(SubC(inner, lhs_ret, rhs.ret, c.reason + " (result)",
-                        c.span, c.kind, c.code))
+                        c.span, c.kind, c.code, c.owner))
 
 
 def _carry(member: RType, parent: RType) -> RType:

@@ -1,0 +1,610 @@
+"""The incremental workspace — the primary checking API.
+
+A :class:`Workspace` holds *long-lived documents*: open a document once,
+then push edited text through :meth:`Workspace.update` and only the work the
+edit actually invalidated is redone.  One SMT solver (and its query cache)
+is shared by every document for the lifetime of the workspace.
+
+::
+
+    ws = Workspace(CheckConfig())
+    result = ws.open("a.rsc", source)          # cold check
+    result = ws.update("a.rsc", edited)        # incremental re-check
+    diags  = ws.diagnostics("a.rsc")           # last verdict, no work
+    ws.close("a.rsc")
+
+Three layers of reuse, from cheapest to deepest:
+
+1. **Artifact cache** — per document, keyed by content hash (bounded by
+   ``CheckConfig.document_cache_limit``).  Re-checking text the document has
+   seen before (undo, revert, editor churn) returns the cached
+   :class:`CheckResult` without touching the pipeline.
+2. **Warm-started fixpoint** — constraints are partitioned per checkable
+   declaration (function / method / constructor).  An edit that only
+   changes declaration *bodies* re-seeds the liquid fixpoint with the
+   kappas of the changed declarations, starting every unchanged kappa at
+   its previous fixpoint value; the dependency-directed worklist then only
+   revisits what a weakening actually reaches.
+3. **Obligation reuse** — concrete verification conditions of unchanged
+   declarations keep their previous verdicts (the formulas are identical),
+   so no SMT query is issued for them at all.
+
+Warm starts are *sound by construction*: the workspace falls back to a cold
+solve whenever the signature environment changed (specs, type aliases,
+class shapes, interfaces, enums, qualifier declarations, constructor
+bodies), declarations were added or removed, a kappa is shared between
+partitions, or the deterministic re-generation produced different kappa
+names — every case in which reusing the previous solution could diverge
+from a from-scratch check.  The test-suite asserts warm results are
+bit-identical to cold checks on every fixture and benchmark.
+
+The staged pipeline (parse → ssa → constraints → solve → verify) lives here
+too; :class:`repro.core.session.Session` is a thin one-shot facade over it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import (
+    Diagnostic,
+    DiagnosticBag,
+    ErrorKind,
+    ParseError,
+    Severity,
+)
+from repro.lang import ast, parse_program
+from repro.smt.solver import Solver, SolverStats
+from repro.ssa import ir
+from repro.ssa.transform import SsaTransformer
+from repro.core.checker import Checker
+from repro.core.config import CheckConfig
+from repro.core.fingerprint import signature_fingerprint, unit_fingerprints
+from repro.core.liquid.fixpoint import (
+    LiquidSolver,
+    ObligationOutcome,
+    Solution,
+    kappa_occurrences,
+)
+from repro.core.liquid.qualifiers import QualifierPool
+from repro.core.result import CheckResult, SolveStats, StageTimings
+from repro.core.subtype import SubtypeSplitter
+
+
+# ---------------------------------------------------------------------------
+# stage artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParseStage:
+    """Output of :meth:`Workspace.parse`: the AST (or a parse diagnostic)."""
+
+    source: str
+    filename: str
+    program: Optional[ast.Program]
+    diagnostics: List[Diagnostic]
+    timings: StageTimings
+
+    @property
+    def ok(self) -> bool:
+        return self.program is not None
+
+
+@dataclass
+class SsaStage:
+    """Output of :meth:`Workspace.ssa`: SSA/IRSC bodies keyed by function name.
+
+    Purely inspectable — the checker re-derives SSA per callable while
+    generating constraints — but handy for debugging transforms and for
+    tooling that wants the intermediate representation.
+    """
+
+    parse: ParseStage
+    functions: Dict[str, ir.IRFunction]
+    timings: StageTimings
+
+    @property
+    def filename(self) -> str:
+        return self.parse.filename
+
+
+@dataclass
+class ConstraintsStage:
+    """Output of :meth:`Workspace.constraints`: the constraint system."""
+
+    parse: ParseStage
+    checker: Checker
+    diags: DiagnosticBag
+    stats_base: SolverStats
+    timings: StageTimings
+
+    @property
+    def num_subtypings(self) -> int:
+        return len(self.checker.constraints.subtypings)
+
+    @property
+    def num_implications(self) -> int:
+        return len(self.checker.constraints.implications)
+
+
+@dataclass
+class SolveStage:
+    """Output of :meth:`Workspace.solve`: the liquid fixpoint solution."""
+
+    constraints: ConstraintsStage
+    liquid: LiquidSolver
+    solution: Solution
+    timings: StageTimings
+
+    @property
+    def solve_stats(self):
+        """Typed fixpoint-engine counters for this solve run."""
+        return self.liquid.stats
+
+
+# ---------------------------------------------------------------------------
+# incremental bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WarmPlan:
+    """What an edit invalidated, and what can be carried over."""
+
+    previous: Solution
+    dirty_kappas: Set[str]
+    dirty_owners: Set[str]
+    reused_owners: Set[str]
+    #: owner -> previous obligation outcomes, in emission order
+    reuse_concrete: Dict[str, List[ObligationOutcome]]
+
+
+@dataclass
+class Snapshot:
+    """Everything worth keeping from one check of one document version.
+
+    ``partition_local`` records that the constraint system which *produced*
+    ``solution`` kept every kappa inside its own partition — a warm start
+    may only reuse a solution whose producing system had that property,
+    otherwise a stale cross-partition weakening could be carried over.
+    """
+
+    content_hash: str
+    result: CheckResult
+    solution: Optional[Solution] = None
+    signature_fp: Optional[str] = None
+    unit_fps: Dict[str, str] = field(default_factory=dict)
+    kappas_by_owner: Dict[str, List[str]] = field(default_factory=dict)
+    concrete_by_owner: Dict[str, List[ObligationOutcome]] = \
+        field(default_factory=dict)
+    partition_local: bool = False
+
+    @property
+    def warmable(self) -> bool:
+        return (self.solution is not None and self.signature_fp is not None
+                and self.partition_local)
+
+
+class Document:
+    """One open document: its text plus a bounded snapshot cache.
+
+    ``last_good`` is the most recent *warmable* snapshot — kept separately
+    from ``current`` so a transient syntax error mid-edit does not force
+    the next successful check back to a cold solve.
+    """
+
+    def __init__(self, uri: str) -> None:
+        self.uri = uri
+        self.text: str = ""
+        self.version = 0
+        self.current: Optional[Snapshot] = None
+        self.last_good: Optional[Snapshot] = None
+        self._snapshots: "OrderedDict[str, Snapshot]" = OrderedDict()
+
+    def cached(self, content_hash: str) -> Optional[Snapshot]:
+        snapshot = self._snapshots.get(content_hash)
+        if snapshot is not None:
+            self._snapshots.move_to_end(content_hash)
+        return snapshot
+
+    def store(self, snapshot: Snapshot, limit: int) -> None:
+        self._snapshots[snapshot.content_hash] = snapshot
+        self._snapshots.move_to_end(snapshot.content_hash)
+        while len(self._snapshots) > limit:
+            self._snapshots.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# the workspace
+# ---------------------------------------------------------------------------
+
+
+class Workspace:
+    """Long-lived documents over one shared solver, checked incrementally."""
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 solver: Optional[Solver] = None) -> None:
+        self.config = config or CheckConfig()
+        opts = self.config.solver
+        self.solver = solver or Solver(
+            max_theory_iterations=opts.max_theory_iterations,
+            cache_results=opts.cache_results,
+            cache_size_limit=opts.cache_size_limit)
+        self._documents: Dict[str, Document] = {}
+        self.checks_run = 0
+        self.artifact_cache_hits = 0
+
+    # -- document lifecycle ------------------------------------------------
+
+    def open(self, uri: str, text: Optional[str] = None) -> CheckResult:
+        """Open (or re-open) a document and check it.
+
+        With ``text=None`` the document is read from ``uri`` as a path.
+        Re-opening an already-open document behaves like :meth:`update`.
+        """
+        if text is None:
+            text = pathlib.Path(uri).read_text()
+        document = self._documents.get(uri)
+        if document is None:
+            document = Document(uri)
+            self._documents[uri] = document
+        return self._check_document(document, text)
+
+    def update(self, uri: str, text: Optional[str] = None) -> CheckResult:
+        """Replace an open document's text and re-check incrementally."""
+        document = self._documents.get(uri)
+        if document is None:
+            raise KeyError(f"document not open: {uri!r}")
+        if text is None:
+            text = pathlib.Path(uri).read_text()
+        return self._check_document(document, text)
+
+    def close(self, uri: str) -> None:
+        """Forget a document and every cached artifact for it."""
+        if uri not in self._documents:
+            raise KeyError(f"document not open: {uri!r}")
+        del self._documents[uri]
+
+    def diagnostics(self, uri: str) -> List[Diagnostic]:
+        """The open document's current diagnostics (no re-check)."""
+        return list(self.result(uri).diagnostics)
+
+    def result(self, uri: str) -> CheckResult:
+        """The open document's current :class:`CheckResult` (no re-check)."""
+        document = self._documents.get(uri)
+        if document is None or document.current is None:
+            raise KeyError(f"document not open: {uri!r}")
+        return document.current.result
+
+    def documents(self) -> List[str]:
+        """URIs of the open documents, in opening order."""
+        return list(self._documents)
+
+    @property
+    def cache_size(self) -> int:
+        return self.solver.cache_size
+
+    def reset_cache(self) -> None:
+        """Drop the shared solver's query cache (statistics are kept)."""
+        self.solver.clear_cache()
+
+    # -- the incremental check ---------------------------------------------
+
+    def _check_document(self, document: Document, text: str) -> CheckResult:
+        document.version += 1
+        document.text = text
+        content_hash = hashlib.sha256(text.encode()).hexdigest()
+        if self.config.incremental:
+            hit = document.cached(content_hash)
+            if hit is not None:
+                self.artifact_cache_hits += 1
+                document.current = hit
+                if hit.warmable:
+                    document.last_good = hit
+                return self._cache_hit_result(hit)
+        parsed = self.parse(text, document.uri)
+        if not parsed.ok:
+            self.checks_run += 1
+            result = CheckResult(diagnostics=list(parsed.diagnostics),
+                                 time_seconds=parsed.timings.total,
+                                 filename=document.uri,
+                                 timings=parsed.timings)
+            snapshot = Snapshot(content_hash, result)
+        else:
+            cons = self.constraints(parsed)
+            # The fingerprint/partition bookkeeping only matters when warm
+            # starts are possible at all.
+            warm_capable = (self.config.incremental
+                            and self.config.fixpoint_strategy == "worklist")
+            sig_fp: Optional[str] = None
+            unit_fps: Dict[str, str] = {}
+            local = False
+            plan = None
+            if warm_capable:
+                sig_fp = signature_fingerprint(parsed.program)
+                unit_fps = unit_fingerprints(parsed.program)
+                local = _partition_local(cons.checker)
+                if local:
+                    plan = self._plan(document.last_good, sig_fp, unit_fps,
+                                      cons)
+            solved = self.solve(cons, plan)
+            if plan is None:
+                solved.liquid.stats.declarations_rechecked = len(unit_fps)
+            result, outcomes = self._verify(solved, plan)
+            snapshot = Snapshot(
+                content_hash, result,
+                solution=solved.solution,
+                signature_fp=sig_fp,
+                unit_fps=unit_fps,
+                kappas_by_owner=_kappas_by_owner(cons.checker),
+                concrete_by_owner=_group_by_owner(outcomes),
+                partition_local=local)
+        document.store(snapshot, self.config.document_cache_limit)
+        document.current = snapshot
+        if snapshot.warmable:
+            document.last_good = snapshot
+        return snapshot.result
+
+    def _plan(self, previous: Optional[Snapshot], sig_fp: str,
+              unit_fps: Dict[str, str],
+              cons: ConstraintsStage) -> Optional[WarmPlan]:
+        """Decide what the edit invalidated; ``None`` means cold solve.
+
+        ``previous`` is the last *warmable* snapshot (its producing system
+        was partition-local), and the caller has already established that
+        the new system is partition-local too — the warm-soundness
+        precondition of :meth:`LiquidSolver.warm_solution` therefore holds
+        on both sides of the reuse.
+        """
+        if previous is None or not previous.warmable:
+            return None
+        if previous.signature_fp != sig_fp:
+            return None
+        if set(unit_fps) != set(previous.unit_fps):
+            return None  # declarations added or removed
+
+        checker = cons.checker
+        owners = checker.kappas.owners_of()
+        dirty_owners = {owner for owner, fp in unit_fps.items()
+                        if previous.unit_fps.get(owner) != fp}
+        kappas_by_owner = _kappas_by_owner(checker)
+        new_concrete = _group_by_owner(
+            imp for imp in checker.constraints.implications
+            if LiquidSolver._goal_kappa(imp) is None)
+
+        reuse_concrete: Dict[str, List[ObligationOutcome]] = {}
+        for owner in unit_fps:
+            if owner in dirty_owners:
+                continue
+            # Deterministic re-generation must have reproduced the same
+            # kappa names and the same number of concrete obligations;
+            # anything else demotes the declaration to dirty.
+            if kappas_by_owner.get(owner, []) != \
+                    previous.kappas_by_owner.get(owner, []):
+                dirty_owners.add(owner)
+                continue
+            prev_outcomes = previous.concrete_by_owner.get(owner, [])
+            if len(new_concrete.get(owner, [])) != len(prev_outcomes):
+                dirty_owners.add(owner)
+                continue
+            reuse_concrete[owner] = prev_outcomes
+
+        dirty_kappas = {kappa for kappa, owner in owners.items()
+                        if owner is None or owner in dirty_owners
+                        or owner not in unit_fps}
+        reused_owners = set(unit_fps) - dirty_owners
+        return WarmPlan(previous=previous.solution,
+                        dirty_kappas=dirty_kappas,
+                        dirty_owners=dirty_owners,
+                        reused_owners=reused_owners,
+                        reuse_concrete=reuse_concrete)
+
+    def _cache_hit_result(self, snapshot: Snapshot) -> CheckResult:
+        """The verdict for text the document has already checked: the cached
+        diagnostics, but with this-check counters zeroed — a cache hit does
+        no solver work, and reporting the historical query count would make
+        reuse look like effort."""
+        solve = None
+        if snapshot.result.solve_stats is not None:
+            solve = SolveStats(strategy=snapshot.result.solve_stats.strategy)
+            solve.declarations_reused = len(snapshot.unit_fps)
+        stats = None if snapshot.result.stats is None else SolverStats()
+        return replace(snapshot.result, stats=stats, solve_stats=solve,
+                       time_seconds=0.0, timings=StageTimings())
+
+    # -- staged pipeline ---------------------------------------------------
+
+    def parse(self, source: str, filename: str = "<input>") -> ParseStage:
+        """Stage 1: lex and parse ``source`` into an AST."""
+        timings = StageTimings()
+        start = time.perf_counter()
+        program: Optional[ast.Program] = None
+        diagnostics: List[Diagnostic] = []
+        try:
+            program = parse_program(source, filename)
+        except ParseError as exc:
+            span = exc.span
+            if span.filename != filename:
+                # a ParseError raised without a span would otherwise lose the
+                # file being checked
+                span = span.with_filename(filename)
+            diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message, span,
+                                          code="RSC-PARSE-001"))
+        timings.record("parse", time.perf_counter() - start)
+        return ParseStage(source, filename, program, diagnostics, timings)
+
+    def ssa(self, parsed: ParseStage) -> SsaStage:
+        """Stage 2: SSA-convert every callable body (inspectable IRSC)."""
+        if parsed.program is None:
+            raise ValueError("cannot run the ssa stage on a failed parse")
+        start = time.perf_counter()
+        functions: Dict[str, ir.IRFunction] = {}
+        for decl in parsed.program.declarations:
+            if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
+                functions[decl.name] = SsaTransformer().function(decl)
+            elif isinstance(decl, ast.ClassDecl):
+                for method in decl.methods:
+                    if method.body is None:
+                        continue
+                    wrapped = ast.FunctionDecl(
+                        name=f"{decl.name}.{method.sig.name}",
+                        params=method.sig.params, ret=method.sig.ret,
+                        body=method.body, span=method.sig.span)
+                    functions[wrapped.name] = SsaTransformer().function(wrapped)
+        parsed.timings.record("ssa", time.perf_counter() - start)
+        return SsaStage(parsed, functions, parsed.timings)
+
+    def constraints(self, stage: Union[ParseStage, SsaStage]) -> ConstraintsStage:
+        """Stage 3: generate and flatten the subtyping constraints."""
+        parsed = stage.parse if isinstance(stage, SsaStage) else stage
+        if parsed.program is None:
+            raise ValueError("cannot generate constraints on a failed parse")
+        stats_base = self.solver.stats.copy()
+        start = time.perf_counter()
+        diags = DiagnosticBag()
+        diags.extend(parsed.diagnostics)
+        checker = Checker(parsed.program, diags, self.solver,
+                          pool=self._new_pool())
+        checker.run()
+        splitter = SubtypeSplitter(checker.table, checker.constraints)
+        for constraint in list(checker.constraints.subtypings):
+            splitter.split(constraint)
+        parsed.timings.record("constraints", time.perf_counter() - start)
+        return ConstraintsStage(parsed, checker, diags, stats_base,
+                                parsed.timings)
+
+    def solve(self, stage: ConstraintsStage,
+              plan: Optional[WarmPlan] = None) -> SolveStage:
+        """Stage 4: liquid fixpoint — infer the kappa refinements.
+
+        With a :class:`WarmPlan` the fixpoint starts from the previous
+        solution and only the dirty partitions' kappas are re-seeded.
+        """
+        start = time.perf_counter()
+        checker = stage.checker
+        liquid = LiquidSolver(
+            self.solver, checker.pool, checker.kappas,
+            max_iterations=self.config.max_fixpoint_iterations,
+            strategy=self.config.fixpoint_strategy)
+        if plan is not None:
+            solution = liquid.solve(checker.constraints.implications,
+                                    previous=plan.previous,
+                                    dirty_kappas=plan.dirty_kappas)
+            liquid.stats.declarations_rechecked = len(plan.dirty_owners)
+            liquid.stats.declarations_reused = len(plan.reused_owners)
+        else:
+            solution = liquid.solve(checker.constraints.implications)
+        stage.timings.record("solve", time.perf_counter() - start)
+        return SolveStage(stage, liquid, solution, stage.timings)
+
+    def verify(self, stage: SolveStage,
+               plan: Optional[WarmPlan] = None) -> CheckResult:
+        """Stage 5: discharge the concrete obligations, build the verdict."""
+        result, _outcomes = self._verify(stage, plan)
+        return result
+
+    def _verify(self, stage: SolveStage, plan: Optional[WarmPlan]
+                ) -> Tuple[CheckResult, List[ObligationOutcome]]:
+        start = time.perf_counter()
+        cons = stage.constraints
+        checker = cons.checker
+        if plan is None:
+            results = stage.liquid.check_concrete(
+                checker.constraints.implications, stage.solution)
+        else:
+            results = self._verify_selective(stage, plan)
+        for outcome in results:
+            if outcome.ok:
+                continue
+            cons.diags.error(outcome.implication.kind, outcome.message(),
+                             outcome.span, code=outcome.code)
+        stage.timings.record("verify", time.perf_counter() - start)
+        diagnostics = list(cons.diags)
+        if self.config.warnings_as_errors:
+            diagnostics = [replace(d, severity=Severity.ERROR)
+                           if d.severity is Severity.WARNING else d
+                           for d in diagnostics]
+        self.checks_run += 1
+        result = CheckResult(
+            diagnostics=diagnostics,
+            checker_stats=checker.stats,
+            stats=self.solver.stats.delta_since(cons.stats_base),
+            solve_stats=stage.solve_stats,
+            kappa_solution=stage.solution,
+            num_constraints=len(checker.constraints.subtypings),
+            num_implications=len(checker.constraints.implications),
+            num_obligations_checked=len(results),
+            time_seconds=stage.timings.total,
+            filename=cons.parse.filename,
+            timings=stage.timings,
+        )
+        return result, results
+
+    def _verify_selective(self, stage: SolveStage,
+                          plan: WarmPlan) -> List[ObligationOutcome]:
+        """Re-check only dirty partitions' concrete obligations; unchanged
+        partitions keep their previous verdicts (identical formulas), carried
+        onto the freshly generated implications so spans stay current."""
+        checker = stage.constraints.checker
+        reuse_cursor = {owner: iter(outcomes)
+                        for owner, outcomes in plan.reuse_concrete.items()}
+        results: List[ObligationOutcome] = []
+        for imp in checker.constraints.implications:
+            if LiquidSolver._goal_kappa(imp) is not None:
+                continue
+            cursor = reuse_cursor.get(imp.owner)
+            if cursor is not None:
+                prev = next(cursor)
+                results.append(ObligationOutcome(imp, prev.ok, prev.goal))
+            else:
+                results.extend(
+                    stage.liquid.check_concrete([imp], stage.solution))
+        return results
+
+    # -- helpers -----------------------------------------------------------
+
+    def _new_pool(self) -> QualifierPool:
+        if self.config.qualifier_set == "harvested":
+            return QualifierPool(qualifiers=[])
+        return QualifierPool()
+
+
+def _partition_local(checker: Checker) -> bool:
+    """True when no implication mentions a kappa outside its own partition
+    (and every mentioned kappa is registered and owned) — the structural
+    property that makes per-partition solution reuse sound."""
+    owners = checker.kappas.owners_of()
+    for imp in checker.constraints.implications:
+        mentioned = set(kappa_occurrences(imp.goal))
+        for hyp in imp.hyps:
+            mentioned |= kappa_occurrences(hyp)
+        for kappa in mentioned:
+            if owners.get(kappa) is None or owners[kappa] != imp.owner:
+                return False
+    return True
+
+
+def _kappas_by_owner(checker: Checker) -> Dict[str, List[str]]:
+    grouped: Dict[str, List[str]] = {}
+    for name, info in checker.kappas.kappas.items():
+        if info.owner is not None:
+            grouped.setdefault(info.owner, []).append(name)
+    return grouped
+
+
+def _group_by_owner(items) -> Dict[str, List]:
+    """Group implications/outcomes by their (non-None) owner, in order."""
+    grouped: Dict[str, List] = {}
+    for item in items:
+        owner = item.owner if hasattr(item, "owner") else \
+            item.implication.owner
+        if owner is None:
+            continue
+        grouped.setdefault(owner, []).append(item)
+    return grouped

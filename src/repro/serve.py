@@ -1,0 +1,191 @@
+"""``repro serve`` — a newline-delimited JSON request/response loop.
+
+The server reads one JSON object per line from its input stream, applies it
+to a long-lived :class:`repro.core.workspace.Workspace`, and writes exactly
+one JSON response line per request — so a driver (editor plugin, test
+harness, ``printf | repro serve`` in CI) can hold a pipe open and get
+incremental re-check latency for every edit.
+
+Request shape::
+
+    {"id": 1, "method": "check",  "params": {"uri": "a.rsc", "text": "..."}}
+    {"id": 2, "method": "update", "params": {"uri": "a.rsc", "text": "..."}}
+    {"id": 3, "method": "diagnostics", "params": {"uri": "a.rsc"}}
+    {"id": 4, "method": "close",  "params": {"uri": "a.rsc"}}
+    {"id": 5, "method": "shutdown"}
+
+``check`` opens (or replaces) a document; with ``text`` omitted the URI is
+read as a file path.  ``update`` requires the document to be open and
+re-checks incrementally.  Responses mirror the request ``id``::
+
+    {"id": 1, "ok": true, "result": {"uri": ..., "status": "SAFE", ...}}
+    {"id": 9, "ok": false, "error": {"code": "unknown-method", "message": ...}}
+
+Check/update results carry the document verdict plus per-edit timing
+deltas: ``time_seconds`` (this check), ``delta_seconds`` (vs. the previous
+check of the same URI), ``queries`` (SMT queries issued), ``warm`` and the
+``solve_stats`` counters (``declarations_rechecked``/``declarations_reused``
+/...).  A malformed line produces an ``id: null`` error response and the
+loop continues; ``shutdown`` (or end of input) ends it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, IO, Optional
+
+from repro.core.config import CheckConfig
+from repro.core.result import CheckResult
+from repro.core.workspace import Workspace
+
+#: Protocol identifier reported by the ``shutdown`` response.
+PROTOCOL = "repro-serve/1"
+
+METHODS = ("check", "update", "diagnostics", "close", "shutdown")
+
+
+class ServerError(Exception):
+    """A request that cannot be served (unknown method, missing params)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class Server:
+    """The request dispatcher; one instance per ``repro serve`` process."""
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 workspace: Optional[Workspace] = None) -> None:
+        self.workspace = workspace or Workspace(config or CheckConfig())
+        self.requests_served = 0
+        self.shutting_down = False
+        self._last_time: Dict[str, float] = {}
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one decoded request object, returning the response object."""
+        self.requests_served += 1
+        request_id = request.get("id")
+        try:
+            method = request.get("method")
+            if method not in METHODS:
+                raise ServerError("unknown-method",
+                                  f"unknown method {method!r} "
+                                  f"(expected one of {', '.join(METHODS)})")
+            params = request.get("params") or {}
+            if not isinstance(params, dict):
+                raise ServerError("bad-params", "params must be an object")
+            result = getattr(self, f"_serve_{method}")(params)
+            return {"id": request_id, "ok": True, "result": result}
+        except ServerError as exc:
+            return {"id": request_id, "ok": False,
+                    "error": {"code": exc.code, "message": exc.message}}
+        except OSError as exc:
+            return {"id": request_id, "ok": False,
+                    "error": {"code": "io-error", "message": str(exc)}}
+        except Exception as exc:  # noqa: BLE001 — one request must never
+            # take down the loop; the contract is one response per line.
+            return {"id": request_id, "ok": False,
+                    "error": {"code": "internal-error",
+                              "message": f"{type(exc).__name__}: {exc}"}}
+
+    def handle_line(self, line: str) -> Optional[dict]:
+        """Serve one raw input line; ``None`` for blank lines."""
+        if not line.strip():
+            return None
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            return {"id": None, "ok": False,
+                    "error": {"code": "parse-error",
+                              "message": f"malformed request: {exc}"}}
+        if not isinstance(request, dict):
+            return {"id": None, "ok": False,
+                    "error": {"code": "parse-error",
+                              "message": "request must be a JSON object"}}
+        return self.handle(request)
+
+    # -- methods -----------------------------------------------------------
+
+    def _serve_check(self, params: dict) -> dict:
+        uri = self._uri(params)
+        result = self.workspace.open(uri, params.get("text"))
+        return self._check_payload(uri, result)
+
+    def _serve_update(self, params: dict) -> dict:
+        uri = self._uri(params)
+        if uri not in self.workspace.documents():
+            raise ServerError("not-open", f"document not open: {uri!r}")
+        result = self.workspace.update(uri, params.get("text"))
+        return self._check_payload(uri, result)
+
+    def _serve_diagnostics(self, params: dict) -> dict:
+        uri = self._uri(params)
+        try:
+            result = self.workspace.result(uri)
+        except KeyError:
+            raise ServerError("not-open", f"document not open: {uri!r}")
+        return {"uri": uri, "status": result.status, "ok": result.ok,
+                "diagnostics": [d.to_dict() for d in result.diagnostics]}
+
+    def _serve_close(self, params: dict) -> dict:
+        uri = self._uri(params)
+        try:
+            self.workspace.close(uri)
+        except KeyError:
+            raise ServerError("not-open", f"document not open: {uri!r}")
+        self._last_time.pop(uri, None)
+        return {"uri": uri, "closed": True}
+
+    def _serve_shutdown(self, params: dict) -> dict:
+        self.shutting_down = True
+        return {"shutdown": True, "protocol": PROTOCOL,
+                "requests_served": self.requests_served,
+                "checks_run": self.workspace.checks_run}
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _uri(params: dict) -> str:
+        uri = params.get("uri")
+        if not isinstance(uri, str) or not uri:
+            raise ServerError("bad-params", "params.uri must be a string")
+        return uri
+
+    def _check_payload(self, uri: str, result: CheckResult) -> dict:
+        previous = self._last_time.get(uri)
+        self._last_time[uri] = result.time_seconds
+        solve = result.solve_stats
+        return {
+            "uri": uri,
+            "status": result.status,
+            "ok": result.ok,
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+            "time_seconds": result.time_seconds,
+            "delta_seconds": (result.time_seconds - previous
+                              if previous is not None else None),
+            "queries": result.stats.queries if result.stats else 0,
+            "warm": bool(solve and solve.warm_starts),
+            "solve_stats": solve.to_dict() if solve else None,
+        }
+
+
+def serve(stdin: Optional[IO[str]] = None, stdout: Optional[IO[str]] = None,
+          config: Optional[CheckConfig] = None) -> int:
+    """Run the NDJSON loop until ``shutdown`` or end of input."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    server = Server(config)
+    for line in stdin:
+        response = server.handle_line(line)
+        if response is None:
+            continue
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+        if server.shutting_down:
+            break
+    return 0

@@ -112,6 +112,10 @@ class Solver:
     def cache_size(self) -> int:
         return len(self._cache)
 
+    def clear_cache(self) -> None:
+        """Drop every cached query result (statistics are kept)."""
+        self._cache.clear()
+
     def check(self, formula: Expr) -> Result:
         """Satisfiability of ``formula``."""
         if self.cache_results and formula in self._cache:

@@ -1,0 +1,109 @@
+"""``repro watch`` — re-check files whenever their mtime changes.
+
+A :class:`Watcher` holds a :class:`repro.core.workspace.Workspace` with one
+open document per watched path.  Each :meth:`Watcher.scan` polls the
+filesystem once and re-checks (incrementally) every path whose modification
+time moved since the previous scan, printing a one-line verdict with the
+per-edit timing delta::
+
+    a.rsc: SAFE: 0 error(s) ... 0.41s  (warm, 1/9 declarations re-checked, -1.23s vs last)
+
+The CLI drives scans in a sleep loop; tests drive them directly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from typing import IO, List, Optional, Sequence
+
+from repro.core.config import CheckConfig
+from repro.core.result import CheckResult
+from repro.core.workspace import Workspace
+
+
+class Watcher:
+    """Poll a fixed set of paths, re-checking through one workspace."""
+
+    def __init__(self, paths: Sequence[str],
+                 config: Optional[CheckConfig] = None,
+                 out: Optional[IO[str]] = None) -> None:
+        self.paths = [str(p) for p in paths]
+        self.workspace = Workspace(config or CheckConfig())
+        self.out = out if out is not None else sys.stdout
+        self._mtimes: dict = {}
+        self._last_time: dict = {}
+        self._unreadable: set = set()
+
+    def scan(self) -> List[CheckResult]:
+        """One poll: check every path that changed since the last scan.
+
+        The first scan checks everything (cold).  An unreadable path is
+        reported once (including on the very first scan) and retried every
+        poll until it becomes readable again — the mtime is only recorded
+        after a successful check, so a read racing an editor's write is
+        picked up by the next scan rather than skipped forever.
+        """
+        results: List[CheckResult] = []
+        for path in self.paths:
+            try:
+                mtime = pathlib.Path(path).stat().st_mtime_ns
+            except OSError as exc:
+                self._mtimes.pop(path, None)
+                self._note_unreadable(path, exc)
+                continue
+            if self._mtimes.get(path) == mtime:
+                continue
+            try:
+                result = self.workspace.open(path)
+            except (OSError, UnicodeDecodeError) as exc:
+                self._note_unreadable(path, exc)
+                continue
+            self._mtimes[path] = mtime
+            self._unreadable.discard(path)
+            self._report(path, result)
+            results.append(result)
+        self.out.flush()
+        return results
+
+    def _note_unreadable(self, path: str, exc: Exception) -> None:
+        if path not in self._unreadable:
+            self._unreadable.add(path)
+            self.out.write(f"{path}: unreadable ({exc})\n")
+
+    def run(self, poll_seconds: float = 0.5,
+            max_scans: Optional[int] = None) -> int:
+        """Scan in a sleep loop until interrupted (or ``max_scans``)."""
+        scans = 0
+        try:
+            while max_scans is None or scans < max_scans:
+                self.scan()
+                scans += 1
+                if max_scans is not None and scans >= max_scans:
+                    break
+                time.sleep(poll_seconds)
+        except KeyboardInterrupt:
+            self.out.write("\nstopped\n")
+        return 0
+
+    def _report(self, path: str, result: CheckResult) -> None:
+        solve = result.solve_stats
+        notes = []
+        if solve is not None and solve.warm_starts:
+            total = solve.declarations_rechecked + solve.declarations_reused
+            notes.append(f"warm, {solve.declarations_rechecked}/{total} "
+                         f"declarations re-checked")
+        previous = self._last_time.get(path)
+        if previous is not None:
+            notes.append(f"{result.time_seconds - previous:+.2f}s vs last")
+        self._last_time[path] = result.time_seconds
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        self.out.write(f"{path}: {result.summary()}{suffix}\n")
+
+
+def watch(paths: Sequence[str], config: Optional[CheckConfig] = None,
+          poll_seconds: float = 0.5, max_scans: Optional[int] = None,
+          out: Optional[IO[str]] = None) -> int:
+    """Entry point used by ``repro watch``."""
+    return Watcher(paths, config, out=out).run(poll_seconds, max_scans)

@@ -1,0 +1,202 @@
+"""The ``repro serve`` NDJSON protocol and the ``repro watch`` poller."""
+
+import io
+import json
+import os
+
+from repro.core.config import CheckConfig
+from repro.serve import Server, serve
+from repro.watch import Watcher
+
+SAFE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+spec get :: (a: number[], i: idx<a>) => number;
+function get(a, i) { return a[i]; }
+"""
+
+UNSAFE = """
+spec get :: (a: number[], i: number) => number;
+function get(a, i) { return a[i]; }
+"""
+
+EDIT = SAFE.replace("return a[i];", "var x = a[i]; return x;")
+
+
+class TestServer:
+    def test_check_update_diagnostics_shutdown_round_trip(self):
+        server = Server(CheckConfig())
+        check = server.handle({"id": 1, "method": "check",
+                               "params": {"uri": "a.rsc", "text": SAFE}})
+        assert check["ok"] and check["id"] == 1
+        assert check["result"]["status"] == "SAFE"
+        assert check["result"]["queries"] > 0
+        assert check["result"]["delta_seconds"] is None
+
+        update = server.handle({"id": 2, "method": "update",
+                                "params": {"uri": "a.rsc", "text": EDIT}})
+        assert update["ok"]
+        assert update["result"]["warm"] is True
+        assert update["result"]["delta_seconds"] is not None
+        assert update["result"]["queries"] < check["result"]["queries"]
+        stats = update["result"]["solve_stats"]
+        assert stats["warm_starts"] == 1
+
+        diags = server.handle({"id": 3, "method": "diagnostics",
+                               "params": {"uri": "a.rsc"}})
+        assert diags["ok"] and diags["result"]["diagnostics"] == []
+
+        down = server.handle({"id": 4, "method": "shutdown"})
+        assert down["ok"] and down["result"]["shutdown"] is True
+        assert server.shutting_down
+
+    def test_unsafe_document_reports_diagnostics(self):
+        server = Server(CheckConfig())
+        check = server.handle({"id": 1, "method": "check",
+                               "params": {"uri": "u.rsc", "text": UNSAFE}})
+        assert check["ok"]  # the *request* succeeded
+        assert check["result"]["status"] == "UNSAFE"
+        codes = [d["code"] for d in check["result"]["diagnostics"]]
+        assert "RSC-BND-001" in codes
+
+    def test_errors_update_before_open_and_unknown_method(self):
+        server = Server(CheckConfig())
+        missing = server.handle({"id": 5, "method": "update",
+                                 "params": {"uri": "nope.rsc", "text": SAFE}})
+        assert not missing["ok"]
+        assert missing["error"]["code"] == "not-open"
+        unknown = server.handle({"id": 6, "method": "solve"})
+        assert not unknown["ok"]
+        assert unknown["error"]["code"] == "unknown-method"
+        bad = server.handle({"id": 7, "method": "check", "params": {}})
+        assert not bad["ok"]
+        assert bad["error"]["code"] == "bad-params"
+
+    def test_close_forgets_document(self):
+        server = Server(CheckConfig())
+        server.handle({"id": 1, "method": "check",
+                       "params": {"uri": "a.rsc", "text": SAFE}})
+        closed = server.handle({"id": 2, "method": "close",
+                                "params": {"uri": "a.rsc"}})
+        assert closed["ok"] and closed["result"]["closed"]
+        diags = server.handle({"id": 3, "method": "diagnostics",
+                               "params": {"uri": "a.rsc"}})
+        assert not diags["ok"]
+
+    def test_internal_exception_answers_instead_of_killing_loop(self):
+        server = Server(CheckConfig())
+        # deep nesting blows the parser's recursion limit — the loop must
+        # answer with an error and keep serving
+        bomb = "function f() { return " + "(" * 4000 + ";"
+        broken = server.handle({"id": 1, "method": "check",
+                                "params": {"uri": "b.rsc", "text": bomb}})
+        assert not broken["ok"]
+        assert broken["error"]["code"] == "internal-error"
+        ok = server.handle({"id": 2, "method": "check",
+                            "params": {"uri": "a.rsc", "text": SAFE}})
+        assert ok["ok"] and ok["result"]["status"] == "SAFE"
+
+    def test_malformed_line_yields_error_and_loop_continues(self):
+        server = Server(CheckConfig())
+        broken = server.handle_line("{not json\n")
+        assert not broken["ok"]
+        assert broken["error"]["code"] == "parse-error"
+        assert server.handle_line("\n") is None
+        array = server.handle_line("[1, 2]\n")
+        assert not array["ok"]
+
+    def test_serve_stream_loop(self):
+        requests = [
+            {"id": 1, "method": "check",
+             "params": {"uri": "a.rsc", "text": SAFE}},
+            {"id": 2, "method": "update",
+             "params": {"uri": "a.rsc", "text": EDIT}},
+            {"id": 3, "method": "diagnostics", "params": {"uri": "a.rsc"}},
+            {"id": 4, "method": "shutdown"},
+            {"id": 5, "method": "check",  # never reached: after shutdown
+             "params": {"uri": "b.rsc", "text": SAFE}},
+        ]
+        stdin = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+        stdout = io.StringIO()
+        assert serve(stdin, stdout, CheckConfig()) == 0
+        responses = [json.loads(line)
+                     for line in stdout.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["result"]["warm"] is True
+        assert responses[3]["result"]["requests_served"] == 4
+
+
+class TestWatcher:
+    def test_scan_checks_on_mtime_change_only(self, tmp_path):
+        path = tmp_path / "a.rsc"
+        path.write_text(SAFE)
+        out = io.StringIO()
+        watcher = Watcher([str(path)], CheckConfig(), out=out)
+
+        first = watcher.scan()
+        assert len(first) == 1 and first[0].ok
+        assert watcher.scan() == []  # unchanged -> no re-check
+
+        path.write_text(EDIT)
+        os.utime(path, ns=(path.stat().st_atime_ns,
+                           path.stat().st_mtime_ns + 1_000_000))
+        second = watcher.scan()
+        assert len(second) == 1 and second[0].ok
+        assert second[0].solve_stats.warm_starts == 1
+        report = out.getvalue()
+        assert "warm, 1/1 declarations re-checked" in report
+
+    def test_non_utf8_file_reported_not_fatal(self, tmp_path):
+        bad = tmp_path / "bad.rsc"
+        bad.write_bytes(b"\xff\xfe not utf8")
+        good = tmp_path / "good.rsc"
+        good.write_text(SAFE)
+        out = io.StringIO()
+        watcher = Watcher([str(bad), str(good)], CheckConfig(), out=out)
+        results = watcher.scan()
+        assert len(results) == 1 and results[0].ok
+        assert "unreadable" in out.getvalue()
+
+    def test_missing_file_reported_once_then_recovers(self, tmp_path):
+        path = tmp_path / "a.rsc"
+        out = io.StringIO()
+        watcher = Watcher([str(path)], CheckConfig(), out=out)
+        assert watcher.scan() == []
+        assert out.getvalue().count("unreadable") == 1  # reported immediately
+        assert watcher.scan() == []
+        assert out.getvalue().count("unreadable") == 1  # ...but only once
+        path.write_text(SAFE)
+        assert len(watcher.scan()) == 1
+
+    def test_run_respects_max_scans(self, tmp_path):
+        path = tmp_path / "a.rsc"
+        path.write_text(SAFE)
+        out = io.StringIO()
+        watcher = Watcher([str(path)], CheckConfig(), out=out)
+        assert watcher.run(poll_seconds=0.0, max_scans=1) == 0
+        assert "SAFE" in out.getvalue()
+
+
+class TestCli:
+    def test_watch_subcommand_single_scan(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = tmp_path / "a.rsc"
+        path.write_text(SAFE)
+        assert main(["watch", str(path), "--max-scans", "1"]) == 0
+        assert "SAFE" in capsys.readouterr().out
+
+    def test_serve_subcommand_round_trip(self, monkeypatch, capsys):
+        import sys
+        from repro.__main__ import main
+        requests = [
+            {"id": 1, "method": "check",
+             "params": {"uri": "a.rsc", "text": SAFE}},
+            {"id": 2, "method": "shutdown"},
+        ]
+        stdin = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+        monkeypatch.setattr(sys, "stdin", stdin)
+        assert main(["serve"]) == 0
+        responses = [json.loads(line)
+                     for line in capsys.readouterr().out.splitlines()]
+        assert [r["id"] for r in responses] == [1, 2]
+        assert all(r["ok"] for r in responses)
