@@ -5,7 +5,7 @@ Usage::
 
     python benchmarks/check_regression.py BENCH_fixpoint.json \
         benchmarks/baseline.json [--threshold 0.25] [--time-factor 4.0] \
-        [--incremental BENCH_incremental.json]
+        [--incremental BENCH_incremental.json] [--modules BENCH_modules.json]
 
 Compares the fixpoint report produced by ``python -m repro bench figure6``
 against ``benchmarks/baseline.json``:
@@ -29,6 +29,18 @@ baseline's ``incremental`` section:
 * the revert edit must issue zero queries (content-hash cache hit),
 * the single-body edit must issue strictly fewer queries than the cold
   check, and no more than baseline ``warm_queries`` + ``--threshold``.
+
+With ``--modules`` the module-graph report produced by
+``python -m repro bench modules`` is gated against the baseline's
+``modules`` section:
+
+* every project edit must still verify,
+* the body-only edit must re-check **exactly** the baseline number of
+  modules (1 — the signature cut must stop at the module boundary) and
+  warm-start inside the module,
+* the signature edit must re-check exactly the edited module plus its
+  transitive dependents,
+* the cold build's query count is gated like the fixpoint queries.
 
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
@@ -81,6 +93,49 @@ def check_incremental(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_modules(report: dict, baseline: dict, threshold: float) -> list:
+    """Failures of the module-graph (project edit) report vs the baseline."""
+    failures = []
+    current = report.get("benchmarks", {})
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the modules report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: a project edit no longer verifies")
+        if entry.get("modules") != base["modules"]:
+            failures.append(
+                f"{name}: {entry.get('modules')} modules in the split, "
+                f"baseline {base['modules']}")
+        body = entry.get("body_edit", {})
+        if body.get("rechecked") != base["body_rechecked"]:
+            failures.append(
+                f"{name}: body-only edit re-checked {body.get('rechecked')} "
+                f"module(s), expected exactly {base['body_rechecked']} — "
+                "the signature cut has degenerated")
+        if not body.get("warm", False):
+            failures.append(f"{name}: body edit did not warm-start inside "
+                            "the module")
+        sig = entry.get("sig_edit", {})
+        if sig.get("rechecked") != base["sig_rechecked"]:
+            failures.append(
+                f"{name}: signature edit re-checked {sig.get('rechecked')} "
+                f"module(s), expected {base['sig_rechecked']} (the module "
+                "plus its transitive dependents)")
+        cold = entry.get("cold", {}).get("queries", 0)
+        allowed = base["cold_queries"] * (1.0 + threshold)
+        if cold > max(allowed, base["cold_queries"] + 5):
+            failures.append(
+                f"{name}: cold project build issued {cold} queries, "
+                f"baseline {base['cold_queries']} (+{threshold:.0%} allowed)")
+        if cold and body.get("queries", 0) >= cold:
+            failures.append(
+                f"{name}: body edit issued {body.get('queries')} queries, "
+                f"not fewer than the cold build's {cold}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
@@ -94,6 +149,9 @@ def main(argv=None) -> int:
     parser.add_argument("--incremental", metavar="FILE", default=None,
                         help="also gate BENCH_incremental.json against the "
                              "baseline's 'incremental' section")
+    parser.add_argument("--modules", metavar="FILE", default=None,
+                        help="also gate BENCH_modules.json against the "
+                             "baseline's 'modules' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -132,6 +190,12 @@ def main(argv=None) -> int:
         failures.extend(check_incremental(
             incremental_report, baseline.get("incremental", {}),
             args.threshold))
+
+    if args.modules is not None:
+        with open(args.modules) as f:
+            modules_report = json.load(f)
+        failures.extend(check_modules(
+            modules_report, baseline.get("modules", {}), args.threshold))
 
     if failures:
         print("benchmark regression(s) against "

@@ -1,0 +1,35 @@
+// d3-arrays, module split: min/max/scan over non-empty arrays.  The
+// non-emptiness precondition comes from ./types; scan's return type is the
+// dependent idx<xs>.
+
+import {idx, NEArray} from "./types";
+
+export spec head :: (arr: NEArray<number>) => number;
+export function head(arr) { return arr[0]; }
+
+export spec min :: (xs: NEArray<number>) => number;
+export function min(xs) {
+  var best = xs[0];
+  for (var i = 1; i < xs.length; i++) {
+    if (xs[i] < best) { best = xs[i]; }
+  }
+  return best;
+}
+
+export spec max :: (xs: NEArray<number>) => number;
+export function max(xs) {
+  var best = xs[0];
+  for (var i = 1; i < xs.length; i++) {
+    if (best < xs[i]) { best = xs[i]; }
+  }
+  return best;
+}
+
+export spec scan :: (xs: NEArray<number>) => idx<xs>;
+export function scan(xs) {
+  var lo = 0;
+  for (var i = 1; i < xs.length; i++) {
+    if (xs[i] < xs[lo]) { lo = i; }
+  }
+  return lo;
+}

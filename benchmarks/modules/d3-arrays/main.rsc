@@ -1,0 +1,17 @@
+// d3-arrays, module split: the driver.  Checked purely against the
+// interfaces of ./safe, ./reduce and ./extrema.
+
+import {safeMin} from "./safe";
+import {sumRange} from "./reduce";
+import {head, scan} from "./extrema";
+import {idx} from "./types";
+
+spec main :: () => void;
+function main() {
+  var xs = new Array(9);
+  var lo = safeMin(xs);
+  var total = sumRange(xs);
+  var first = head(xs);
+  var where = scan(xs);
+  var at = xs[where];
+}

@@ -1,0 +1,11 @@
+// d3-arrays, module split: reductions that work on any array (no
+// non-emptiness needed) — a leaf module with no imports.
+
+export spec sumRange :: (xs: number[]) => number;
+export function sumRange(xs) {
+  var acc = 0;
+  for (var i = 0; i < xs.length; i++) {
+    acc = acc + xs[i];
+  }
+  return acc;
+}

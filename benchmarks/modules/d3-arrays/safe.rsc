@@ -1,0 +1,10 @@
+// d3-arrays, module split: total wrappers that guard the non-empty
+// preconditions of ./extrema at runtime.
+
+import {min} from "./extrema";
+
+export spec safeMin :: (xs: number[]) => number;
+export function safeMin(xs) {
+  if (0 < xs.length) { return min(xs); }
+  return 0;
+}

@@ -1,0 +1,5 @@
+// d3-arrays, module split: the shared refinement aliases.  Everything the
+// other modules know about array validity flows through this interface.
+
+export type idx<a> = {v: number | 0 <= v && v < len(a)};
+export type NEArray<T> = {v: T[] | 0 < len(v)};

@@ -1,0 +1,15 @@
+// splay, module split: the driver, checked against the interfaces of
+// ./tree and ./stats only.
+
+import {SplayTree} from "./tree";
+import {findMax, countGreater} from "./stats";
+
+spec main :: () => void;
+function main() {
+  var tree = new SplayTree(4, new Array(4));
+  tree.setKey(0, 42);
+  tree.setKey(3, 7);
+  var k = tree.keyAt(3);
+  var m = findMax(tree.keys);
+  var g = countGreater(tree.keys, m);
+}

@@ -1,0 +1,21 @@
+// splay, module split: key statistics over the raw key arrays.
+
+import {nat} from "./types";
+
+export spec findMax :: (keys: {v: number[] | 0 < len(v)}) => number;
+export function findMax(keys) {
+  var best = keys[0];
+  for (var i = 1; i < keys.length; i++) {
+    if (best < keys[i]) { best = keys[i]; }
+  }
+  return best;
+}
+
+export spec countGreater :: (keys: number[], pivot: number) => nat;
+export function countGreater(keys, pivot) {
+  var n = 0;
+  for (var i = 0; i < keys.length; i++) {
+    if (pivot < keys[i]) { n = n + 1; }
+  }
+  return n;
+}

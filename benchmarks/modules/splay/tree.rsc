@@ -1,0 +1,19 @@
+// splay, module split: the tree-in-parallel-arrays class.  Its interface
+// (field refinements, method signatures, constructor) is what ./main is
+// checked against.
+
+import {nat} from "./types";
+
+export class SplayTree {
+  immutable size : {v: number | 0 < v};
+  keys : {v: number[] | len(v) = this.size};
+  constructor(size: {v: number | 0 < v}, keys: {v: number[] | len(v) = size}) {
+    this.size = size; this.keys = keys;
+  }
+  keyAt(i: {v: nat | v < this.size}) : number {
+    return this.keys[i];
+  }
+  setKey(i: {v: nat | v < this.size}, k: number) : void {
+    this.keys[i] = k;
+  }
+}

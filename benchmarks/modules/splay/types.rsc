@@ -1,0 +1,4 @@
+// splay, module split: shared refinement aliases.
+
+export type idx<a> = {v: number | 0 <= v && v < len(a)};
+export type nat = {v: number | 0 <= v};

@@ -1,0 +1,12 @@
+// The driver.  The bounds proof for `xs[where]` flows from argmin's
+// dependent return type idx<xs> — an interface fact, not a body fact.
+
+import {largest, argmin} from "./series";
+
+spec main :: () => void;
+function main() {
+  var xs = new Array(8);
+  var top = largest(xs);
+  var where = argmin(xs);
+  var smallest = xs[where];
+}

@@ -1,0 +1,25 @@
+// A small statistics library.  Checked against ./types' interface only;
+// its own bodies are invisible to importers — they see the spec lines.
+
+import {idx, NEArray} from "./types";
+
+export spec first :: (xs: NEArray<number>) => number;
+export function first(xs) { return xs[0]; }
+
+export spec largest :: (xs: NEArray<number>) => number;
+export function largest(xs) {
+  var best = xs[0];
+  for (var i = 1; i < xs.length; i++) {
+    if (best < xs[i]) { best = xs[i]; }
+  }
+  return best;
+}
+
+export spec argmin :: (xs: NEArray<number>) => idx<xs>;
+export function argmin(xs) {
+  var lo = 0;
+  for (var i = 1; i < xs.length; i++) {
+    if (xs[i] < xs[lo]) { lo = i; }
+  }
+  return lo;
+}

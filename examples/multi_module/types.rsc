@@ -1,0 +1,6 @@
+// The shared vocabulary of the example project: refinement aliases other
+// modules import.  Everything marked `export` is this module's interface.
+
+export type nat = {v: number | 0 <= v};
+export type idx<a> = {v: number | 0 <= v && v < len(a)};
+export type NEArray<T> = {v: T[] | 0 < len(v)};

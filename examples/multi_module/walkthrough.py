@@ -1,0 +1,67 @@
+"""Multi-module projects: the build graph and the signature cut.
+
+Checks the three modules next to this script as one project, then edits
+the `series` module twice — a body-only edit (the interface fingerprint is
+unchanged, so exactly one module re-checks, warm-started) and a signature
+edit (the interface moved, so the dependent `main` re-checks too).  Run
+from the repository root::
+
+    PYTHONPATH=src python examples/multi_module/walkthrough.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parents[2] / "src"))
+
+from repro import ProjectWorkspace, Session  # noqa: E402
+
+ROOT = pathlib.Path(__file__).parent
+
+
+def shortnames(paths):
+    return sorted(pathlib.Path(p).name for p in paths)
+
+
+def main() -> None:
+    # One-shot: the module graph, checked in topological-rank batches.
+    project = Session().check_project(ROOT)
+    print("cold build:", project.summary())
+    for result in project.results:
+        rank = project.ranks[result.filename]
+        print(f"  rank {rank}  {pathlib.Path(result.filename).name}: "
+              f"{result.status}")
+
+    # Incremental: a long-lived project workspace.
+    workspace = ProjectWorkspace(root=ROOT)
+    workspace.check()
+
+    series = ROOT / "series.rsc"
+    source = series.read_text()
+
+    # 1. Body-only edit: the exported signatures are untouched, so the
+    #    edit stops at the module boundary.
+    body_edit = source.replace("var best = xs[0];",
+                               "var best = xs[0]; var probes = 0;")
+    update = workspace.update(series, body_edit)
+    print("\nbody-only edit of series.rsc:")
+    print("  summary changed:", update.summary_changed)
+    print("  re-checked:", shortnames(update.rechecked),
+          " reused:", shortnames(update.reused))
+
+    # 2. Signature edit: an exported spec changes, the interface
+    #    fingerprint moves, and every transitive dependent re-checks.
+    sig_edit = source.replace(
+        "export spec largest :: (xs: NEArray<number>) => number;",
+        "export spec largest :: (xs: NEArray<number>) => "
+        "{v: number | true};")
+    update = workspace.update(series, sig_edit)
+    print("\nsignature edit of series.rsc:")
+    print("  summary changed:", update.summary_changed)
+    print("  re-checked:", shortnames(update.rechecked),
+          " reused:", shortnames(update.reused))
+    print("  still safe:", update.ok)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,16 @@ Session API (one-shot facade — one solver amortised across batch runs)::
     result = session.check_source(source)
     batch = session.check_files(["a.rsc", "b.rsc"])
 
+Project API (multi-module graphs: imports/exports, interface summaries,
+topo-parallel build, signature-cut incremental re-checks)::
+
+    from repro import ProjectWorkspace, Session
+
+    project = Session().check_project("my-project", jobs=4)
+    pw = ProjectWorkspace(root="my-project")
+    pw.check()
+    update = pw.update("my-project/lib.rsc")   # body edit -> 1 module
+
 One-shot convenience wrappers (deprecated)::
 
     from repro import check_source
@@ -31,8 +41,10 @@ from repro.core.result import (BatchResult, CheckResult, SolveStats,
 from repro.core.session import Session
 from repro.core.workspace import Workspace
 from repro.errors import ERROR_CATALOG, Diagnostic, explain_code
+from repro.project import (ProjectResult, ProjectUpdate, ProjectWorkspace,
+                           check_project)
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "BatchResult",
@@ -40,12 +52,16 @@ __all__ = [
     "CheckResult",
     "Diagnostic",
     "ERROR_CATALOG",
+    "ProjectResult",
+    "ProjectUpdate",
+    "ProjectWorkspace",
     "Session",
     "SolveStats",
     "SolverOptions",
     "StageTimings",
     "Workspace",
     "check_program",
+    "check_project",
     "check_source",
     "explain_code",
     "__version__",

@@ -44,12 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser(
-        "check", help="check nanoTS source files (*.rsc)")
-    check.add_argument("files", nargs="+", help="nanoTS source files")
+        "check", help="check nanoTS source files (*.rsc) or a project "
+                      "directory (module graph)")
+    check.add_argument("files", nargs="+",
+                       help="nanoTS source files, or one project directory")
     check.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (default: text)")
-    check.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="check files with N parallel workers")
+    check.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="check files (or independent modules) with N "
+                            "parallel workers; unset defers to the "
+                            "config's jobs setting")
     check.add_argument("--show-kappas", action="store_true",
                        help="print the refinements inferred by liquid fixpoint")
     check.add_argument("--quiet", action="store_true",
@@ -69,13 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="regenerate the paper's evaluation tables")
-    bench.add_argument("table", choices=("figure6", "figure7", "incremental"),
+    bench.add_argument("table",
+                       choices=("figure6", "figure7", "incremental",
+                                "modules"),
                        help="which table to regenerate (incremental replays "
-                            "a scripted edit sequence per benchmark)")
+                            "a scripted edit sequence per benchmark; modules "
+                            "replays project edits over the module-split "
+                            "ports)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
-                       help="directory holding the benchmark .rsc ports")
+                       help="directory holding the benchmark .rsc ports "
+                            "(or, for modules, the per-project module "
+                            "directories)")
     bench.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (default: text)")
     bench.add_argument("--out", metavar="FILE", default=None,
@@ -129,18 +139,30 @@ def _workspace_config(args: argparse.Namespace) -> CheckConfig:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    import pathlib
     try:
-        config = CheckConfig(
+        config_kwargs = dict(
             max_fixpoint_iterations=args.max_iterations,
             fixpoint_strategy=args.fixpoint,
             warnings_as_errors=args.warnings_as_errors,
             qualifier_set=args.qualifiers,
             output_format=args.format,
-            jobs=max(1, args.jobs),
         )
+        # An unset --jobs defers to CheckConfig.jobs instead of silently
+        # overriding the config with argparse's former default of 1.
+        if args.jobs is not None:
+            config_kwargs["jobs"] = max(1, args.jobs)
+        config = CheckConfig(**config_kwargs)
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    directories = [f for f in args.files if pathlib.Path(f).is_dir()]
+    if directories:
+        if len(args.files) != 1:
+            print("repro: a project directory must be the only check "
+                  "argument", file=sys.stderr)
+            return EXIT_USAGE
+        return _check_project_dir(directories[0], config, args)
     session = Session(config)
     batch = session.check_files(args.files)
 
@@ -163,6 +185,30 @@ def cmd_check(args: argparse.Namespace) -> int:
            for r in batch.results for d in r.diagnostics):
         return EXIT_USAGE
     return EXIT_OK if batch.ok else EXIT_UNSAFE
+
+
+def _check_project_dir(root: str, config: CheckConfig,
+                       args: argparse.Namespace) -> int:
+    """``repro check <dir>``: check the directory as a module graph."""
+    session = Session(config)
+    project = session.check_project(root)
+    if args.format == "json":
+        print(project.to_json(indent=2))
+        return EXIT_OK if project.ok else EXIT_UNSAFE
+    for result in project.results:
+        rank = project.ranks.get(result.filename)
+        where = ("cycle" if result.filename in project.cyclic
+                 else f"rank {rank}")
+        print(f"{result.filename} [{where}]: {result.summary()}")
+        if not args.quiet:
+            for diag in result.diagnostics:
+                print(f"  {diag}")
+        if args.show_kappas:
+            for kappa, quals in sorted(result.kappa_solution.items()):
+                rendered = " && ".join(str(q) for q in quals) or "true"
+                print(f"  {kappa} := {rendered}")
+    print(project.summary())
+    return EXIT_OK if project.ok else EXIT_UNSAFE
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -215,13 +261,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import pathlib
     programs_dir = pathlib.Path(args.programs_dir) if args.programs_dir else None
     try:
-        names = args.only or bench.BENCHMARKS
-        unknown = [n for n in names if n not in bench.BENCHMARKS]
+        known = (bench.MODULE_BENCHMARKS if args.table == "modules"
+                 else bench.BENCHMARKS)
+        names = args.only or known
+        unknown = [n for n in names if n not in known]
         if unknown:
             print(f"repro: unknown benchmark(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return EXIT_USAGE
-        partial = set(names) != set(bench.BENCHMARKS)
+        partial = set(names) != set(known)
+        if args.table == "modules":
+            rows = bench.modules_rows(names, modules_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.modules_report(rows),
+                "BENCH_modules.json", "modules", partial,
+                lambda: bench.format_modules(rows))
+            return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
         if args.table == "incremental":
             rows = bench.incremental_rows(names, programs_dir=programs_dir)
             _emit_bench_report(

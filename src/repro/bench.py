@@ -563,6 +563,188 @@ def format_incremental(rows: List[IncrementalRow]) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# module-split benchmarks (`repro bench modules`)
+# ---------------------------------------------------------------------------
+
+#: Benchmark ports that exist as multi-module splits under
+#: ``benchmarks/modules/<name>/``.
+MODULE_BENCHMARKS = ["d3-arrays", "splay"]
+
+#: Body-only edit per module benchmark: (module file, function to edit).
+#: Must re-check exactly one module — the edit stops at the module boundary.
+MODULE_BODY_EDITS: Dict[str, tuple] = {
+    "d3-arrays": ("extrema.rsc", "min"),
+    "splay": ("stats.rsc", "findMax"),
+}
+
+#: Signature edit per module benchmark: (module file, old line, new line).
+#: Rewrites an exported alias to an equivalent-but-different refinement, so
+#: the interface fingerprint moves, every transitive dependent re-checks,
+#: and the project still verifies.
+MODULE_SIG_EDITS: Dict[str, tuple] = {
+    "d3-arrays": ("types.rsc",
+                  "export type NEArray<T> = {v: T[] | 0 < len(v)};",
+                  "export type NEArray<T> = {v: T[] | 1 <= len(v)};"),
+    "splay": ("types.rsc",
+              "export type nat = {v: number | 0 <= v};",
+              "export type nat = {v: number | v >= 0};"),
+}
+
+
+def default_modules_dir() -> pathlib.Path:
+    """Locate ``benchmarks/modules`` (env override, cwd, then repo root)."""
+    env = os.environ.get("RSC_BENCH_MODULES")
+    candidates = [pathlib.Path(env)] if env else []
+    candidates.append(pathlib.Path.cwd() / "benchmarks" / "modules")
+    candidates.append(pathlib.Path(__file__).resolve().parents[2]
+                      / "benchmarks" / "modules")
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate
+    raise FileNotFoundError(
+        "cannot locate the module benchmarks directory; set "
+        "RSC_BENCH_MODULES or run from the repository root")
+
+
+@dataclass
+class ModulesRow:
+    """Cold project build vs scripted module edits for one split port."""
+
+    name: str
+    modules: int
+    batches: int
+    cold_queries: int
+    cold_time_seconds: float
+    body_module: str = ""
+    body_rechecked: int = 0
+    body_queries: int = 0
+    body_warm: bool = False
+    sig_module: str = ""
+    sig_rechecked: int = 0
+    sig_queries: int = 0
+    safe: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "modules": self.modules,
+            "batches": self.batches,
+            "cold": {
+                "queries": self.cold_queries,
+                "time_seconds": self.cold_time_seconds,
+            },
+            "body_edit": {
+                "module": self.body_module,
+                "rechecked": self.body_rechecked,
+                "queries": self.body_queries,
+                "warm": self.body_warm,
+            },
+            "sig_edit": {
+                "module": self.sig_module,
+                "rechecked": self.sig_rechecked,
+                "queries": self.sig_queries,
+            },
+            "safe": self.safe,
+        }
+
+
+def modules_rows(names: Optional[List[str]] = None,
+                 modules_dir: Optional[pathlib.Path] = None
+                 ) -> List[ModulesRow]:
+    """Replay the module-edit scenario per split benchmark.
+
+    For each project: a cold build through a fresh
+    :class:`repro.project.ProjectWorkspace`, then a body-only edit of one
+    leaf dependency (must re-check exactly that module, warm-started) and a
+    signature edit of the shared types module (must re-check its transitive
+    dependents, still verifying).
+    """
+    from repro.project.workspace import ProjectWorkspace
+
+    directory = modules_dir or default_modules_dir()
+    rows: List[ModulesRow] = []
+    for name in (names or MODULE_BENCHMARKS):
+        root = directory / name
+        if not root.is_dir():
+            raise FileNotFoundError(f"no module benchmark at {root}")
+        workspace = ProjectWorkspace(root=root)
+        cold = workspace.check()
+        row = ModulesRow(
+            name=name, modules=cold.num_modules, batches=cold.num_batches,
+            cold_queries=cold.stats.queries,
+            cold_time_seconds=cold.time_seconds,
+            safe=cold.ok)
+
+        body_file, function = MODULE_BODY_EDITS[name]
+        body_path = root / body_file
+        edited = edit_function_body(body_path.read_text(), function)
+        update = workspace.update(body_path, edited)
+        edited_result = update.results[str(body_path.resolve())]
+        solve = edited_result.solve_stats
+        row.body_module = body_file
+        row.body_rechecked = len(update.rechecked)
+        row.body_queries = update.queries
+        row.body_warm = bool(solve and solve.warm_starts)
+        row.safe = row.safe and update.ok
+
+        sig_file, old_line, new_line = MODULE_SIG_EDITS[name]
+        sig_path = root / sig_file
+        source = sig_path.read_text()
+        if old_line not in source:
+            raise ValueError(f"{name}: signature-edit anchor not found "
+                             f"in {sig_file}")
+        update = workspace.update(sig_path, source.replace(old_line, new_line))
+        row.sig_module = sig_file
+        row.sig_rechecked = len(update.rechecked)
+        row.sig_queries = update.queries
+        row.safe = row.safe and update.ok and update.summary_changed
+        rows.append(row)
+    return rows
+
+
+#: Schema identifier stamped into module-bench reports.
+MODULES_REPORT_SCHEMA = "repro-bench-modules/1"
+
+
+def modules_report(rows: List[ModulesRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_modules.json``."""
+    return {
+        "schema": MODULES_REPORT_SCHEMA,
+        "benchmarks": {row.name: row.to_dict() for row in rows},
+        "totals": {
+            "cold_queries": sum(r.cold_queries for r in rows),
+            "body_edit_queries": sum(r.body_queries for r in rows),
+            "sig_edit_queries": sum(r.sig_queries for r in rows),
+        },
+    }
+
+
+def format_modules(rows: List[ModulesRow]) -> str:
+    """The table printed by ``repro bench modules``."""
+    lines = [
+        "Module-graph re-check: cold build vs body-only and signature edits",
+        "Project          Mods  Batches  Cold-q  Body-re  Body-q  Warm  "
+        "Sig-re  Sig-q",
+        "-" * 78,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:15s} {row.modules:5d} {row.batches:8d} "
+            f"{row.cold_queries:7d} {row.body_rechecked:8d} "
+            f"{row.body_queries:7d} {'yes' if row.body_warm else 'no':>5s} "
+            f"{row.sig_rechecked:7d} {row.sig_queries:6d}")
+    lines.append("-" * 78)
+    lines.append(
+        f"{'TOTAL':15s} {sum(r.modules for r in rows):5d} {'':8s} "
+        f"{sum(r.cold_queries for r in rows):7d} "
+        f"{sum(r.body_rechecked for r in rows):8d} "
+        f"{sum(r.body_queries for r in rows):7d} {'':5s} "
+        f"{sum(r.sig_rechecked for r in rows):7d} "
+        f"{sum(r.sig_queries for r in rows):6d}")
+    return "\n".join(lines)
+
+
 def format_figure7(names: Optional[List[str]] = None,
                    programs_dir: Optional[pathlib.Path] = None) -> str:
     lines = ["Benchmark        LOC  ImpDiff  AllDiff",

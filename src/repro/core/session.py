@@ -177,10 +177,22 @@ class Session:
         return [by_path[str(p)] for p in paths], stats
 
     def check_project(self, root: PathLike, pattern: str = "**/*.rsc",
-                      jobs: Optional[int] = None) -> BatchResult:
-        """Check every file under ``root`` matching ``pattern``."""
-        files = sorted(pathlib.Path(root).glob(pattern))
-        return self.check_files(files, jobs=jobs)
+                      jobs: Optional[int] = None) -> "ProjectResult":
+        """Check the *module graph* rooted at ``root``.
+
+        Every ``pattern`` match becomes a module; ``import``/``export``
+        declarations link them and each module is checked against its
+        dependencies' interface summaries in topological-rank batches,
+        concurrently across one batch when ``jobs > 1`` (see
+        :mod:`repro.project`).  Modules are checked in fresh single-use
+        sessions — not this session's shared solver — so parallel and
+        sequential schedules produce byte-identical results.
+        """
+        from repro.project.build import check_project as check_project_dir
+        result = check_project_dir(root, config=self.config, pattern=pattern,
+                                   jobs=jobs)
+        self.files_checked += result.num_modules
+        return result
 
     # -- helpers -----------------------------------------------------------
 

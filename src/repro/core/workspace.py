@@ -345,7 +345,10 @@ class Workspace:
                 kappas_by_owner=_kappas_by_owner(cons.checker),
                 concrete_by_owner=_group_by_owner(outcomes),
                 partition_local=local)
-        document.store(snapshot, self.config.document_cache_limit)
+        if self.config.incremental:
+            # With incrementality off nothing ever reads the snapshot
+            # cache; storing would only retain dead CheckResults/Solutions.
+            document.store(snapshot, self.config.document_cache_limit)
         document.current = snapshot
         if snapshot.warmable:
             document.last_good = snapshot

@@ -59,6 +59,7 @@ class ErrorKind(Enum):
     CAST = "cast"
     BOUNDS = "bounds"
     INITIALIZATION = "initialization"
+    MODULE = "module"
     INTERNAL = "internal"
 
 
@@ -74,6 +75,7 @@ DEFAULT_CODES: Dict[ErrorKind, str] = {
     ErrorKind.CAST: "RSC-CAST-001",
     ErrorKind.BOUNDS: "RSC-BND-001",
     ErrorKind.INITIALIZATION: "RSC-INIT-001",
+    ErrorKind.MODULE: "RSC-MOD-001",
     ErrorKind.INTERNAL: "RSC-INT-001",
 }
 
@@ -165,10 +167,31 @@ ERROR_CATALOG: Dict[str, tuple] = {
     "RSC-INIT-001": (
         "initialization error",
         "A field is read before the constructor has definitely assigned it."),
+    "RSC-MOD-001": (
+        "unresolved import",
+        "An `import ... from \"./mod\"` refers to a module file that does "
+        "not exist under the project root (module specifiers are resolved "
+        "relative to the importing file, with `.rsc` appended)."),
+    "RSC-MOD-002": (
+        "import cycle",
+        "The module graph contains an import cycle, so no dependency order "
+        "exists in which each module could be checked against its "
+        "dependencies' interfaces.  Every module on the cycle reports this "
+        "diagnostic and is skipped; break the cycle by moving the shared "
+        "declarations into a common dependency."),
+    "RSC-MOD-003": (
+        "unknown export",
+        "An import names a binding that the target module does not export. "
+        "Only declarations marked with `export` are part of a module's "
+        "interface summary."),
     "RSC-INT-001": (
         "internal checker error",
         "The checker hit an unexpected state; please report this as a bug."),
 }
+
+
+#: Every stable diagnostic code, sorted — the public list tools may rely on.
+CODES: tuple = tuple(sorted(ERROR_CATALOG))
 
 
 def explain_code(code: str) -> Optional[tuple]:

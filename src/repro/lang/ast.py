@@ -281,6 +281,21 @@ class Param:
 @dataclass
 class Declaration:
     span: SourceSpan = field(default_factory=SourceSpan.unknown, kw_only=True)
+    #: ``export`` modifier — the declaration is part of the module's interface
+    #: (see :mod:`repro.project.summary`).
+    exported: bool = field(default=False, kw_only=True)
+
+
+@dataclass
+class ImportDecl(Declaration):
+    """``import {a, b} from "./mod";`` — bind another module's exports.
+
+    ``module`` is the literal module specifier; resolution against the
+    importing file's directory happens in :mod:`repro.project.graph`.
+    """
+
+    names: List[str] = field(default_factory=list)
+    module: str = ""
 
 
 @dataclass
@@ -389,3 +404,9 @@ class Program:
 
     def interfaces(self) -> List[InterfaceDecl]:
         return [d for d in self.declarations if isinstance(d, InterfaceDecl)]
+
+    def imports(self) -> List[ImportDecl]:
+        return [d for d in self.declarations if isinstance(d, ImportDecl)]
+
+    def exports(self) -> List[Declaration]:
+        return [d for d in self.declarations if d.exported]

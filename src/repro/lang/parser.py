@@ -105,7 +105,35 @@ class Parser:
             decls.append(self._declaration())
         return ast.Program(declarations=decls, source_name=self.filename)
 
+    #: keywords that can begin a top-level declaration (after `export`)
+    _DECL_KEYWORDS = ("type", "enum", "spec", "declare", "qualifier",
+                      "interface", "class", "function")
+
     def _declaration(self) -> ast.Declaration:
+        # `import`/`export` are contextual: plain identifiers recognised
+        # only here, in declaration position, so programs may still use
+        # them (and `from`) as ordinary names.
+        tok = self._peek()
+        if tok.is_ident("import") and self._peek(1).is_punct("{"):
+            return self._import()
+        if tok.is_ident("export") and self._starts_exportable(self._peek(1)):
+            span = self._span()
+            self._advance()
+            if self._peek().is_ident("import"):
+                raise ParseError("an import cannot be exported (re-export is "
+                                 "not supported)", span)
+            # _plain_declaration rejects a repeated `export` modifier.
+            decl = self._plain_declaration()
+            decl.exported = True
+            return decl
+        return self._plain_declaration()
+
+    def _starts_exportable(self, tok: Token) -> bool:
+        if tok.kind is TokenKind.KEYWORD and tok.text in self._DECL_KEYWORDS:
+            return True
+        return tok.is_ident("import")  # reaches the explicit error above
+
+    def _plain_declaration(self) -> ast.Declaration:
         if self._at_keyword("type"):
             return self._type_alias()
         if self._at_keyword("enum"):
@@ -123,6 +151,28 @@ class Parser:
         if self._at_keyword("function"):
             return self._function()
         raise self._error(f"expected a declaration, found {self._peek().text!r}")
+
+    def _import(self) -> ast.ImportDecl:
+        span = self._span()
+        self._advance()  # the contextual `import` identifier
+        self._expect_punct("{")
+        names: List[str] = []
+        while not self._at_punct("}"):
+            names.append(self._expect_ident())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct("}")
+        if not self._peek().is_ident("from"):
+            raise self._error("expected 'from' after the import name list")
+        self._advance()
+        tok = self._peek()
+        if tok.kind is not TokenKind.STRING:
+            raise self._error("expected a module specifier string after 'from'")
+        self._advance()
+        self._accept_punct(";")
+        if not names:
+            raise ParseError("an import must bind at least one name", span)
+        return ast.ImportDecl(names=names, module=str(tok.value), span=span)
 
     def _type_alias(self) -> ast.TypeAliasDecl:
         span = self._span()
@@ -867,7 +917,10 @@ class Parser:
             target = self._unary(in_pred)
             return ast.Cast(target=target, type=cast_type, span=span)
         if tok.is_punct("("):
-            if self._looks_like_arrow():
+            # Arrow functions cannot occur inside logical predicates, and
+            # skipping the lookahead there lets a parenthesized implication
+            # left-hand side (`(a && b) => c`) parse as logic, not a lambda.
+            if not in_pred and self._looks_like_arrow():
                 return self._arrow_function(span)
             self._advance()
             inner = self._expression(in_pred)

@@ -1,0 +1,330 @@
+"""Rendering nanoTS ASTs back to parseable source text.
+
+The inverse of :mod:`repro.lang.parser`: ``render_program(parse_program(s))``
+produces source that re-parses to a fingerprint-identical AST (asserted over
+every benchmark port by the test-suite).  The printer exists for the project
+subsystem — a :class:`repro.project.summary.ModuleSummary` is *rendered
+source* (body-less signatures) injected into every importing module's
+document, so the whole incremental workspace machinery (content hashing,
+signature fingerprints, warm starts) applies to cross-module interfaces with
+no extra plumbing — but it is generally useful for tooling and debugging.
+
+Expressions are parenthesized conservatively: every binary/conditional
+operand gets parentheses, which keeps the printer independent of the
+precedence table at the cost of noisier output.  Spans are not preserved
+(rendered text has its own layout); fingerprints are span-insensitive, so
+round-trips compare equal where it matters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+
+__all__ = ["render_expr", "render_type", "render_decl", "render_program"]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+def render_expr(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.NumberLit):
+        return expr.raw or repr(expr.value)
+    if isinstance(expr, ast.StringLit):
+        return _quote(expr.value)
+    if isinstance(expr, ast.BoolLitE):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.UndefinedLit):
+        return "undefined"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.ThisRef):
+        return "this"
+    if isinstance(expr, ast.Unary):
+        operand = render_expr(expr.operand)
+        if expr.op == "typeof":
+            return f"typeof ({operand})"
+        return f"{expr.op}({operand})"
+    if isinstance(expr, ast.Binary):
+        # `=>`/`<=>` operands are parenthesized like every other binary:
+        # implications only occur inside predicates, where the parser's
+        # arrow-function lookahead is disabled, so `(p => q) => r` parses
+        # as logic and left-nested implications round-trip exactly.
+        return (f"({render_expr(expr.left)}) {expr.op} "
+                f"({render_expr(expr.right)})")
+    if isinstance(expr, ast.Conditional):
+        # Branches are rendered without an added outer paren group: the
+        # parser reads `... ? (x) : ...` as an arrow-function head.  The
+        # grammar parses branches greedily, so no parens are needed.
+        return (f"(({render_expr(expr.cond)}) ? {render_expr(expr.then)} "
+                f": {render_expr(expr.els)})")
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{_render_postfix_target(expr.callee)}({args})"
+    if isinstance(expr, ast.New):
+        targs = _render_targs(expr.targs)
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"new {expr.class_name}{targs}({args})"
+    if isinstance(expr, ast.Member):
+        return f"{_render_postfix_target(expr.target)}.{expr.name}"
+    if isinstance(expr, ast.Index):
+        return (f"{_render_postfix_target(expr.target)}"
+                f"[{render_expr(expr.index)}]")
+    if isinstance(expr, ast.Cast):
+        return f"({render_expr(expr.target)} as {render_type(expr.type)})"
+    if isinstance(expr, ast.ArrayLit):
+        return "[" + ", ".join(render_expr(e) for e in expr.elements) + "]"
+    if isinstance(expr, ast.ObjectLit):
+        fields = ", ".join(f"{name}: {render_expr(value)}"
+                           for name, value in expr.fields)
+        # Parenthesized so the literal never opens a statement (where `{`
+        # would parse as a block).
+        return "({" + fields + "})"
+    if isinstance(expr, ast.FunctionExpr):
+        name = f" {expr.name}" if expr.name else ""
+        ret = f": {render_type(expr.ret)}" if expr.ret is not None else ""
+        body = _render_block(expr.body, 0)
+        return f"(function{name}({_render_params(expr.params)}){ret} {body})"
+    raise ValueError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_postfix_target(expr: ast.Expression) -> str:
+    """Render the target of a member/index/call suffix.
+
+    Postfix binds tightest, so a compound target must keep its own paren
+    group: `(a) + (b)[0]` would re-associate the index onto `b`.  Number
+    literals also need wrapping (`1.f` lexes as a float).  Conditional,
+    Cast, ObjectLit and FunctionExpr already render fully parenthesized.
+    """
+    rendered = render_expr(expr)
+    if isinstance(expr, (ast.Binary, ast.Unary, ast.NumberLit)):
+        return f"({rendered})"
+    return rendered
+
+
+def _quote(value: str) -> str:
+    escaped = (value.replace("\\", "\\\\").replace('"', '\\"')
+               .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r"))
+    return f'"{escaped}"'
+
+
+# ---------------------------------------------------------------------------
+# type annotations
+# ---------------------------------------------------------------------------
+
+
+def render_type(ann: ast.TypeAnn) -> str:
+    if isinstance(ann, ast.TNameAnn):
+        return f"{ann.name}{_render_targs(ann.args)}"
+    if isinstance(ann, ast.TRefineAnn):
+        return (f"{{{ann.value_var}: {render_type(ann.base)} | "
+                f"{render_expr(ann.pred)}}}")
+    if isinstance(ann, ast.TArrayAnn):
+        if ann.mutability is not None:
+            return f"Array<{ann.mutability}, {render_type(ann.elem)}>"
+        return f"{render_type(ann.elem)}[]"
+    if isinstance(ann, ast.TFunAnn):
+        tparams = f"<{', '.join(ann.tparams)}>" if ann.tparams else ""
+        params = ", ".join(
+            f"{name}: {render_type(ptype)}" if name is not None
+            else render_type(ptype)
+            for name, ptype in ann.params)
+        return f"{tparams}({params}) => {render_type(ann.ret)}"
+    if isinstance(ann, ast.TUnionAnn):
+        return " + ".join(_render_union_member(m) for m in ann.members)
+    raise ValueError(f"cannot render type annotation {type(ann).__name__}")
+
+
+def _render_union_member(ann: ast.TypeAnn) -> str:
+    rendered = render_type(ann)
+    # A nested union or function member must not swallow the outer `+`.
+    if isinstance(ann, (ast.TUnionAnn, ast.TFunAnn)):
+        return f"({rendered})"
+    return rendered
+
+
+def _render_targs(args: List[ast.TypeArg]) -> str:
+    if not args:
+        return ""
+    parts = []
+    for arg in args:
+        if arg.is_type():
+            parts.append(render_type(arg.type))
+        else:
+            parts.append(render_expr(arg.expr))
+    return f"<{', '.join(parts)}>"
+
+
+def _render_params(params: List[ast.Param]) -> str:
+    parts = []
+    for param in params:
+        if param.type is not None:
+            parts.append(f"{param.name}: {render_type(param.type)}")
+        else:
+            parts.append(param.name)
+    return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+def _indent(depth: int) -> str:
+    return "  " * depth
+
+
+def _render_block(block: ast.Block, depth: int) -> str:
+    if not block.statements:
+        return "{ }"
+    lines = ["{"]
+    for stmt in block.statements:
+        lines.append(_render_stmt(stmt, depth + 1))
+    lines.append(_indent(depth) + "}")
+    return "\n".join(lines)
+
+
+def _render_stmt(stmt: ast.Statement, depth: int) -> str:
+    pad = _indent(depth)
+    if isinstance(stmt, ast.Block):
+        return pad + _render_block(stmt, depth)
+    if isinstance(stmt, ast.VarDecl):
+        vtype = f": {render_type(stmt.type)}" if stmt.type is not None else ""
+        init = f" = {render_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{stmt.kind} {stmt.name}{vtype}{init};"
+    if isinstance(stmt, ast.Assign):
+        return f"{pad}{render_expr(stmt.target)} = {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pad}{render_expr(stmt.expr)};"
+    if isinstance(stmt, ast.If):
+        text = (f"{pad}if ({render_expr(stmt.cond)}) "
+                f"{_render_block(stmt.then, depth)}")
+        if stmt.els is not None:
+            text += f" else {_render_block(stmt.els, depth)}"
+        return text
+    if isinstance(stmt, ast.While):
+        invariant = (f" invariant ({render_expr(stmt.invariant)})"
+                     if stmt.invariant is not None else "")
+        return (f"{pad}while ({render_expr(stmt.cond)}){invariant} "
+                f"{_render_block(stmt.body, depth)}")
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.FunctionDeclStmt):
+        return _render_function(stmt.decl, depth)
+    if isinstance(stmt, ast.Skip):
+        return f"{pad};"
+    raise ValueError(f"cannot render statement {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+def _render_tparams(tparams: List[str]) -> str:
+    return f"<{', '.join(tparams)}>" if tparams else ""
+
+
+def _render_function(decl: ast.FunctionDecl, depth: int) -> str:
+    pad = _indent(depth)
+    ret = f": {render_type(decl.ret)}" if decl.ret is not None else ""
+    head = (f"{pad}function {decl.name}{_render_tparams(decl.tparams)}"
+            f"({_render_params(decl.params)}){ret}")
+    if decl.body is None:
+        return head + ";"
+    return f"{head} {_render_block(decl.body, depth)}"
+
+
+def _render_field(fld: ast.FieldDecl, depth: int,
+                  allow_optional: bool) -> str:
+    modifier = "immutable " if fld.immutable else ""
+    optional = "?" if (fld.optional and allow_optional) else ""
+    return (f"{_indent(depth)}{modifier}{fld.name}{optional} : "
+            f"{render_type(fld.type)};")
+
+
+def _render_receiver(mutability: Optional[str]) -> str:
+    return f"@{mutability} " if mutability else ""
+
+
+def _render_method_sig(sig: ast.MethodSig, depth: int) -> str:
+    ret = f": {render_type(sig.ret)}" if sig.ret is not None else ""
+    return (f"{_indent(depth)}{_render_receiver(sig.receiver_mutability)}"
+            f"{sig.name}{_render_tparams(sig.tparams)}"
+            f"({_render_params(sig.params)}){ret}")
+
+
+def render_decl(decl: ast.Declaration, depth: int = 0) -> str:
+    prefix = "export " if decl.exported else ""
+    pad = _indent(depth)
+    if isinstance(decl, ast.ImportDecl):
+        names = ", ".join(decl.names)
+        return f"{pad}import {{{names}}} from {_quote(decl.module)};"
+    if isinstance(decl, ast.TypeAliasDecl):
+        return (f"{pad}{prefix}type {decl.name}{_render_tparams(decl.params)}"
+                f" = {render_type(decl.body)};")
+    if isinstance(decl, ast.EnumDecl):
+        members = ", ".join(f"{name} = {value}"
+                            for name, value in decl.members)
+        return f"{pad}{prefix}enum {decl.name} {{ {members} }}"
+    if isinstance(decl, ast.SpecDecl):
+        return f"{pad}{prefix}spec {decl.name} :: {render_type(decl.type)};"
+    if isinstance(decl, ast.DeclareDecl):
+        return (f"{pad}{prefix}declare {decl.name} :: "
+                f"{render_type(decl.type)};")
+    if isinstance(decl, ast.QualifierDecl):
+        return f"{pad}{prefix}qualifier {render_expr(decl.pred)};"
+    if isinstance(decl, ast.InterfaceDecl):
+        extends = (f" extends {', '.join(decl.extends)}"
+                   if decl.extends else "")
+        lines = [f"{pad}{prefix}interface {decl.name}"
+                 f"{_render_tparams(decl.tparams)}{extends} {{"]
+        for fld in decl.fields:
+            lines.append(_render_field(fld, depth + 1, allow_optional=True))
+        for sig in decl.methods:
+            lines.append(_render_method_sig(sig, depth + 1) + ";")
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(decl, ast.ClassDecl):
+        extends = f" extends {decl.extends}" if decl.extends else ""
+        implements = (f" implements {', '.join(decl.implements)}"
+                      if decl.implements else "")
+        lines = [f"{pad}{prefix}class {decl.name}"
+                 f"{_render_tparams(decl.tparams)}{extends}{implements} {{"]
+        if decl.invariant is not None:
+            lines.append(f"{_indent(depth + 1)}invariant "
+                         f"{render_expr(decl.invariant)};")
+        for fld in decl.fields:
+            lines.append(_render_field(fld, depth + 1, allow_optional=False))
+        if decl.constructor is not None:
+            ctor = decl.constructor
+            head = (f"{_indent(depth + 1)}"
+                    f"{_render_receiver(ctor.sig.receiver_mutability)}"
+                    f"constructor({_render_params(ctor.sig.params)})")
+            if ctor.body is None:
+                lines.append(head + ";")
+            else:
+                lines.append(f"{head} {_render_block(ctor.body, depth + 1)}")
+        for method in decl.methods:
+            head = _render_method_sig(method.sig, depth + 1)
+            if method.body is None:
+                lines.append(head + ";")
+            else:
+                lines.append(f"{head} {_render_block(method.body, depth + 1)}")
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(decl, ast.FunctionDecl):
+        return f"{pad}{prefix}" + _render_function(decl, depth).lstrip() \
+            if prefix else _render_function(decl, depth)
+    raise ValueError(f"cannot render declaration {type(decl).__name__}")
+
+
+def render_program(program: ast.Program) -> str:
+    return "\n\n".join(render_decl(d) for d in program.declarations) + "\n"

@@ -26,6 +26,10 @@ KEYWORDS = frozenset({
     "qualifier", "void", "number", "boolean", "string", "any",
 })
 
+# `import`, `export` and `from` are *contextual* keywords: they are lexed as
+# plain identifiers (so `var from = 1;` keeps parsing, as in TypeScript) and
+# only recognised by the parser in module-declaration position.
+
 # Multi-character punctuation, longest first so the lexer matches greedily.
 PUNCTUATION = (
     "===", "!==", "<=>", "=>", "==", "!=", "<=", ">=", "&&", "||", "++", "--",

@@ -1,0 +1,41 @@
+"""Multi-module projects: imports/exports, interface summaries, build graph.
+
+The project subsystem makes the checker project-aware end to end::
+
+    from repro.project import check_project, ProjectWorkspace
+
+    result = check_project("my-project", jobs=4)     # topo-parallel build
+    print(result.summary())
+
+    pw = ProjectWorkspace(root="my-project")
+    pw.check()
+    update = pw.update("my-project/lib.rsc")         # signature-cut re-check
+    print(update.rechecked, update.reused)
+
+Modules are ``*.rsc`` files linked by ``import {a, b} from "./mod";`` and
+``export`` modifiers.  Each module is checked against its dependencies'
+*interface summaries* (refinement-typed signatures), never their bodies —
+see :mod:`repro.project.summary` for the cut, :mod:`repro.project.graph`
+for resolution/cycles/ranks, :mod:`repro.project.build` for the parallel
+scheduler and :mod:`repro.project.workspace` for incremental editing.
+"""
+
+from repro.project.build import check_files, check_graph, check_project
+from repro.project.graph import Module, ModuleGraph, resolve_specifier
+from repro.project.result import ProjectResult
+from repro.project.summary import ModuleSummary, summarize_program
+from repro.project.workspace import ProjectUpdate, ProjectWorkspace
+
+__all__ = [
+    "Module",
+    "ModuleGraph",
+    "ModuleSummary",
+    "ProjectResult",
+    "ProjectUpdate",
+    "ProjectWorkspace",
+    "check_files",
+    "check_graph",
+    "check_project",
+    "resolve_specifier",
+    "summarize_program",
+]

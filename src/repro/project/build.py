@@ -1,0 +1,165 @@
+"""The topo-parallel project build: schedule module checks over the DAG.
+
+Modules are checked in topological-rank batches; the members of one batch
+are mutually independent, so with ``jobs > 1`` they are fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (the checker is CPU-bound
+pure Python — threads would serialise on the GIL).  Every module is checked
+by the same pure function (:func:`check_module`) in a fresh session against
+its dependencies' interface preludes, so scheduler results are byte-identical
+to a sequential run — asserted by the test-suite — and the worker fan-out is
+free to place modules anywhere.
+
+Modules on an import cycle are not checked; their result carries the stable
+``RSC-MOD-002`` diagnostic from the graph instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import CheckConfig
+from repro.core.result import CheckResult
+from repro.project.graph import ModuleGraph
+from repro.project.result import ProjectResult
+from repro.smt.solver import SolverStats
+
+PathLike = Union[str, pathlib.Path]
+
+
+def check_module(config: CheckConfig, path: str,
+                 document_text: str) -> CheckResult:
+    """Check one module document (source + interface prelude) cold.
+
+    A fresh single-use session (own solver, empty cache) keeps the result a
+    pure function of ``(config, document_text)`` — the property that makes
+    parallel and sequential schedules byte-identical.
+    """
+    from repro.core.session import Session
+    return Session(config).check_source(document_text, filename=path)
+
+
+def _check_many(config: CheckConfig,
+                work: List[Tuple[str, str]]) -> List[CheckResult]:
+    """Process-pool worker: check a slice of one batch."""
+    return [check_module(config, path, text) for path, text in work]
+
+
+def attach_module_diagnostics(graph: ModuleGraph, path: str,
+                              result: CheckResult) -> CheckResult:
+    """Prepend the graph-level diagnostics (RSC-MOD-*) to a module verdict.
+
+    Returns a shallow copy — ``result`` may be a cached workspace snapshot
+    that must stay pristine for later reuse."""
+    module = graph.modules[path]
+    extra = list(module.diagnostics)
+    if not extra:
+        return result
+    return dataclasses.replace(
+        result, diagnostics=extra + list(result.diagnostics))
+
+
+def skipped_result(graph: ModuleGraph, path: str) -> CheckResult:
+    """The verdict of a module that was not checked (import cycle)."""
+    module = graph.modules[path]
+    return CheckResult(
+        diagnostics=list(module.parse_diagnostics) + list(module.diagnostics),
+        filename=path)
+
+
+def assemble_result(graph: ModuleGraph,
+                    by_path: Dict[str, CheckResult]) -> ProjectResult:
+    """Order per-module verdicts by path and merge their solver stats."""
+    stats = SolverStats()
+    ordered: List[CheckResult] = []
+    for path in graph.paths:
+        result = by_path[path]
+        ordered.append(result)
+        if result.stats is not None:
+            stats.merge(result.stats)
+    return ProjectResult(results=ordered, ranks=dict(graph.ranks),
+                         cyclic=list(graph.cyclic), stats=stats)
+
+
+def check_graph(graph: ModuleGraph, config: Optional[CheckConfig] = None,
+                jobs: Optional[int] = None) -> ProjectResult:
+    """Check every module of ``graph`` in dependency order."""
+    config = config or CheckConfig()
+    jobs = jobs if jobs is not None else config.jobs
+    start = time.perf_counter()
+    by_path: Dict[str, CheckResult] = {}
+    for path in graph.cyclic:
+        by_path[path] = skipped_result(graph, path)
+    pool: Optional[ProcessPoolExecutor] = None
+    if jobs > 1:
+        try:
+            # One pool for the whole build — spawning per rank batch would
+            # pay worker startup once per topological level.
+            pool = ProcessPoolExecutor(max_workers=jobs)
+        except (OSError, RuntimeError):
+            pool = None
+    try:
+        for batch in graph.batches():
+            work = [(path, graph.document_text(path)) for path in batch]
+            results = None
+            if pool is not None and len(work) > 1:
+                results = _run_batch_parallel(pool, config, work, jobs)
+                if results is None:  # pool broke; finish sequentially
+                    pool.shutdown(wait=False)
+                    pool = None
+            if results is None:
+                results = [check_module(config, path, text)
+                           for path, text in work]
+            for (path, _text), result in zip(work, results):
+                by_path[path] = attach_module_diagnostics(graph, path,
+                                                          result)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    result = assemble_result(graph, by_path)
+    result.time_seconds = time.perf_counter() - start
+    result.jobs = max(1, jobs)
+    return result
+
+
+def _run_batch_parallel(pool: ProcessPoolExecutor, config: CheckConfig,
+                        work: List[Tuple[str, str]],
+                        jobs: int) -> Optional[List[CheckResult]]:
+    """Fan one rank batch out over the shared worker pool; ``None`` when
+    the pool cannot run (restricted environments) — the caller then runs
+    the batch sequentially with identical results."""
+    workers = min(jobs, len(work))
+    chunks: List[List[Tuple[str, str]]] = [[] for _ in range(workers)]
+    for index, item in enumerate(work):
+        chunks[index % workers].append(item)
+    try:
+        futures = [pool.submit(_check_many, config, chunk)
+                   for chunk in chunks]
+        per_chunk = [future.result() for future in futures]
+    except (OSError, RuntimeError, BrokenProcessPool):
+        return None
+    by_path: Dict[str, CheckResult] = {}
+    for results in per_chunk:
+        for result in results:
+            by_path[result.filename] = result
+    return [by_path[path] for path, _text in work]
+
+
+def check_project(root: PathLike, config: Optional[CheckConfig] = None,
+                  pattern: str = "**/*.rsc",
+                  jobs: Optional[int] = None) -> ProjectResult:
+    """Check the project rooted at ``root`` (every ``pattern`` match)."""
+    graph = ModuleGraph.from_root(pathlib.Path(root), pattern)
+    return check_graph(graph, config, jobs)
+
+
+def check_files(paths: Sequence[PathLike],
+                config: Optional[CheckConfig] = None,
+                jobs: Optional[int] = None) -> ProjectResult:
+    """Check an explicit set of files as one module graph."""
+    graph = ModuleGraph.from_paths([pathlib.Path(p) for p in paths])
+    return check_graph(graph, config, jobs)

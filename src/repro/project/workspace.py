@@ -1,0 +1,183 @@
+"""The incremental project workspace: edit one module, re-check the cut.
+
+A :class:`ProjectWorkspace` composes the module graph with the per-document
+incremental :class:`repro.core.workspace.Workspace`:
+
+* every module's *document* (its source plus the interface prelude of its
+  imports) is held open in one shared workspace, so re-checks inside a
+  module warm-start the liquid fixpoint exactly as single-file editing does;
+* :meth:`update` re-parses the edited module and compares its
+  :class:`~repro.project.summary.ModuleSummary` fingerprint with the
+  previous one — a **body-only edit** leaves the interface untouched, so
+  exactly one module is re-checked and the edit stops at the module
+  boundary; a **signature edit** re-checks the module plus its transitive
+  dependents, in dependency order (each dependent sees a changed interface
+  prelude, which the inner workspace's signature fingerprint correctly
+  treats as a cold-solve cause, while *unchanged* dependents' documents hit
+  the content-hash artifact cache).
+
+Soundness discipline matches PR 3: the test-suite asserts that after any
+edit sequence, every module's diagnostics are identical to a from-scratch
+cold project build of the same sources.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import CheckConfig
+from repro.core.result import CheckResult
+from repro.core.workspace import Workspace
+from repro.project.build import (assemble_result, attach_module_diagnostics,
+                                 skipped_result)
+from repro.project.graph import ModuleGraph
+from repro.project.result import ProjectResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class ProjectUpdate:
+    """What one :meth:`ProjectWorkspace.update` actually did."""
+
+    path: str
+    #: modules re-checked by this update, in check order
+    rechecked: List[str] = field(default_factory=list)
+    #: modules whose artifacts were reused untouched
+    reused: List[str] = field(default_factory=list)
+    #: did the edited module's interface fingerprint move?
+    summary_changed: bool = False
+    results: Dict[str, CheckResult] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results.values())
+
+    @property
+    def queries(self) -> int:
+        return sum(r.stats.queries for r in self.results.values()
+                   if r.stats is not None)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "rechecked": list(self.rechecked),
+            "reused": list(self.reused),
+            "summary_changed": self.summary_changed,
+            "ok": self.ok,
+            "queries": self.queries,
+        }
+
+
+class ProjectWorkspace:
+    """Long-lived module graph over one shared incremental workspace."""
+
+    def __init__(self, root: Optional[PathLike] = None,
+                 config: Optional[CheckConfig] = None,
+                 pattern: str = "**/*.rsc",
+                 sources: Optional[Dict[str, str]] = None) -> None:
+        if (root is None) == (sources is None):
+            raise ValueError("pass exactly one of root= or sources=")
+        self.config = config or CheckConfig()
+        self.workspace = Workspace(self.config)
+        if sources is not None:
+            self._sources = {str(pathlib.Path(p).resolve()): text
+                             for p, text in sources.items()}
+        else:
+            self._sources = {
+                str(p.resolve()): p.read_text()
+                for p in sorted(pathlib.Path(root).glob(pattern))
+                if p.is_file()}
+        self.graph = ModuleGraph.from_sources(dict(self._sources))
+        self._results: Dict[str, CheckResult] = {}
+        self._checked = False
+
+    # -- full build --------------------------------------------------------
+
+    def check(self) -> ProjectResult:
+        """The initial (cold) build of every module, in dependency order."""
+        start = time.perf_counter()
+        for path in self.graph.cyclic:
+            self._results[path] = skipped_result(self.graph, path)
+        for batch in self.graph.batches():
+            for path in batch:
+                self._check_one(path)
+        self._checked = True
+        result = self.project_result()
+        result.time_seconds = time.perf_counter() - start
+        return result
+
+    # -- incremental editing -----------------------------------------------
+
+    def update(self, path: PathLike,
+               text: Optional[str] = None) -> ProjectUpdate:
+        """Replace one module's source and re-check what it invalidated.
+
+        ``text=None`` re-reads the module from disk.  Unknown paths are
+        added to the project as new modules.
+        """
+        if not self._checked:
+            self.check()
+        resolved = str(pathlib.Path(path).resolve())
+        if text is None:
+            text = pathlib.Path(resolved).read_text()
+        previous = self.graph.modules.get(resolved)
+        previous_fp = previous.summary.fingerprint if previous else None
+        previously_cyclic = set(self.graph.cyclic)
+
+        self._sources[resolved] = text
+        # Unchanged modules reuse their parsed AST and summary from the
+        # previous graph — a one-module edit re-parses one module.
+        self.graph = ModuleGraph.from_sources(dict(self._sources),
+                                              cache=self.graph.modules)
+        module = self.graph.modules[resolved]
+        summary_changed = module.summary.fingerprint != previous_fp
+
+        dirty = {resolved}
+        if summary_changed:
+            dirty.update(self.graph.transitive_dependents(resolved))
+        # An edit can create, break or *reshape* import cycles; every module
+        # that is (or was) on one gets a fresh verdict — a module staying
+        # cyclic must still re-render its diagnostic when the cycle's
+        # composition changed.  Refreshing a skipped verdict is cheap.
+        dirty.update(previously_cyclic | set(self.graph.cyclic))
+
+        update = ProjectUpdate(path=resolved, summary_changed=summary_changed)
+        cyclic = set(self.graph.cyclic)
+        for target in sorted(dirty,
+                             key=lambda p: (self.graph.ranks.get(p, 0), p)):
+            if target in cyclic:
+                self._results[target] = skipped_result(self.graph, target)
+            else:
+                self._check_one(target)
+            update.rechecked.append(target)
+            update.results[target] = self._results[target]
+        update.reused = [p for p in self.graph.paths if p not in dirty]
+        return update
+
+    # -- queries -----------------------------------------------------------
+
+    def diagnostics(self, path: PathLike) -> List:
+        resolved = str(pathlib.Path(path).resolve())
+        return list(self._results[resolved].diagnostics)
+
+    def result(self, path: PathLike) -> CheckResult:
+        return self._results[str(pathlib.Path(path).resolve())]
+
+    def modules(self) -> List[str]:
+        return self.graph.paths
+
+    def project_result(self) -> ProjectResult:
+        """The current per-module verdicts assembled as a ProjectResult."""
+        return assemble_result(self.graph, self._results)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_one(self, path: str) -> None:
+        text = self.graph.document_text(path)
+        result = self.workspace.open(path, text)
+        self._results[path] = attach_module_diagnostics(
+            self.graph, path, result)

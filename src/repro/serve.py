@@ -40,9 +40,10 @@ from repro.core.result import CheckResult
 from repro.core.workspace import Workspace
 
 #: Protocol identifier reported by the ``shutdown`` response.
-PROTOCOL = "repro-serve/1"
+PROTOCOL = "repro-serve/2"
 
-METHODS = ("check", "update", "diagnostics", "close", "shutdown")
+METHODS = ("check", "update", "diagnostics", "close", "shutdown",
+           "project_open", "project_update", "project_diagnostics")
 
 
 class ServerError(Exception):
@@ -59,7 +60,14 @@ class Server:
 
     def __init__(self, config: Optional[CheckConfig] = None,
                  workspace: Optional[Workspace] = None) -> None:
-        self.workspace = workspace or Workspace(config or CheckConfig())
+        # An injected workspace's config governs *all* operations (any
+        # `config` argument is superseded), so single-file and project
+        # checks of the same text always agree.
+        if workspace is not None:
+            config = workspace.config
+        self.config = config or CheckConfig()
+        self.workspace = workspace or Workspace(self.config)
+        self.project = None  # lazily created by project_open
         self.requests_served = 0
         self.shutting_down = False
         self._last_time: Dict[str, float] = {}
@@ -113,14 +121,14 @@ class Server:
 
     def _serve_check(self, params: dict) -> dict:
         uri = self._uri(params)
-        result = self.workspace.open(uri, params.get("text"))
+        result = self.workspace.open(uri, self._text(params))
         return self._check_payload(uri, result)
 
     def _serve_update(self, params: dict) -> dict:
         uri = self._uri(params)
         if uri not in self.workspace.documents():
             raise ServerError("not-open", f"document not open: {uri!r}")
-        result = self.workspace.update(uri, params.get("text"))
+        result = self.workspace.update(uri, self._text(params))
         return self._check_payload(uri, result)
 
     def _serve_diagnostics(self, params: dict) -> dict:
@@ -141,6 +149,72 @@ class Server:
         self._last_time.pop(uri, None)
         return {"uri": uri, "closed": True}
 
+    # -- project methods ---------------------------------------------------
+
+    def _serve_project_open(self, params: dict) -> dict:
+        """Open a project root as a module graph and run the initial build."""
+        from repro.project.workspace import ProjectWorkspace
+        root = params.get("root")
+        if not isinstance(root, str) or not root:
+            raise ServerError("bad-params", "params.root must be a string")
+        import pathlib
+        if not pathlib.Path(root).is_dir():
+            raise ServerError("io-error", f"not a directory: {root!r}")
+        self.project = ProjectWorkspace(root=root, config=self.config)
+        result = self.project.check()
+        return self._project_payload(result)
+
+    def _serve_project_update(self, params: dict) -> dict:
+        """Replace one module's text and re-check what it invalidated."""
+        import pathlib
+        project = self._require_project()
+        uri = self._uri(params)
+        # The library's update() deliberately adds unknown paths as new
+        # modules; over the protocol that would turn a typo'd or relative
+        # URI into a phantom module, so membership is checked first.
+        if str(pathlib.Path(uri).resolve()) not in project.modules():
+            raise ServerError("not-open",
+                              f"module not in the project: {uri!r}")
+        update = project.update(uri, self._text(params))
+        payload = update.to_dict()
+        payload["modules"] = [
+            self._module_payload(update.results[path])
+            for path in update.rechecked]
+        return payload
+
+    def _serve_project_diagnostics(self, params: dict) -> dict:
+        """One module's current diagnostics (no re-check)."""
+        project = self._require_project()
+        uri = self._uri(params)
+        try:
+            result = project.result(uri)
+        except KeyError:
+            raise ServerError("not-open", f"module not in the project: "
+                                          f"{uri!r}")
+        return self._module_payload(result)
+
+    def _require_project(self):
+        if self.project is None:
+            raise ServerError("not-open",
+                              "no project open (send project_open first)")
+        return self.project
+
+    @staticmethod
+    def _module_payload(result: CheckResult) -> dict:
+        return {"uri": result.filename, "status": result.status,
+                "ok": result.ok,
+                "diagnostics": [d.to_dict() for d in result.diagnostics]}
+
+    def _project_payload(self, result) -> dict:
+        return {
+            "status": "SAFE" if result.ok else "UNSAFE",
+            "ok": result.ok,
+            "num_modules": result.num_modules,
+            "ranks": dict(sorted(result.ranks.items())),
+            "cyclic": list(result.cyclic),
+            "modules": [self._module_payload(r) for r in result.results],
+        }
+
     def _serve_shutdown(self, params: dict) -> dict:
         self.shutting_down = True
         return {"shutdown": True, "protocol": PROTOCOL,
@@ -155,6 +229,13 @@ class Server:
         if not isinstance(uri, str) or not uri:
             raise ServerError("bad-params", "params.uri must be a string")
         return uri
+
+    @staticmethod
+    def _text(params: dict) -> Optional[str]:
+        text = params.get("text")
+        if text is not None and not isinstance(text, str):
+            raise ServerError("bad-params", "params.text must be a string")
+        return text
 
     def _check_payload(self, uri: str, result: CheckResult) -> dict:
         previous = self._last_time.get(uri)

@@ -156,6 +156,74 @@ class TestFlags:
         assert main(["check", "--warnings-as-errors", str(path)]) == EXIT_UNSAFE
 
 
+class TestJobsDefault:
+    def test_unset_jobs_defers_to_config(self):
+        """argparse must not hand cmd_check a hard default of 1 that
+        silently overrides CheckConfig.jobs."""
+        from repro.__main__ import build_parser
+        args = build_parser().parse_args(["check", "x.rsc"])
+        assert args.jobs is None
+
+    def test_explicit_jobs_still_parses(self):
+        from repro.__main__ import build_parser
+        args = build_parser().parse_args(["check", "--jobs", "3", "x.rsc"])
+        assert args.jobs == 3
+
+
+PROJECT_TYPES = 'export type NEArray<T> = {v: T[] | 0 < len(v)};\n'
+PROJECT_LIB = ('import {NEArray} from "./types";\n'
+               'export spec head :: (xs: NEArray<number>) => number;\n'
+               'export function head(xs) { return xs[0]; }\n')
+PROJECT_MAIN = ('import {head} from "./lib";\n'
+                'spec main :: () => void;\n'
+                'function main() { var xs = new Array(3); '
+                'var h = head(xs); }\n')
+
+
+@pytest.fixture
+def project_dir(tmp_path):
+    (tmp_path / "types.rsc").write_text(PROJECT_TYPES)
+    (tmp_path / "lib.rsc").write_text(PROJECT_LIB)
+    (tmp_path / "main.rsc").write_text(PROJECT_MAIN)
+    return tmp_path
+
+
+class TestProjectMode:
+    def test_directory_argument_checks_the_module_graph(self, project_dir,
+                                                        capsys):
+        assert main(["check", str(project_dir)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "3 module(s)" in out
+        assert "rank 0" in out and "rank 2" in out
+
+    def test_project_json_payload(self, project_dir, capsys):
+        assert main(["check", "--format", "json", str(project_dir)]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] and payload["num_modules"] == 3
+        assert sorted(payload["ranks"].values()) == [0, 1, 2]
+
+    def test_unsafe_project_exits_one(self, project_dir, capsys):
+        (project_dir / "main.rsc").write_text(
+            PROJECT_MAIN.replace("new Array(3)", "new Array(0)"))
+        assert main(["check", str(project_dir)]) == EXIT_UNSAFE
+        assert "RSC-SUB" in capsys.readouterr().out
+
+    def test_import_cycle_reports_stable_diagnostic(self, tmp_path, capsys):
+        (tmp_path / "a.rsc").write_text(
+            'import {tb} from "./b";\nexport type ta = number;\n')
+        (tmp_path / "b.rsc").write_text(
+            'import {ta} from "./a";\nexport type tb = number;\n')
+        assert main(["check", str(tmp_path)]) == EXIT_UNSAFE
+        out = capsys.readouterr().out
+        assert "RSC-MOD-002" in out and "cycle" in out
+
+    def test_directory_mixed_with_files_is_usage_error(self, project_dir,
+                                                       tmp_path, capsys):
+        other = tmp_path / "solo.rsc"
+        other.write_text(SAFE_SOURCE)
+        assert main(["check", str(project_dir), str(other)]) == EXIT_USAGE
+
+
 class TestExplain:
     def test_known_code(self, capsys):
         assert main(["explain", "RSC-SUB-003"]) == EXIT_OK

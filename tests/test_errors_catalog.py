@@ -1,0 +1,70 @@
+"""The diagnostics catalog: every RSC-* code is explainable and vice versa.
+
+The catalog (:data:`repro.errors.CODES` / ``ERROR_CATALOG``) is a public
+interface — tools match on codes and ``repro explain`` documents them — so
+the set of codes used anywhere in the implementation and the set of codes
+the catalog documents must coincide exactly.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.__main__ import EXIT_OK, EXIT_USAGE, main
+from repro.errors import CODES, DEFAULT_CODES, ERROR_CATALOG, explain_code
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+CODE_PATTERN = re.compile(r"RSC-[A-Z]+-\d{3}")
+
+
+def codes_used_in_source():
+    used = set()
+    for path in sorted(SRC.rglob("*.py")):
+        used.update(CODE_PATTERN.findall(path.read_text()))
+    return used
+
+
+class TestCatalogCompleteness:
+    def test_codes_lists_the_catalog(self):
+        assert list(CODES) == sorted(ERROR_CATALOG)
+
+    def test_every_code_used_in_source_is_cataloged(self):
+        missing = codes_used_in_source() - set(CODES)
+        assert not missing, f"codes emitted but not explainable: {missing}"
+
+    def test_every_cataloged_code_is_used_in_source(self):
+        unused = set(CODES) - codes_used_in_source()
+        assert not unused, f"catalog documents codes nothing emits: {unused}"
+
+    def test_every_kind_default_is_cataloged(self):
+        assert set(DEFAULT_CODES.values()) <= set(CODES)
+
+    def test_module_codes_present(self):
+        for code in ("RSC-MOD-001", "RSC-MOD-002", "RSC-MOD-003"):
+            assert code in CODES
+
+    def test_catalog_entries_are_wellformed(self):
+        for code, (summary, detail) in ERROR_CATALOG.items():
+            assert CODE_PATTERN.fullmatch(code), code
+            assert summary and not summary.endswith("."), code
+            assert len(detail) > len(summary), code
+
+
+class TestExplainCommand:
+    @pytest.mark.parametrize("code", sorted(ERROR_CATALOG))
+    def test_every_code_has_an_explain_entry(self, code, capsys):
+        assert main(["explain", code]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert code in out
+        assert explain_code(code)[0] in out
+
+    def test_listing_covers_every_code(self, capsys):
+        assert main(["explain"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for code in CODES:
+            assert code in out
+
+    def test_uncataloged_code_is_rejected(self, capsys):
+        assert main(["explain", "RSC-MOD-999"]) == EXIT_USAGE

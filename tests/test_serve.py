@@ -126,6 +126,97 @@ class TestServer:
         assert responses[3]["result"]["requests_served"] == 4
 
 
+PROJECT_TYPES = 'export type NEArray<T> = {v: T[] | 0 < len(v)};\n'
+PROJECT_LIB = ('import {NEArray} from "./types";\n'
+               'export spec head :: (xs: NEArray<number>) => number;\n'
+               'export function head(xs) { return xs[0]; }\n')
+PROJECT_MAIN = ('import {head} from "./lib";\n'
+                'spec main :: () => void;\n'
+                'function main() { var xs = new Array(3); '
+                'var h = head(xs); }\n')
+
+
+class TestProjectOps:
+    def write_project(self, tmp_path):
+        (tmp_path / "types.rsc").write_text(PROJECT_TYPES)
+        (tmp_path / "lib.rsc").write_text(PROJECT_LIB)
+        (tmp_path / "main.rsc").write_text(PROJECT_MAIN)
+        return tmp_path
+
+    def test_project_open_update_diagnostics(self, tmp_path):
+        root = self.write_project(tmp_path)
+        server = Server(CheckConfig())
+        opened = server.handle({"id": 1, "method": "project_open",
+                                "params": {"root": str(root)}})
+        assert opened["ok"], opened
+        assert opened["result"]["status"] == "SAFE"
+        assert opened["result"]["num_modules"] == 3
+        assert sorted(opened["result"]["ranks"].values()) == [0, 1, 2]
+
+        lib = str(root / "lib.rsc")
+        edited = PROJECT_LIB.replace("return xs[0];",
+                                     "var h = xs[0]; return h;")
+        updated = server.handle({"id": 2, "method": "project_update",
+                                 "params": {"uri": lib, "text": edited}})
+        assert updated["ok"], updated
+        assert updated["result"]["summary_changed"] is False
+        assert [os.path.basename(p)
+                for p in updated["result"]["rechecked"]] == ["lib.rsc"]
+        assert updated["result"]["ok"]
+
+        diag = server.handle({"id": 3, "method": "project_diagnostics",
+                              "params": {"uri": str(root / "main.rsc")}})
+        assert diag["ok"] and diag["result"]["status"] == "SAFE"
+
+    def test_injected_workspace_config_governs_project_ops(self, tmp_path):
+        # A module whose function lacks a spec only warns; with an injected
+        # warnings-as-errors workspace, file and project checks must agree.
+        from repro.core.workspace import Workspace
+        (tmp_path / "warn.rsc").write_text(
+            "function untyped(x) { return x; }\n")
+        strict = Workspace(CheckConfig(warnings_as_errors=True))
+        server = Server(workspace=strict)
+        opened = server.handle({"id": 1, "method": "project_open",
+                                "params": {"root": str(tmp_path)}})
+        assert opened["ok"]
+        assert opened["result"]["status"] == "UNSAFE"
+
+    def test_project_update_unknown_module_errors(self, tmp_path):
+        # A typo'd or relative URI must not register a phantom module.
+        root = self.write_project(tmp_path)
+        server = Server(CheckConfig())
+        assert server.handle({"id": 1, "method": "project_open",
+                              "params": {"root": str(root)}})["ok"]
+        response = server.handle(
+            {"id": 2, "method": "project_update",
+             "params": {"uri": "lib.rsc", "text": PROJECT_LIB}})
+        assert not response["ok"]
+        assert response["error"]["code"] == "not-open"
+        assert len(server.project.modules()) == 3
+
+    def test_non_string_text_is_bad_params(self):
+        server = Server(CheckConfig())
+        response = server.handle({"id": 1, "method": "check",
+                                  "params": {"uri": "a.rsc", "text": 123}})
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad-params"
+
+    def test_project_update_before_open_errors(self):
+        server = Server(CheckConfig())
+        response = server.handle({"id": 1, "method": "project_update",
+                                  "params": {"uri": "x.rsc", "text": ""}})
+        assert not response["ok"]
+        assert response["error"]["code"] == "not-open"
+
+    def test_project_open_missing_root_errors(self, tmp_path):
+        server = Server(CheckConfig())
+        response = server.handle(
+            {"id": 1, "method": "project_open",
+             "params": {"root": str(tmp_path / "nope")}})
+        assert not response["ok"]
+        assert response["error"]["code"] == "io-error"
+
+
 class TestWatcher:
     def test_scan_checks_on_mtime_change_only(self, tmp_path):
         path = tmp_path / "a.rsc"

@@ -1,0 +1,113 @@
+"""``repro watch``: workspace-backed mtime polling (scan, edit, unreadable)."""
+
+import io
+import os
+
+import pytest
+
+from repro.watch import Watcher
+
+SAFE_SOURCE = """
+spec id :: (x: number) => number;
+function id(x) { return x; }
+"""
+
+EDITED_SOURCE = """
+spec id :: (x: number) => number;
+function id(x) { var y = x; return y; }
+"""
+
+UNSAFE_SOURCE = """
+spec get :: (a: number[], i: number) => number;
+function get(a, i) { return a[i]; }
+"""
+
+
+def bump_mtime(path, seconds=5):
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + seconds * 10**9))
+
+
+@pytest.fixture
+def watched(tmp_path):
+    path = tmp_path / "a.rsc"
+    path.write_text(SAFE_SOURCE)
+    out = io.StringIO()
+    return path, Watcher([str(path)], out=out), out
+
+
+class TestScan:
+    def test_first_scan_checks_everything_cold(self, watched):
+        path, watcher, out = watched
+        [result] = watcher.scan()
+        assert result.ok
+        assert f"{path}: SAFE" in out.getvalue()
+
+    def test_unchanged_mtime_rechecks_nothing(self, watched):
+        _path, watcher, _out = watched
+        watcher.scan()
+        assert watcher.scan() == []
+        assert watcher.workspace.checks_run == 1
+
+    def test_unsafe_file_reports_errors(self, tmp_path):
+        path = tmp_path / "bad.rsc"
+        path.write_text(UNSAFE_SOURCE)
+        out = io.StringIO()
+        [result] = Watcher([str(path)], out=out).scan()
+        assert not result.ok
+        assert "UNSAFE" in out.getvalue()
+
+
+class TestEdit:
+    def test_edit_rechecks_warm_through_the_workspace(self, watched):
+        path, watcher, out = watched
+        watcher.scan()
+        path.write_text(EDITED_SOURCE)
+        bump_mtime(path)
+        [result] = watcher.scan()
+        assert result.ok
+        # The whole point of the Workspace port: a body edit re-checks
+        # warm-started, not cold from scratch.
+        assert result.solve_stats.warm_starts == 1
+        assert "warm" in out.getvalue()
+
+    def test_revert_hits_the_artifact_cache(self, watched):
+        path, watcher, _out = watched
+        watcher.scan()
+        path.write_text(EDITED_SOURCE)
+        bump_mtime(path, 5)
+        watcher.scan()
+        path.write_text(SAFE_SOURCE)
+        bump_mtime(path, 10)
+        [result] = watcher.scan()
+        assert result.ok
+        assert watcher.workspace.artifact_cache_hits == 1
+
+    def test_run_with_max_scans_terminates(self, watched):
+        _path, watcher, _out = watched
+        assert watcher.run(poll_seconds=0.0, max_scans=2) == 0
+
+
+class TestUnreadable:
+    def test_missing_file_reported_once_then_recovered(self, tmp_path):
+        path = tmp_path / "late.rsc"
+        out = io.StringIO()
+        watcher = Watcher([str(path)], out=out)
+        assert watcher.scan() == []
+        assert watcher.scan() == []
+        assert out.getvalue().count("unreadable") == 1
+        path.write_text(SAFE_SOURCE)
+        [result] = watcher.scan()
+        assert result.ok
+        assert f"{path}: SAFE" in out.getvalue()
+
+    def test_file_vanishing_mid_watch_is_reported(self, watched):
+        path, watcher, out = watched
+        watcher.scan()
+        path.unlink()
+        assert watcher.scan() == []
+        assert "unreadable" in out.getvalue()
+        # ... and picked up again when it comes back, even with an old mtime
+        path.write_text(SAFE_SOURCE)
+        [result] = watcher.scan()
+        assert result.ok
