@@ -42,6 +42,17 @@ With ``--modules`` the module-graph report produced by
   transitive dependents,
 * the cold build's query count is gated like the fixpoint queries.
 
+With ``--smt`` the engine-comparison report produced by
+``python -m repro bench smt`` is gated against the baseline's ``smt``
+section:
+
+* both engines must verify every benchmark with **byte-identical**
+  diagnostics and kappa solutions (``identical``),
+* the incremental engine must issue **strictly fewer** SAT searches
+  (``sat_calls``) than the fresh engine on every benchmark,
+* the incremental ``sat_calls`` count is gated against the baseline like
+  the fixpoint queries (it is deterministic).
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -136,6 +147,38 @@ def check_modules(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_smt(report: dict, baseline: dict, threshold: float) -> list:
+    """Failures of the SMT engine-comparison report vs the baseline."""
+    failures = []
+    current = report.get("benchmarks", {})
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the smt report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: no longer verifies under both "
+                            "SMT modes")
+        if not entry.get("identical", False):
+            failures.append(
+                f"{name}: incremental and fresh engines disagree "
+                "(diagnostics or kappa solutions differ) — the context "
+                "layer is UNSOUND or incomplete, fix before merging")
+        fresh = entry.get("fresh", {}).get("sat_calls", 0)
+        incr = entry.get("incremental", {}).get("sat_calls", 0)
+        if fresh and incr >= fresh:
+            failures.append(
+                f"{name}: incremental engine issued {incr} SAT searches, "
+                f"not fewer than the fresh engine's {fresh}")
+        allowed = base["incremental_sat_calls"] * (1.0 + threshold)
+        if incr > max(allowed, base["incremental_sat_calls"] + 5):
+            failures.append(
+                f"{name}: incremental engine issued {incr} SAT searches, "
+                f"baseline {base['incremental_sat_calls']} "
+                f"(+{threshold:.0%} allowed)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
@@ -152,6 +195,9 @@ def main(argv=None) -> int:
     parser.add_argument("--modules", metavar="FILE", default=None,
                         help="also gate BENCH_modules.json against the "
                              "baseline's 'modules' section")
+    parser.add_argument("--smt", metavar="FILE", default=None,
+                        help="also gate BENCH_smt.json against the "
+                             "baseline's 'smt' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -196,6 +242,12 @@ def main(argv=None) -> int:
             modules_report = json.load(f)
         failures.extend(check_modules(
             modules_report, baseline.get("modules", {}), args.threshold))
+
+    if args.smt is not None:
+        with open(args.smt) as f:
+            smt_report = json.load(f)
+        failures.extend(check_smt(
+            smt_report, baseline.get("smt", {}), args.threshold))
 
     if failures:
         print("benchmark regression(s) against "

@@ -5,9 +5,9 @@ Subcommands:
 * ``check FILES...`` — check nanoTS source files (the classic mode); exits
   non-zero if any file fails to verify.  ``--format json`` emits structured
   diagnostics with stable error codes; ``--jobs N`` checks in parallel.
-* ``bench figure6|figure7|incremental`` — regenerate the paper's evaluation
-  tables (and the edit-recheck scenario), amortising one solver across the
-  whole suite.
+* ``bench figure6|figure7|incremental|modules|smt`` — regenerate the
+  paper's evaluation tables, the edit-recheck and module-graph scenarios,
+  and the fresh-vs-incremental SMT engine comparison.
 * ``serve`` — a newline-delimited JSON check/update/diagnostics/shutdown
   loop over stdin/stdout backed by an incremental workspace.
 * ``watch FILES...`` — re-check files on mtime change, printing per-edit
@@ -75,11 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the paper's evaluation tables")
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
-                                "modules"),
+                                "modules", "smt"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
-                            "ports)")
+                            "ports; smt compares the fresh-solver and "
+                            "incremental-context SMT engines)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -277,6 +278,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "BENCH_modules.json", "modules", partial,
                 lambda: bench.format_modules(rows))
             return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
+        if args.table == "smt":
+            rows = bench.smt_mode_rows(names, programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.smt_report(rows),
+                "BENCH_smt.json", "smt", partial,
+                lambda: bench.format_smt(rows))
+            ok = all(row.safe and row.identical for row in rows)
+            return EXIT_OK if ok else EXIT_UNSAFE
         if args.table == "incremental":
             rows = bench.incremental_rows(names, programs_dir=programs_dir)
             _emit_bench_report(

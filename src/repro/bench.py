@@ -29,6 +29,12 @@ naive global-round loop (:func:`figure6_with_comparison`); the machine
 readable report (:func:`fixpoint_report`) is what ``repro bench figure6``
 dumps as ``BENCH_fixpoint.json`` and what CI diffs against
 ``benchmarks/baseline.json``.
+
+``repro bench smt`` (:func:`smt_mode_rows`) runs every port under both SMT
+engines — a fresh solver per query vs persistent assumption-based contexts
+— asserting byte-identical verdicts and reporting the SAT-search savings;
+the report lands in ``BENCH_smt.json`` and is gated against the baseline's
+``smt`` section.
 """
 
 from __future__ import annotations
@@ -378,6 +384,167 @@ def format_figure6(rows: List[BenchmarkRow]) -> str:
     lines.append("-" * 74)
     lines.append(f"{'TOTAL':15s} {total_loc:4d} {total_t:4d} {total_m:4d} "
                  f"{total_r:4d} {'':8s} {'':6s} {total_q:8d} {total_p:7d}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# SMT-mode comparison (`repro bench smt`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SmtModeRow:
+    """Fresh-solver vs incremental-context numbers for one benchmark.
+
+    ``identical`` asserts the differential property the incremental engine
+    must preserve: byte-identical diagnostics and kappa solutions under both
+    modes.  ``sat_calls`` is the comparison metric — SAT search episodes —
+    while the context counters explain *why* incremental wins (persistent
+    contexts, replayed theory lemmas, propagation-evident refutations).
+    """
+
+    name: str
+    fresh_sat_calls: int
+    incremental_sat_calls: int
+    fresh_theory_checks: int
+    incremental_theory_checks: int
+    fresh_time_seconds: float
+    incremental_time_seconds: float
+    queries: int
+    contexts_created: int
+    contexts_reused: int
+    clauses_learned: int
+    lemmas_reused: int
+    identical: bool
+    safe: bool
+
+    @property
+    def sat_call_reduction(self) -> float:
+        """Fraction of the fresh engine's SAT searches incremental avoided."""
+        if self.fresh_sat_calls == 0:
+            return 0.0
+        return 1.0 - self.incremental_sat_calls / self.fresh_sat_calls
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fresh": {
+                "sat_calls": self.fresh_sat_calls,
+                "theory_checks": self.fresh_theory_checks,
+                "time_seconds": self.fresh_time_seconds,
+            },
+            "incremental": {
+                "sat_calls": self.incremental_sat_calls,
+                "theory_checks": self.incremental_theory_checks,
+                "time_seconds": self.incremental_time_seconds,
+                "contexts_created": self.contexts_created,
+                "contexts_reused": self.contexts_reused,
+                "clauses_learned": self.clauses_learned,
+                "lemmas_reused": self.lemmas_reused,
+            },
+            "queries": self.queries,
+            "sat_call_reduction": self.sat_call_reduction,
+            "identical": self.identical,
+            "safe": self.safe,
+        }
+
+
+def _comparable_verdict(result) -> tuple:
+    """The parts of a :class:`CheckResult` that must match across SMT modes:
+    every diagnostic (code, message, span, severity) and the solved kappa
+    refinements, rendered to strings so the comparison is byte-level."""
+    return (
+        [d.to_dict() for d in result.diagnostics],
+        {name: [str(q) for q in quals]
+         for name, quals in sorted(result.kappa_solution.items())},
+    )
+
+
+def smt_mode_rows(names: Optional[List[str]] = None,
+                  programs_dir: Optional[pathlib.Path] = None
+                  ) -> List[SmtModeRow]:
+    """Check every benchmark under both SMT modes and compare.
+
+    Each mode gets its own fresh session (and solver) per benchmark, so the
+    counters are not distorted by the other mode's result cache or by
+    earlier benchmarks' contexts.
+    """
+    rows: List[SmtModeRow] = []
+    for name in (names or BENCHMARKS):
+        source = source_of(name, programs_dir)
+        filename = f"{name}.rsc"
+        fresh = Session(CheckConfig(smt_mode="fresh")).check_source(
+            source, filename=filename)
+        incremental = Session(CheckConfig(smt_mode="incremental")).check_source(
+            source, filename=filename)
+        fs, inc = fresh.stats, incremental.stats
+        rows.append(SmtModeRow(
+            name=name,
+            fresh_sat_calls=fs.sat_calls if fs else 0,
+            incremental_sat_calls=inc.sat_calls if inc else 0,
+            fresh_theory_checks=fs.theory_checks if fs else 0,
+            incremental_theory_checks=inc.theory_checks if inc else 0,
+            fresh_time_seconds=fresh.time_seconds,
+            incremental_time_seconds=incremental.time_seconds,
+            queries=inc.queries if inc else 0,
+            contexts_created=inc.contexts_created if inc else 0,
+            contexts_reused=inc.contexts_reused if inc else 0,
+            clauses_learned=inc.clauses_learned if inc else 0,
+            lemmas_reused=inc.lemmas_reused if inc else 0,
+            identical=_comparable_verdict(fresh) == _comparable_verdict(
+                incremental),
+            safe=fresh.ok and incremental.ok))
+    return rows
+
+
+#: Schema identifier stamped into SMT-mode reports.
+SMT_REPORT_SCHEMA = "repro-bench-smt/1"
+
+
+def smt_report(rows: List[SmtModeRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_smt.json``."""
+    return {
+        "schema": SMT_REPORT_SCHEMA,
+        "benchmarks": {row.name: row.to_dict() for row in rows},
+        "totals": {
+            "fresh_sat_calls": sum(r.fresh_sat_calls for r in rows),
+            "incremental_sat_calls": sum(r.incremental_sat_calls
+                                         for r in rows),
+            "fresh_time_seconds": sum(r.fresh_time_seconds for r in rows),
+            "incremental_time_seconds": sum(r.incremental_time_seconds
+                                            for r in rows),
+        },
+    }
+
+
+def format_smt(rows: List[SmtModeRow]) -> str:
+    """The table printed by ``repro bench smt``."""
+    lines = [
+        "SMT engine: fresh solver per query vs persistent assumption-based "
+        "contexts",
+        "Benchmark        Sat(fresh)  Sat(incr)  Saved%  Ctx(new/reuse)  "
+        "Lemmas  Same  Time(f)  Time(i)",
+        "-" * 92,
+    ]
+    tot_f = tot_i = 0
+    tot_ft = tot_it = 0.0
+    for row in rows:
+        ctx = f"{row.contexts_created}/{row.contexts_reused}"
+        lines.append(
+            f"{row.name:15s} {row.fresh_sat_calls:11d} "
+            f"{row.incremental_sat_calls:10d} "
+            f"{100 * row.sat_call_reduction:6.1f} {ctx:>14s} "
+            f"{row.lemmas_reused:7d} {'yes' if row.identical else 'NO':>5s} "
+            f"{row.fresh_time_seconds:8.2f} "
+            f"{row.incremental_time_seconds:8.2f}")
+        tot_f += row.fresh_sat_calls
+        tot_i += row.incremental_sat_calls
+        tot_ft += row.fresh_time_seconds
+        tot_it += row.incremental_time_seconds
+    lines.append("-" * 92)
+    saved = 100 * (1.0 - tot_i / tot_f) if tot_f else 0.0
+    lines.append(f"{'TOTAL':15s} {tot_f:11d} {tot_i:10d} {saved:6.1f} "
+                 f"{'':14s} {'':7s} {'':5s} {tot_ft:8.2f} {tot_it:8.2f}")
     return "\n".join(lines)
 
 

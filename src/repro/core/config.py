@@ -21,26 +21,51 @@ OUTPUT_FORMATS: Tuple[str, ...] = ("text", "json")
 #: Liquid fixpoint scheduling strategies (see :mod:`repro.core.liquid.fixpoint`).
 FIXPOINT_STRATEGIES: Tuple[str, ...] = ("worklist", "naive")
 
+#: SMT query engines (see :mod:`repro.smt.context`): ``"incremental"`` keeps
+#: persistent assumption-based contexts per hypothesis environment,
+#: ``"fresh"`` rebuilds CNF and a SAT solver per query (the historical
+#: behaviour, kept as the differential oracle for ``repro bench smt``).
+SMT_MODES: Tuple[str, ...] = ("incremental", "fresh")
+
 
 @dataclass(frozen=True)
 class SolverOptions:
-    """Options forwarded to the SMT substrate (:class:`repro.smt.Solver`)."""
+    """Options forwarded to the SMT substrate (:class:`repro.smt.Solver`).
+
+    ``context_cache_limit`` bounds the LRU of persistent solver contexts
+    kept alive in ``smt_mode="incremental"`` (one per distinct hypothesis
+    environment; evicted contexts rebuild cheaply from the solver's theory
+    lemma memo).
+
+    ``backend`` names the SMT engine in the
+    :mod:`repro.smt.backend` registry; ``"internal"`` is the built-in
+    solver.  An external adapter (e.g. z3) registers a factory under its
+    own name and is selected here — validation happens when the session's
+    workspace instantiates the backend, so adapters may be registered any
+    time before that.
+    """
 
     max_theory_iterations: int = 5000
     cache_results: bool = True
     cache_size_limit: int = 200_000
+    context_cache_limit: int = 64
+    backend: str = "internal"
 
     def __post_init__(self) -> None:
         if self.max_theory_iterations < 1:
             raise ValueError("max_theory_iterations must be positive")
         if self.cache_size_limit < 0:
             raise ValueError("cache_size_limit must be non-negative")
+        if self.context_cache_limit < 1:
+            raise ValueError("context_cache_limit must be positive")
 
     def to_dict(self) -> dict:
         return {
             "max_theory_iterations": self.max_theory_iterations,
             "cache_results": self.cache_results,
             "cache_size_limit": self.cache_size_limit,
+            "context_cache_limit": self.context_cache_limit,
+            "backend": self.backend,
         }
 
 
@@ -56,6 +81,10 @@ class CheckConfig:
     * ``qualifier_set`` — ``"default"`` (built-in pool plus qualifiers
       harvested from the program) or ``"harvested"`` (program-derived
       qualifiers only; useful to measure how much the built-ins contribute).
+    * ``smt_mode`` — ``"incremental"`` (persistent assumption-based solver
+      contexts per hypothesis environment, the default) or ``"fresh"`` (a
+      new SAT solver per query; the reference oracle — verdicts are
+      identical, only the work counters differ).
     * ``solver`` — SMT substrate options (:class:`SolverOptions`).
     * ``output_format`` — ``"text"`` or ``"json"`` (the CLI default).
     * ``jobs`` — worker count used by batch entry points; each extra worker
@@ -72,6 +101,7 @@ class CheckConfig:
     fixpoint_strategy: str = "worklist"
     warnings_as_errors: bool = False
     qualifier_set: str = "default"
+    smt_mode: str = "incremental"
     solver: SolverOptions = field(default_factory=SolverOptions)
     output_format: str = "text"
     jobs: int = 1
@@ -89,6 +119,10 @@ class CheckConfig:
             raise ValueError(
                 f"unknown qualifier_set {self.qualifier_set!r} "
                 f"(expected one of {', '.join(QUALIFIER_SETS)})")
+        if self.smt_mode not in SMT_MODES:
+            raise ValueError(
+                f"unknown smt_mode {self.smt_mode!r} "
+                f"(expected one of {', '.join(SMT_MODES)})")
         if self.output_format not in OUTPUT_FORMATS:
             raise ValueError(
                 f"unknown output_format {self.output_format!r} "
@@ -108,6 +142,7 @@ class CheckConfig:
             "fixpoint_strategy": self.fixpoint_strategy,
             "warnings_as_errors": self.warnings_as_errors,
             "qualifier_set": self.qualifier_set,
+            "smt_mode": self.smt_mode,
             "solver": self.solver.to_dict(),
             "output_format": self.output_format,
             "jobs": self.jobs,

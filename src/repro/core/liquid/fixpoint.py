@@ -352,13 +352,18 @@ class LiquidSolver:
                 and self._goal_kappa(imp).fn in self.registry]
         self.stats.kappas = len(self.registry.kappas)
         self.stats.horn_implications = len(horn)
-        cache_before = self.solver.stats.cache_hits
+        solver_before = self.solver.stats.copy()
         if self.strategy == "naive":
             self._solve_naive(horn, solution)
         else:
             self._solve_worklist(horn, solution,
                                  seed_kappas=dirty_kappas if warm else None)
-        self.stats.cache_hits = self.solver.stats.cache_hits - cache_before
+        solver_delta = self.solver.stats.delta_since(solver_before)
+        self.stats.cache_hits = solver_delta.cache_hits
+        self.stats.contexts_created = solver_delta.contexts_created
+        self.stats.contexts_reused = solver_delta.contexts_reused
+        self.stats.clauses_learned = solver_delta.clauses_learned
+        self.stats.lemmas_reused = solver_delta.lemmas_reused
         return solution
 
     def _solve_naive(self, horn: Sequence[Implication],

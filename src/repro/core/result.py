@@ -35,6 +35,14 @@ class SolveStats:
     hypotheses, and refuted-memo hits); ``cache_hits`` is the solver-cache
     delta observed while solving.
 
+    The incremental-SMT counters (``smt_mode="incremental"``) are likewise
+    solver deltas observed during the solve: ``contexts_created`` /
+    ``contexts_reused`` count persistent assumption-based solver contexts
+    built vs served from the LRU, ``clauses_learned`` counts CDCL-learned
+    clauses (retained by contexts, discarded by fresh solvers), and
+    ``lemmas_reused`` counts theory conflicts answered from the cross-context
+    lemma memo without re-running a theory check.
+
     The incremental-workspace counters describe warm starts:
     ``warm_starts`` is 1 when the solve reused a previous solution,
     ``declarations_rechecked``/``declarations_reused`` count the constraint
@@ -50,6 +58,10 @@ class SolveStats:
     queries_issued: int = 0
     queries_pruned: int = 0
     cache_hits: int = 0
+    contexts_created: int = 0
+    contexts_reused: int = 0
+    clauses_learned: int = 0
+    lemmas_reused: int = 0
     warm_starts: int = 0
     declarations_rechecked: int = 0
     declarations_reused: int = 0
@@ -64,6 +76,10 @@ class SolveStats:
         self.queries_issued += other.queries_issued
         self.queries_pruned += other.queries_pruned
         self.cache_hits += other.cache_hits
+        self.contexts_created += other.contexts_created
+        self.contexts_reused += other.contexts_reused
+        self.clauses_learned += other.clauses_learned
+        self.lemmas_reused += other.lemmas_reused
         self.warm_starts += other.warm_starts
         self.declarations_rechecked += other.declarations_rechecked
         self.declarations_reused += other.declarations_reused
@@ -78,6 +94,10 @@ class SolveStats:
             "queries_issued": self.queries_issued,
             "queries_pruned": self.queries_pruned,
             "cache_hits": self.cache_hits,
+            "contexts_created": self.contexts_created,
+            "contexts_reused": self.contexts_reused,
+            "clauses_learned": self.clauses_learned,
+            "lemmas_reused": self.lemmas_reused,
             "warm_starts": self.warm_starts,
             "declarations_rechecked": self.declarations_rechecked,
             "declarations_reused": self.declarations_reused,

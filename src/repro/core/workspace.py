@@ -59,6 +59,7 @@ from repro.errors import (
     Severity,
 )
 from repro.lang import ast, parse_program
+from repro.smt.backend import create_backend
 from repro.smt.solver import Solver, SolverStats
 from repro.ssa import ir
 from repro.ssa.transform import SsaTransformer
@@ -232,10 +233,13 @@ class Workspace:
                  solver: Optional[Solver] = None) -> None:
         self.config = config or CheckConfig()
         opts = self.config.solver
-        self.solver = solver or Solver(
+        self.solver = solver or create_backend(
+            opts.backend,
             max_theory_iterations=opts.max_theory_iterations,
             cache_results=opts.cache_results,
-            cache_size_limit=opts.cache_size_limit)
+            cache_size_limit=opts.cache_size_limit,
+            smt_mode=self.config.smt_mode,
+            context_cache_limit=opts.context_cache_limit)
         self._documents: Dict[str, Document] = {}
         self.checks_run = 0
         self.artifact_cache_hits = 0

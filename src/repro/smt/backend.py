@@ -1,0 +1,88 @@
+"""The pluggable SMT backend seam.
+
+The checker only ever talks to the solver through the narrow surface below:
+satisfiability of one formula, validity of an implication (optionally
+batched over one hypothesis environment), and accumulated statistics.
+:class:`Backend` captures that surface as a runtime-checkable protocol so an
+external solver (a z3 adapter, a remote solving service) can drop in behind
+the same :class:`repro.core.session.Session` machinery without touching the
+pipeline.
+
+Backends are registered by name in a process-wide registry; the built-in
+engine (:class:`repro.smt.solver.Solver`, registered as ``"internal"``) is
+the only one shipped — it is selected implicitly everywhere today.  A future
+adapter registers a factory::
+
+    from repro.smt.backend import register_backend
+
+    register_backend("z3", lambda **options: Z3Backend(**options))
+
+and constructs with the same keyword options :class:`Solver` accepts (extra
+options it does not understand should be ignored, not rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence, runtime_checkable
+
+from repro.logic.terms import Expr
+from repro.smt.solver import Result, Solver, SolverStats
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the checking pipeline requires of an SMT engine."""
+
+    stats: SolverStats
+
+    def check(self, formula: Expr) -> Result:
+        """Satisfiability of ``formula``."""
+        ...
+
+    def is_satisfiable(self, formula: Expr) -> bool:
+        ...
+
+    def is_valid(self, formula: Expr) -> bool:
+        ...
+
+    def check_implication(self, hypotheses: Sequence[Expr],
+                          goal: Expr) -> bool:
+        ...
+
+    def check_implication_batch(self, hypotheses: Sequence[Expr],
+                                goals: Sequence[Expr]) -> List[bool]:
+        ...
+
+    def environment_inconsistent(self, hypotheses: Sequence[Expr]) -> bool:
+        ...
+
+    def clear_cache(self) -> None:
+        ...
+
+
+BackendFactory = Callable[..., Backend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str = "internal", **options) -> Backend:
+    """Instantiate the named backend with solver keyword options."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SMT backend {name!r} "
+            f"(available: {', '.join(available_backends())})") from None
+    return factory(**options)
+
+
+register_backend("internal", Solver)

@@ -18,7 +18,7 @@ of theory literals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.logic.terms import App, BinOp, BoolLit, Expr, Field, Ite, UnOp, Var
 from repro.logic.sorts import BOOL
@@ -147,6 +147,29 @@ def tseitin(formula: Expr, atoms: AtomMap) -> List[List[int]]:
     root = encode(formula)
     clauses.append([root])
     return clauses
+
+
+def collect_atoms(e: Expr) -> Set[Expr]:
+    """The theory atoms an NNF formula's Tseitin encoding will reference.
+
+    Mirrors :func:`tseitin`'s ``encode`` recursion exactly (including the
+    conservative fall-through that treats unexpected nodes as atoms), so
+    ``{atoms.atom_to_var[a] for a in collect_atoms(nnf)}`` is precisely the
+    set of atom variables the encoded clauses mention.  The incremental
+    context layer uses this to restrict theory checks to the *active* atoms
+    of a query.
+    """
+    if isinstance(e, BoolLit):
+        return set()
+    if isinstance(e, UnOp) and e.op == "!":
+        if _is_atom(e.operand):
+            return {e.operand}
+        return collect_atoms(e.operand)
+    if _is_atom(e):
+        return {e}
+    if isinstance(e, BinOp) and e.op in ("&&", "||"):
+        return collect_atoms(e.left) | collect_atoms(e.right)
+    return {e}
 
 
 def _flatten(e: Expr, op: str) -> List[Expr]:

@@ -47,6 +47,7 @@ class SatSolver:
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
+        self.num_learned = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -157,6 +158,7 @@ class SatSolver:
                     self._backtrack(0)
                     return False
                 learned, back_level = self._analyze(conflict)
+                self.num_learned += 1
                 back_level = max(back_level, base_level)
                 self._backtrack(back_level)
                 if len(learned) == 1:
@@ -180,9 +182,88 @@ class SatSolver:
                 self._new_decision_level()
                 self._enqueue(lit, None)
 
+    def propagate_probe(self, assumptions: Sequence[int] = ()) -> bool:
+        """Unit-propagation-only unsatisfiability probe (no search).
+
+        Returns True when the clause set plus ``assumptions`` is refuted by
+        unit propagation alone — a decision-free conflict.  Returns False
+        when propagation completes without conflict, which says nothing
+        about satisfiability.  The incremental context layer uses this to
+        discharge goals whose refutation is already propagation-evident
+        from retained lemmas, without starting a SAT search.
+        """
+        if not self._ok:
+            return True
+        self._backtrack(0)
+        if self._propagate() is not None:
+            return True
+        for a in assumptions:
+            self.ensure_var(abs(a))
+            if self._value(a) is False:
+                self._backtrack(0)
+                return True
+            if self._value(a) is None:
+                self._new_decision_level()
+                self._enqueue(a, None)
+                if self._propagate() is not None:
+                    self._backtrack(0)
+                    return True
+        self._backtrack(0)
+        return False
+
     def model(self) -> Dict[int, bool]:
         """The satisfying assignment found by the last successful solve()."""
         return {v: val for v, val in self._assign.items() if val is not None}
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def compact(self) -> int:
+        """Drop clauses that are permanently satisfied at the root level.
+
+        Long-lived solvers (the incremental context layer) retire a goal by
+        asserting its selector's negation as a root-level unit, which
+        permanently satisfies every clause guarded by that selector —
+        including CDCL-learned clauses that mention it.  Compaction removes
+        them and rebuilds the watch lists; returns the number removed.
+        """
+        if not self._ok:
+            return 0
+        self._backtrack(0)
+
+        def rooted_true(lit: int) -> bool:
+            return self._value(lit) is True and self._level[abs(lit)] == 0
+
+        kept: List[_Clause] = []
+        removed = 0
+        for clause in self._clauses:
+            if any(rooted_true(lit) for lit in clause.lits):
+                removed += 1
+            else:
+                kept.append(clause)
+        if not removed:
+            return 0
+        self._clauses = kept
+        self._watches = {}
+        for clause in kept:
+            # Re-establish the watch invariant under the root assignment:
+            # watch two non-false literals whenever they exist.
+            clause.lits.sort(
+                key=lambda lit: 0 if self._value(lit) is not False else 1)
+            if self._value(clause.lits[0]) is False:
+                self._ok = False  # whole clause false at root
+                return removed
+            self._watch(clause)
+            if len(clause.lits) > 1 and self._value(clause.lits[1]) is False \
+                    and self._value(clause.lits[0]) is None:
+                # Unit under the root assignment (cannot normally happen —
+                # root propagation ran before compaction — but keep the
+                # solver consistent regardless).
+                self._enqueue(clause.lits[0], clause)
+        if self._propagate() is not None:
+            self._ok = False
+        return removed
 
     # -- internals ----------------------------------------------------------
 

@@ -19,6 +19,7 @@ model is found (satisfiable) or the SAT solver reports unsatisfiability.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence
@@ -26,8 +27,13 @@ from typing import List, Optional, Sequence
 from repro.logic.simplify import simplify
 from repro.logic.terms import BoolLit, Expr, conj, implies, neg
 from repro.smt.cnf import AtomMap, tseitin, to_nnf
+from repro.smt.context import ContextManager
 from repro.smt.sat import SatSolver
 from repro.smt.theory import check_with_core
+
+#: Query engines understood by :class:`Solver` (mirrored by
+#: :data:`repro.core.config.SMT_MODES` for :class:`CheckConfig` validation).
+SMT_MODES = ("incremental", "fresh")
 
 
 class Result(Enum):
@@ -47,6 +53,10 @@ class SolverStats:
     theory_checks: int = 0
     blocking_clauses: int = 0
     cache_hits: int = 0
+    contexts_created: int = 0
+    contexts_reused: int = 0
+    clauses_learned: int = 0
+    lemmas_reused: int = 0
     time_seconds: float = 0.0
 
     def merge(self, other: "SolverStats") -> None:
@@ -57,6 +67,10 @@ class SolverStats:
         self.theory_checks += other.theory_checks
         self.blocking_clauses += other.blocking_clauses
         self.cache_hits += other.cache_hits
+        self.contexts_created += other.contexts_created
+        self.contexts_reused += other.contexts_reused
+        self.clauses_learned += other.clauses_learned
+        self.lemmas_reused += other.lemmas_reused
         self.time_seconds += other.time_seconds
 
     def copy(self) -> "SolverStats":
@@ -64,16 +78,10 @@ class SolverStats:
 
     def delta_since(self, earlier: "SolverStats") -> "SolverStats":
         """The stats accumulated since the ``earlier`` snapshot was taken."""
-        return SolverStats(
-            queries=self.queries - earlier.queries,
-            valid=self.valid - earlier.valid,
-            invalid=self.invalid - earlier.invalid,
-            sat_calls=self.sat_calls - earlier.sat_calls,
-            theory_checks=self.theory_checks - earlier.theory_checks,
-            blocking_clauses=self.blocking_clauses - earlier.blocking_clauses,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-            time_seconds=self.time_seconds - earlier.time_seconds,
-        )
+        return SolverStats(**{
+            key: value - getattr(earlier, key)
+            for key, value in self.to_dict().items()
+        })
 
     def to_dict(self) -> dict:
         return {
@@ -84,27 +92,55 @@ class SolverStats:
             "theory_checks": self.theory_checks,
             "blocking_clauses": self.blocking_clauses,
             "cache_hits": self.cache_hits,
+            "contexts_created": self.contexts_created,
+            "contexts_reused": self.contexts_reused,
+            "clauses_learned": self.clauses_learned,
+            "lemmas_reused": self.lemmas_reused,
             "time_seconds": self.time_seconds,
         }
 
 
 class Solver:
-    """A stateless (per query) SMT solver with accumulated statistics.
+    """The SMT query engine behind every checking session.
 
-    The query/result cache is keyed by the (hashable) formula and survives
-    for the lifetime of the solver, so a long-lived solver shared by a
+    ``smt_mode`` selects how implication batches are discharged:
+
+    * ``"fresh"`` (the constructor default, and the historical behaviour) —
+      every query builds its own CNF and SAT solver;
+    * ``"incremental"`` — implication queries are routed through persistent
+      assumption-based :class:`repro.smt.context.SolverContext` objects,
+      one per hypothesis environment, kept in an LRU of
+      ``context_cache_limit`` entries (see :mod:`repro.smt.context`).
+      Sessions default to this mode via
+      :attr:`repro.core.config.CheckConfig.smt_mode`.
+
+    Verdicts are identical in both modes (asserted by the differential fuzz
+    suite and ``repro bench smt``); only the work counters differ.
+
+    The query/result cache is keyed by the (hashable) formula, evicts
+    least-recently-used entries past ``cache_size_limit``, and survives for
+    the lifetime of the solver, so a long-lived solver shared by a
     :class:`repro.core.session.Session` amortises repeated obligations
     across many files.
     """
 
     def __init__(self, max_theory_iterations: int = 5000,
                  cache_results: bool = True,
-                 cache_size_limit: int = 200_000) -> None:
+                 cache_size_limit: int = 200_000,
+                 smt_mode: str = "fresh",
+                 context_cache_limit: int = 64) -> None:
+        if smt_mode not in SMT_MODES:
+            raise ValueError(f"unknown smt_mode {smt_mode!r} "
+                             f"(expected one of {', '.join(SMT_MODES)})")
         self.max_theory_iterations = max_theory_iterations
         self.stats = SolverStats()
         self.cache_results = cache_results
         self.cache_size_limit = cache_size_limit
-        self._cache: dict = {}
+        self.smt_mode = smt_mode
+        self.contexts = ContextManager(
+            limit=context_cache_limit,
+            max_theory_iterations=max_theory_iterations)
+        self._cache: "OrderedDict[Expr, Result]" = OrderedDict()
 
     # -- public queries ------------------------------------------------------
 
@@ -116,19 +152,35 @@ class Solver:
         """Drop every cached query result (statistics are kept)."""
         self._cache.clear()
 
+    def _cache_lookup(self, formula: Expr) -> Optional[Result]:
+        if not self.cache_results:
+            return None
+        result = self._cache.get(formula)
+        if result is not None:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(formula)
+        return result
+
+    def _cache_store(self, formula: Expr, result: Result) -> None:
+        if not self.cache_results or self.cache_size_limit <= 0:
+            return
+        self._cache[formula] = result
+        self._cache.move_to_end(formula)
+        while len(self._cache) > self.cache_size_limit:
+            self._cache.popitem(last=False)
+
     def check(self, formula: Expr) -> Result:
         """Satisfiability of ``formula``."""
-        if self.cache_results and formula in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[formula]
+        cached = self._cache_lookup(formula)
+        if cached is not None:
+            return cached
         start = time.perf_counter()
         self.stats.queries += 1
         try:
             result = self._check_sat(formula)
         finally:
             self.stats.time_seconds += time.perf_counter() - start
-        if self.cache_results and len(self._cache) < self.cache_size_limit:
-            self._cache[formula] = result
+        self._cache_store(formula, result)
         return result
 
     def is_satisfiable(self, formula: Expr) -> bool:
@@ -147,6 +199,8 @@ class Solver:
     def check_implication(self, hypotheses: Sequence[Expr], goal: Expr) -> bool:
         """Validity of ``/\\ hypotheses => goal`` — the VC entry point."""
         antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
+        if self.smt_mode == "incremental":
+            return self._check_goal_incremental(antecedent, goal)
         return self.is_valid(implies(antecedent, goal))
 
     def check_implication_batch(self, hypotheses: Sequence[Expr],
@@ -154,11 +208,49 @@ class Solver:
         """Validity of ``/\\ hypotheses => goal`` for each goal in turn.
 
         The antecedent conjunction is built once and every query still flows
-        through the result cache, so batches sharing hypotheses (the liquid
-        fixpoint weakening a kappa) amortise both the term construction and
-        any repeated obligations."""
+        through the result cache.  In ``"incremental"`` mode the whole batch
+        is discharged against one persistent :class:`SolverContext`: the
+        hypotheses' CNF is asserted once, each goal is solved under a fresh
+        selector assumption, and learned/theory clauses carry over from goal
+        to goal (and to later batches over the same environment)."""
         antecedent = conj(*hypotheses) if hypotheses else BoolLit(True)
+        if self.smt_mode == "incremental":
+            return [self._check_goal_incremental(antecedent, goal)
+                    for goal in goals]
         return [self.is_valid(implies(antecedent, goal)) for goal in goals]
+
+    def _check_goal_incremental(self, antecedent: Expr, goal: Expr) -> bool:
+        """One implication goal through the persistent-context engine.
+
+        Caches under the same key as the fresh path
+        (``neg(antecedent => goal)``), so repeated obligations are served
+        identically in both modes and never touch a context twice.
+        """
+        formula = neg(implies(antecedent, goal))
+        cached = self._cache_lookup(formula)
+        if cached is not None:
+            result = cached
+        else:
+            start = time.perf_counter()
+            self.stats.queries += 1
+            try:
+                context = self.contexts.context_for(antecedent, self.stats)
+                verdict = context.check_goal(goal, self.stats)
+                # Tri-state, like the fresh loop: None (budget exhausted) is
+                # UNKNOWN and must not be cached as a real SAT answer.
+                if verdict is None:
+                    result = Result.UNKNOWN
+                else:
+                    result = Result.UNSAT if verdict else Result.SAT
+            finally:
+                self.stats.time_seconds += time.perf_counter() - start
+            self._cache_store(formula, result)
+        valid = result is Result.UNSAT
+        if valid:
+            self.stats.valid += 1
+        else:
+            self.stats.invalid += 1
+        return valid
 
     def environment_inconsistent(self, hypotheses: Sequence[Expr]) -> bool:
         """True iff the hypotheses are unsatisfiable (dead code detection)."""
@@ -181,36 +273,43 @@ class Solver:
             if not sat.add_clause(clause):
                 return Result.UNSAT
 
-        for _ in range(self.max_theory_iterations):
-            self.stats.sat_calls += 1
-            if not sat.solve():
-                return Result.UNSAT
-            model = sat.model()
-            literals = []
-            for var, value in model.items():
-                atom = atoms.atom_of(var)
-                if atom is not None:
-                    literals.append((atom, value))
-            self.stats.theory_checks += 1
-            result = check_with_core(literals)
-            if result.satisfiable:
-                return Result.SAT
-            # Block this theory-inconsistent assignment.
-            core = result.core or literals
-            blocking = []
-            for atom, value in core:
-                var = atoms.atom_to_var.get(atom)
-                if var is None:
-                    continue
-                blocking.append(-var if value else var)
-            if not blocking:
-                # The conflict does not mention any decidable atom; give up
-                # conservatively (formula may or may not be satisfiable).
-                return Result.UNKNOWN
-            self.stats.blocking_clauses += 1
-            if not sat.add_clause(blocking):
-                return Result.UNSAT
-        return Result.UNKNOWN
+        try:
+            for _ in range(self.max_theory_iterations):
+                self.stats.sat_calls += 1
+                if not sat.solve():
+                    return Result.UNSAT
+                model = sat.model()
+                literals = []
+                for var, value in model.items():
+                    atom = atoms.atom_of(var)
+                    if atom is not None:
+                        literals.append((atom, value))
+                self.stats.theory_checks += 1
+                result = check_with_core(literals)
+                if result.satisfiable:
+                    return Result.SAT
+                # Block this theory-inconsistent assignment.
+                core = result.core or literals
+                blocking = []
+                for atom, value in core:
+                    var = atoms.atom_to_var.get(atom)
+                    if var is None:
+                        continue
+                    blocking.append(-var if value else var)
+                if not blocking:
+                    # The conflict does not mention any decidable atom; give
+                    # up conservatively (formula may or may not be
+                    # satisfiable).
+                    return Result.UNKNOWN
+                self.stats.blocking_clauses += 1
+                if not sat.add_clause(blocking):
+                    return Result.UNSAT
+            return Result.UNKNOWN
+        finally:
+            # Everything this throwaway solver learned is discarded with it;
+            # the counter is what `repro bench smt` compares against the
+            # incremental engine's persistent contexts.
+            self.stats.clauses_learned += sat.num_learned
 
 
 _DEFAULT_SOLVER: Optional[Solver] = None

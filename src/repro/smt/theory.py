@@ -152,22 +152,30 @@ def check_literals(literals: Sequence[TheoryLiteral]) -> bool:
     return True
 
 
+#: Cap on the number of `check_literals` calls one core minimisation may
+#: spend.  Bounding by *work* instead of by input size means even very wide
+#: conflicts get partially minimised — small cores make better blocking
+#: clauses and far more reusable lemmas for the incremental context memo.
+MINIMISE_CHECK_BUDGET = 150
+
+
 def check_with_core(literals: Sequence[TheoryLiteral]) -> TheoryResult:
     """Check a conjunction; on conflict, greedily minimise an unsat core."""
     lits = list(literals)
     if check_literals(lits):
         return TheoryResult(True, None)
     core = list(lits)
-    if len(core) <= 60:
-        i = 0
-        while i < len(core):
-            trial = core[:i] + core[i + 1:]
-            if not trial:
-                break
-            if not check_literals(trial):
-                core = trial
-            else:
-                i += 1
+    budget = MINIMISE_CHECK_BUDGET
+    i = 0
+    while i < len(core) and budget > 0:
+        trial = core[:i] + core[i + 1:]
+        if not trial:
+            break
+        budget -= 1
+        if not check_literals(trial):
+            core = trial
+        else:
+            i += 1
     return TheoryResult(False, core)
 
 

@@ -387,3 +387,71 @@ def test_mask_implication_matches_bit_arithmetic(sub, sup):
     valid = solver.is_valid(implies(mask_of(f, IntLit(sub)),
                                     mask_of(f, IntLit(sup))))
     assert valid == mask_implies(sub, sup) or (sub == 0)
+
+
+# ---------------------------------------------------------------------------
+# result-cache eviction (LRU, not fill-and-stop)
+# ---------------------------------------------------------------------------
+
+
+class TestSolverCacheEviction:
+    """A saturated query cache must evict least-recently-used entries, not
+    silently stop caching (the pre-LRU behaviour): recent queries stay
+    served from the cache even after the limit is reached."""
+
+    @staticmethod
+    def formula(i):
+        return lt(var("x"), IntLit(i))
+
+    def test_cache_never_exceeds_limit(self):
+        solver = Solver(cache_size_limit=8)
+        for i in range(40):
+            solver.check(self.formula(i))
+        assert solver.cache_size == 8
+
+    def test_recent_queries_hit_after_saturation(self):
+        solver = Solver(cache_size_limit=8)
+        for i in range(40):
+            solver.check(self.formula(i))
+        hits = solver.stats.cache_hits
+        queries = solver.stats.queries
+        # The 8 most recent formulas are still cached...
+        for i in range(32, 40):
+            solver.check(self.formula(i))
+        assert solver.stats.cache_hits == hits + 8
+        assert solver.stats.queries == queries
+        # ...and the evicted ones are genuinely gone (re-solved, re-cached).
+        solver.check(self.formula(0))
+        assert solver.stats.queries == queries + 1
+
+    def test_lookup_refreshes_recency(self):
+        solver = Solver(cache_size_limit=2)
+        a, b, c = self.formula(1), self.formula(2), self.formula(3)
+        solver.check(a)
+        solver.check(b)
+        solver.check(a)       # refresh a: b is now the LRU entry
+        solver.check(c)       # evicts b, not a
+        queries = solver.stats.queries
+        solver.check(a)
+        assert solver.stats.queries == queries, "a should still be cached"
+        solver.check(b)
+        assert solver.stats.queries == queries + 1, "b should be evicted"
+
+    def test_zero_limit_disables_storage(self):
+        solver = Solver(cache_size_limit=0)
+        solver.check(self.formula(1))
+        solver.check(self.formula(1))
+        assert solver.cache_size == 0
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.queries == 2
+
+    def test_incremental_mode_cache_also_bounded(self):
+        solver = Solver(smt_mode="incremental", cache_size_limit=4)
+        hyps = [lt(IntLit(0), var("x"))]
+        goals = [lt(var("x"), IntLit(i)) for i in range(12)]
+        solver.check_implication_batch(hyps, goals)
+        assert solver.cache_size == 4
+        queries = solver.stats.queries
+        assert solver.check_implication_batch(hyps, goals[-4:]) \
+            == [False, False, False, False]  # 0 < x never bounds x above
+        assert solver.stats.queries == queries

@@ -1,0 +1,539 @@
+"""Differential fuzzing of the SMT solver stack.
+
+A seeded random generator produces Bool/LIA/EUF formulas and implication
+batches, and three independent deciders are compared:
+
+* the **fresh** engine (``smt_mode="fresh"``) — a new CNF and SAT solver per
+  query, the historical reference,
+* the **incremental** engine (``smt_mode="incremental"``) — persistent
+  assumption-based contexts with retained learned clauses and replayed
+  theory lemmas (:mod:`repro.smt.context`),
+* a **brute-force evaluator** over small integer domains (and a small
+  family of concrete interpretations for the uninterpreted function).
+
+The incremental and fresh engines must agree *exactly* — same verdict for
+every goal of every batch, independent of goal order, of hypothesis order,
+and of whether a context (or the query cache) is hit or rebuilt.  The
+brute-force oracle checks soundness: whenever an engine proves an
+implication valid, no sampled integer assignment may falsify it, and a
+sampled model of a formula means the engine may not answer UNSAT.  (Exact
+agreement with brute force is only asserted for purely propositional
+formulas: the LIA layer is deliberately incomplete — rational
+Fourier–Motzkin — so "not valid" answers on arithmetic are allowed to be
+spurious, and a small sampled domain cannot refute validity over all of Z.)
+
+Everything is driven by fixed seeds: the suite is deterministic, needs no
+network, and stays well under the CI time budget.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.logic import BOOL, INT
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    UnOp,
+    Var,
+)
+from repro.smt import Result, Solver
+
+#: Sampled values for every integer variable (compound terms range wider;
+#: the evaluator handles any integer).
+DOMAIN = (-2, -1, 0, 1, 2)
+
+#: Concrete interpretations tried for the uninterpreted function ``f`` —
+#: validity over an uninterpreted symbol implies validity for each of these.
+F_INTERPRETATIONS = (
+    lambda n: n,
+    lambda n: -n,
+    lambda n: n + 1,
+    lambda n: 0,
+    lambda n: abs(n),
+)
+
+INT_VARS = ("x", "y", "z")
+BOOL_VARS = ("p", "q")
+
+
+# ---------------------------------------------------------------------------
+# generator
+# ---------------------------------------------------------------------------
+
+
+class FormulaGen:
+    """Seeded random Bool/LIA/EUF formula generator."""
+
+    def __init__(self, rng: random.Random, euf: bool = True) -> None:
+        self.rng = rng
+        self.euf = euf
+
+    def int_term(self, depth: int = 2) -> Expr:
+        choices = ["var", "lit"]
+        if depth > 0:
+            choices += ["add", "sub", "scale"]
+            if self.euf:
+                choices.append("app")
+        kind = self.rng.choice(choices)
+        if kind == "var":
+            return Var(self.rng.choice(INT_VARS), INT)
+        if kind == "lit":
+            return IntLit(self.rng.randint(-2, 2))
+        if kind == "add":
+            return BinOp("+", self.int_term(depth - 1),
+                         self.int_term(depth - 1), INT)
+        if kind == "sub":
+            return BinOp("-", self.int_term(depth - 1),
+                         self.int_term(depth - 1), INT)
+        if kind == "scale":
+            return BinOp("*", IntLit(self.rng.randint(1, 2)),
+                         self.int_term(depth - 1), INT)
+        return App("f", (self.int_term(depth - 1),), INT)
+
+    def atom(self) -> Expr:
+        if self.rng.random() < 0.15:
+            return Var(self.rng.choice(BOOL_VARS), BOOL)
+        op = self.rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        return BinOp(op, self.int_term(), self.int_term(), BOOL)
+
+    def formula(self, depth: int = 2) -> Expr:
+        if depth <= 0 or self.rng.random() < 0.4:
+            return self.atom()
+        kind = self.rng.choice(("not", "and", "or", "implies"))
+        if kind == "not":
+            return UnOp("!", self.formula(depth - 1), BOOL)
+        op = {"and": "&&", "or": "||", "implies": "=>"}[kind]
+        return BinOp(op, self.formula(depth - 1),
+                     self.formula(depth - 1), BOOL)
+
+    def boolean_formula(self, depth: int = 3) -> Expr:
+        """Purely propositional: boolean variables and connectives only."""
+        if depth <= 0 or self.rng.random() < 0.35:
+            return Var(self.rng.choice(BOOL_VARS + ("r",)), BOOL)
+        kind = self.rng.choice(("not", "and", "or", "implies"))
+        if kind == "not":
+            return UnOp("!", self.boolean_formula(depth - 1), BOOL)
+        op = {"and": "&&", "or": "||", "implies": "=>"}[kind]
+        return BinOp(op, self.boolean_formula(depth - 1),
+                     self.boolean_formula(depth - 1), BOOL)
+
+    def batch(self) -> Tuple[List[Expr], List[Expr]]:
+        hyps = [self.formula(2) for _ in range(self.rng.randint(1, 3))]
+        goals = [self.formula(2) for _ in range(self.rng.randint(2, 6))]
+        return hyps, goals
+
+
+# ---------------------------------------------------------------------------
+# brute-force evaluator
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(e: Expr, env: Dict[str, object], f) -> object:
+    if isinstance(e, BoolLit):
+        return e.value
+    if isinstance(e, IntLit):
+        return e.value
+    if isinstance(e, Var):
+        return env[e.name]
+    if isinstance(e, UnOp):
+        operand = eval_expr(e.operand, env, f)
+        if e.op == "!":
+            return not operand
+        if e.op == "-":
+            return -operand
+        raise ValueError(f"unexpected unop {e.op}")
+    if isinstance(e, App):
+        assert e.fn == "f"
+        return f(eval_expr(e.args[0], env, f))
+    if isinstance(e, BinOp):
+        left = eval_expr(e.left, env, f)
+        # Short-circuit so boolean operands are only evaluated as needed.
+        if e.op == "&&":
+            return bool(left) and bool(eval_expr(e.right, env, f))
+        if e.op == "||":
+            return bool(left) or bool(eval_expr(e.right, env, f))
+        if e.op == "=>":
+            return (not left) or bool(eval_expr(e.right, env, f))
+        if e.op == "<=>":
+            return bool(left) == bool(eval_expr(e.right, env, f))
+        right = eval_expr(e.right, env, f)
+        return {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "=": lambda: left == right,
+            "!=": lambda: left != right,
+            "<": lambda: left < right,
+            "<=": lambda: left <= right,
+            ">": lambda: left > right,
+            ">=": lambda: left >= right,
+        }[e.op]()
+    raise ValueError(f"cannot evaluate {type(e).__name__}")
+
+
+def assignments(int_vars: Sequence[str] = INT_VARS,
+                bool_vars: Sequence[str] = BOOL_VARS):
+    for ints in product(DOMAIN, repeat=len(int_vars)):
+        for bools in product((False, True), repeat=len(bool_vars)):
+            env: Dict[str, object] = dict(zip(int_vars, ints))
+            env.update(zip(bool_vars, bools))
+            yield env
+
+
+def falsifies_implication(hyps: Sequence[Expr], goal: Expr) -> bool:
+    """Does any sampled assignment satisfy the hypotheses but not the goal?"""
+    for f in F_INTERPRETATIONS:
+        for env in assignments():
+            try:
+                if all(eval_expr(h, env, f) for h in hyps) and \
+                        not eval_expr(goal, env, f):
+                    return True
+            except (OverflowError, ZeroDivisionError):  # pragma: no cover
+                continue
+    return False
+
+
+def bool_assignments(names: Sequence[str]):
+    for values in product((False, True), repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+# ---------------------------------------------------------------------------
+# solvers under test
+# ---------------------------------------------------------------------------
+
+
+def fresh_solver() -> Solver:
+    return Solver(smt_mode="fresh")
+
+
+def incremental_solver(**kwargs) -> Solver:
+    return Solver(smt_mode="incremental", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the differential suite
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_batch_differential(seed):
+    """incremental == fresh == (sound wrt) brute force, per batch."""
+    gen = FormulaGen(random.Random(1000 + seed))
+    hyps, goals = gen.batch()
+
+    fresh = fresh_solver().check_implication_batch(hyps, goals)
+    incremental = incremental_solver().check_implication_batch(hyps, goals)
+    assert incremental == fresh, (
+        f"seed {seed}: engines disagree\nhyps={hyps}\ngoals={goals}")
+
+    for goal, valid in zip(goals, incremental):
+        if valid:
+            assert not falsifies_implication(hyps, goal), (
+                f"seed {seed}: proved-valid implication has a "
+                f"counterexample\nhyps={hyps}\ngoal={goal}")
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_batch_order_independence(seed):
+    """Verdicts do not depend on goal order or hypothesis order."""
+    rng = random.Random(2000 + seed)
+    gen = FormulaGen(rng)
+    hyps, goals = gen.batch()
+
+    baseline = dict(zip(goals,
+                        incremental_solver().check_implication_batch(hyps,
+                                                                     goals)))
+    shuffled_goals = list(goals)
+    rng.shuffle(shuffled_goals)
+    shuffled_hyps = list(hyps)
+    rng.shuffle(shuffled_hyps)
+    redo = incremental_solver().check_implication_batch(shuffled_hyps,
+                                                        shuffled_goals)
+    for goal, verdict in zip(shuffled_goals, redo):
+        assert verdict == baseline[goal], (
+            f"seed {seed}: goal verdict changed under reordering: {goal}")
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_cache_and_context_reuse_independence(seed):
+    """Verdicts do not depend on context-cache hits, evictions or the
+    query cache: re-running a batch (cache hits), interleaving two
+    environments through a one-entry context LRU (evictions and rebuilds),
+    and disabling the query cache all reproduce the same verdicts."""
+    gen = FormulaGen(random.Random(3000 + seed))
+    hyps_a, goals_a = gen.batch()
+    hyps_b, goals_b = gen.batch()
+
+    expected_a = incremental_solver().check_implication_batch(hyps_a, goals_a)
+    expected_b = incremental_solver().check_implication_batch(hyps_b, goals_b)
+
+    # One shared solver, contexts evicted after every batch (limit=1), the
+    # query cache disabled so every check really exercises a context.
+    churn = incremental_solver(cache_results=False, context_cache_limit=1)
+    for _ in range(2):  # second round rebuilds evicted contexts from lemmas
+        assert churn.check_implication_batch(hyps_a, goals_a) == expected_a
+        assert churn.check_implication_batch(hyps_b, goals_b) == expected_b
+    assert churn.stats.contexts_created >= 2
+
+    # With the query cache on, a re-run must serve hits with the same
+    # verdicts.
+    cached = incremental_solver()
+    first = cached.check_implication_batch(hyps_a, goals_a)
+    hits_before = cached.stats.cache_hits
+    assert cached.check_implication_batch(hyps_a, goals_a) == first
+    assert cached.stats.cache_hits > hits_before
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_pure_boolean_exact(seed):
+    """On purely propositional implications all three deciders agree
+    exactly — the SAT core is complete there, so brute force over the
+    boolean assignments is a full oracle, not just a soundness check."""
+    gen = FormulaGen(random.Random(4000 + seed))
+    names = BOOL_VARS + ("r",)
+    hyps = [gen.boolean_formula(2) for _ in range(gen.rng.randint(1, 2))]
+    goals = [gen.boolean_formula(2) for _ in range(gen.rng.randint(2, 5))]
+
+    fresh = fresh_solver().check_implication_batch(hyps, goals)
+    incremental = incremental_solver().check_implication_batch(hyps, goals)
+    assert incremental == fresh
+
+    for goal, verdict in zip(goals, incremental):
+        brute = all(
+            (not all(eval_expr(h, env, None) for h in hyps))
+            or eval_expr(goal, env, None)
+            for env in bool_assignments(names))
+        assert verdict == brute, (
+            f"seed {seed}: engine verdict {verdict} != brute {brute} "
+            f"for hyps={hyps} goal={goal}")
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_satisfiability_sound(seed):
+    """A sampled model means neither engine may answer UNSAT."""
+    gen = FormulaGen(random.Random(5000 + seed))
+    formula = gen.formula(3)
+
+    results = {mode: Solver(smt_mode=mode).check(formula)
+               for mode in ("fresh", "incremental")}
+    # `check` takes the fresh path in both modes (it is a bare
+    # satisfiability query, not an implication); the differential property
+    # for contexts is covered by the batch tests.  Still assert agreement.
+    assert results["fresh"] == results["incremental"]
+
+    has_model = any(
+        eval_expr(formula, env, f)
+        for f in F_INTERPRETATIONS for env in assignments())
+    if has_model:
+        assert results["fresh"] is not Result.UNSAT, (
+            f"seed {seed}: formula with a sampled model answered UNSAT: "
+            f"{formula}")
+
+
+def test_environment_inconsistent_batches():
+    """An unsatisfiable environment proves every goal, in both modes."""
+    x = Var("x", INT)
+    hyps = [BinOp("<", x, IntLit(0), BOOL), BinOp(">", x, IntLit(0), BOOL)]
+    goals = [BinOp("=", x, IntLit(7), BOOL), BoolLit(False), BoolLit(True)]
+    assert fresh_solver().check_implication_batch(hyps, goals) == \
+        incremental_solver().check_implication_batch(hyps, goals) == \
+        [True, True, True]
+
+
+def test_trivial_goals_and_empty_hypotheses():
+    x = Var("x", INT)
+    goals = [BoolLit(True), BoolLit(False),
+             BinOp("=", x, x, BOOL),
+             BinOp("<", x, x, BOOL)]
+    expected = [True, False, True, False]
+    assert fresh_solver().check_implication_batch([], goals) == expected
+    assert incremental_solver().check_implication_batch([], goals) == expected
+
+
+def test_lemma_store_shared_across_contexts():
+    """Theory conflicts derived under one environment are replayed under
+    another: the second context answers with strictly fewer theory checks
+    than the first needed."""
+    x = Var("x", INT)
+    y = Var("y", INT)
+    goal = BinOp("<=", IntLit(0), x, BOOL)
+    hyps_one = [BinOp(">", x, IntLit(1), BOOL)]
+    hyps_two = [BinOp(">", x, IntLit(1), BOOL),
+                BinOp("=", y, y, BOOL)]  # distinct environment, same core
+    solver = incremental_solver()
+    assert solver.check_implication_batch(hyps_one, [goal]) == [True]
+    checks_after_first = solver.stats.theory_checks
+    assert solver.check_implication_batch(hyps_two, [goal]) == [True]
+    assert solver.stats.contexts_created == 2
+    assert solver.stats.theory_checks == checks_after_first, \
+        "second context should replay the memoised lemma, not re-derive it"
+    assert solver.stats.lemmas_reused >= 1
+
+
+# ---------------------------------------------------------------------------
+# context-layer unit tests (selector retirement, compaction, resets)
+# ---------------------------------------------------------------------------
+
+
+def test_sat_compact_drops_retired_selector_clauses():
+    from repro.smt.sat import SatSolver
+
+    solver = SatSolver()
+    selector = 1
+    for clause in ([-selector, 2, 3], [-selector, -2, 3], [4, 5]):
+        assert solver.add_clause(clause)
+    before = solver.num_clauses
+    assert solver.add_clause([-selector])  # retire the selector
+    removed = solver.compact()
+    assert removed == 2
+    assert solver.num_clauses == before - 2
+    assert solver.solve()  # still consistent afterwards
+
+
+def test_sat_propagate_probe_detects_forced_conflict():
+    from repro.smt.sat import SatSolver
+
+    solver = SatSolver()
+    solver.add_clause([1, 2])
+    solver.add_clause([-2])        # forces 1
+    assert not solver.propagate_probe(())          # consistent
+    assert solver.propagate_probe((-1,))           # assumption conflicts
+    assert not solver.propagate_probe((3,))        # free assumption is fine
+    # probing must not leave residual assignments behind
+    assert solver.solve((-1,)) is False
+    assert solver.solve((1,)) is True
+
+
+def test_sat_learns_clauses_under_search():
+    """A formula that genuinely requires search records learned clauses
+    (the counter behind SolverStats.clauses_learned)."""
+    from repro.smt.sat import SatSolver
+
+    solver = SatSolver()
+    # Pigeonhole 3->2: forces conflicts and clause learning.
+    def v(i, j):
+        return 2 * i + j + 1
+    for i in range(3):
+        solver.add_clause([v(i, 0), v(i, 1)])
+    for j in range(2):
+        for a in range(3):
+            for b in range(a + 1, 3):
+                solver.add_clause([-v(a, j), -v(b, j)])
+    assert not solver.solve()
+    assert solver.num_learned > 0
+
+
+def test_context_reset_preserves_verdicts(monkeypatch):
+    """Forcing constant context resets (variable cap of 1) must not change
+    any verdict — the lemma memo rebuilds each context's knowledge."""
+    from repro.smt import context as context_mod
+
+    gen = FormulaGen(random.Random(6000))
+    hyps, goals = gen.batch()
+    expected = incremental_solver().check_implication_batch(hyps, goals)
+
+    monkeypatch.setattr(context_mod, "RESET_VAR_LIMIT", 1)
+    churn = incremental_solver(cache_results=False)
+    assert churn.check_implication_batch(hyps, goals) == expected
+
+    ctx = churn.contexts.context_for(
+        __import__("repro.logic.terms", fromlist=["conj"]).conj(*hyps),
+        churn.stats)
+    assert ctx.resets > 0, "the var cap should have forced at least one reset"
+
+
+def test_compaction_happens_across_a_long_batch():
+    """Retiring many goals in one context triggers periodic compaction:
+    the clause database stays bounded by live clauses, not total history."""
+    x = Var("x", INT)
+    hyps = [BinOp("<", IntLit(0), x, BOOL)]
+    goals = [BinOp("<", IntLit(-i), x, BOOL) for i in range(1, 30)]
+    solver = incremental_solver(cache_results=False)
+    assert solver.check_implication_batch(hyps, goals) == [True] * 29
+    ctx = solver.contexts.context_for(hyps[0], solver.stats)
+    assert ctx.goals_checked == 29
+    # 29 retirements at COMPACT_EVERY=8 -> at least 3 compactions ran; the
+    # clause DB must not retain a guarded clause per historical goal.
+    assert ctx.sat.num_clauses < 2 * len(goals)
+
+
+def test_unknown_verdict_not_cached_as_sat():
+    """A budget-exhausted incremental query is UNKNOWN — it must be cached
+    (and reported) exactly like the fresh engine's UNKNOWN, never as a
+    definitive SAT answer (regression: a poisoned formula cache would make
+    is_satisfiable claim a model exists for a valid implication)."""
+    from repro.logic.terms import conj, implies, neg
+
+    x = Var("x", INT)
+    hyps = []
+    goal = BinOp("=>",
+                 BinOp("||", BinOp("<", x, IntLit(1), BOOL),
+                       BinOp("<", x, IntLit(2), BOOL), BOOL),
+                 BinOp("<", x, IntLit(3), BOOL), BOOL)
+    formula = neg(implies(conj(), goal))
+
+    verdicts = {}
+    for mode in ("fresh", "incremental"):
+        solver = Solver(smt_mode=mode, max_theory_iterations=1)
+        assert solver.check_implication(hyps, goal) is False  # budget, not proof
+        verdicts[mode] = solver.check(formula)  # served from the cache
+        assert solver.stats.cache_hits == 1
+    assert verdicts["incremental"] == verdicts["fresh"] == Result.UNKNOWN
+
+
+class TestBackendRegistry:
+    def test_internal_backend_is_the_solver(self):
+        from repro.smt.backend import available_backends, create_backend
+
+        assert "internal" in available_backends()
+        backend = create_backend("internal", smt_mode="incremental")
+        assert isinstance(backend, Solver)
+        assert backend.smt_mode == "incremental"
+
+    def test_unknown_backend_rejected_with_choices(self):
+        from repro.smt.backend import create_backend
+
+        with pytest.raises(ValueError, match="internal"):
+            create_backend("z5")
+
+    def test_config_selects_registered_backend(self):
+        """SolverOptions.backend routes Session/Workspace construction
+        through the registry — the drop-in seam a z3 adapter would use."""
+        from repro.core.config import CheckConfig, SolverOptions
+        from repro.core.session import Session
+        from repro.smt.backend import _REGISTRY, register_backend
+
+        class RecordingSolver(Solver):
+            constructed = []
+
+            def __init__(self, **options):
+                type(self).constructed.append(options)
+                super().__init__(**options)
+
+        register_backend("recording", RecordingSolver)
+        try:
+            config = CheckConfig(
+                solver=SolverOptions(backend="recording",
+                                     context_cache_limit=7))
+            session = Session(config)
+            assert isinstance(session.solver, RecordingSolver)
+            assert RecordingSolver.constructed[-1]["context_cache_limit"] == 7
+            assert session.check_source(
+                "spec id :: (x: number) => number;\n"
+                "function id(x) { return x; }\n").ok
+        finally:
+            del _REGISTRY["recording"]
+
+    def test_solver_satisfies_backend_protocol(self):
+        from repro.smt.backend import Backend
+
+        assert isinstance(Solver(), Backend)
