@@ -42,6 +42,17 @@ With ``--modules`` the module-graph report produced by
   transitive dependents,
 * the cold build's query count is gated like the fixpoint queries.
 
+With ``--store`` the persistent-store report produced by
+``python -m repro bench store`` is gated against the baseline's ``store``
+section:
+
+* both the cold and the store-warm run must verify with **byte-identical**
+  diagnostics and kappa solutions (``identical``),
+* the store-warm run must issue exactly **zero** SMT queries and zero SAT
+  searches on every benchmark (the whole point of the store),
+* the cold run's query count is gated against the baseline like the
+  fixpoint queries.
+
 With ``--smt`` the engine-comparison report produced by
 ``python -m repro bench smt`` is gated against the baseline's ``smt``
 section:
@@ -147,6 +158,39 @@ def check_modules(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_store(report: dict, baseline: dict, threshold: float) -> list:
+    """Failures of the persistent-store (cold vs warm) report vs baseline."""
+    failures = []
+    current = report.get("benchmarks", {})
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the store report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: no longer verifies (cold or "
+                            "store-warm run)")
+        if not entry.get("identical", False):
+            failures.append(
+                f"{name}: cold and store-warm runs disagree (diagnostics "
+                "or kappa solutions differ) — the store replay is UNSOUND, "
+                "fix before merging")
+        warm = entry.get("warm", {})
+        for counter in ("queries", "sat_calls"):
+            count = warm.get(counter, -1)
+            if count != 0:
+                failures.append(
+                    f"{name}: store-warm run issued {count} {counter} "
+                    "(expected exactly 0 — the replay has degenerated)")
+        cold = entry.get("cold", {}).get("queries", 0)
+        allowed = base["cold_queries"] * (1.0 + threshold)
+        if cold > max(allowed, base["cold_queries"] + 5):
+            failures.append(
+                f"{name}: cold run issued {cold} queries, baseline "
+                f"{base['cold_queries']} (+{threshold:.0%} allowed)")
+    return failures
+
+
 def check_smt(report: dict, baseline: dict, threshold: float) -> list:
     """Failures of the SMT engine-comparison report vs the baseline."""
     failures = []
@@ -198,6 +242,9 @@ def main(argv=None) -> int:
     parser.add_argument("--smt", metavar="FILE", default=None,
                         help="also gate BENCH_smt.json against the "
                              "baseline's 'smt' section")
+    parser.add_argument("--store", metavar="FILE", default=None,
+                        help="also gate BENCH_store.json against the "
+                             "baseline's 'store' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -248,6 +295,12 @@ def main(argv=None) -> int:
             smt_report = json.load(f)
         failures.extend(check_smt(
             smt_report, baseline.get("smt", {}), args.threshold))
+
+    if args.store is not None:
+        with open(args.store) as f:
+            store_report = json.load(f)
+        failures.extend(check_store(
+            store_report, baseline.get("store", {}), args.threshold))
 
     if failures:
         print("benchmark regression(s) against "

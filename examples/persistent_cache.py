@@ -1,0 +1,101 @@
+"""The persistent artifact store: cold -> warm across fresh processes.
+
+A process checks a program with ``store_path`` set, exits, and a second,
+brand-new process re-checks the same program: the warm process loads the
+persisted kappa solution and SMT verdict memos and reproduces the cold
+verdict with zero fixpoint queries and zero SAT searches.  A third run
+after an edit shows content-addressing at work: the edited program misses
+the store and is solved (and persisted) from scratch.  Run from the
+repository root::
+
+    PYTHONPATH=src python examples/persistent_cache.py
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro import CheckConfig  # noqa: E402
+from repro.store import open_store  # noqa: E402
+
+SOURCE = """
+type idx<a> = {v: number | 0 <= v && v < len(a)};
+
+spec get :: (a: number[], i: idx<a>) => number;
+function get(a, i) { return a[i]; }
+
+spec total :: (a: number[]) => number;
+function total(a) {
+  var n = 0;
+  for (var i = 0; i < a.length; i++) { n = n + a[i]; }
+  return n;
+}
+"""
+
+#: Executed via ``python -c`` so every run is an honest fresh process —
+#: nothing survives in memory between the cold and warm checks.
+CHILD = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro import CheckConfig, Session
+result = Session(CheckConfig(store_path={store!r})).check_source(
+    open({program!r}).read(), "cache-demo.rsc")
+print(json.dumps({{
+    "status": result.status,
+    "queries": result.stats.queries,
+    "sat_calls": result.stats.sat_calls,
+    "warm_starts": result.solve_stats.warm_starts,
+    "solution": {{k: [str(q) for q in qs]
+                  for k, qs in result.kappa_solution.items()}},
+}}))
+"""
+
+
+def check_in_fresh_process(src, store, program):
+    script = CHILD.format(src=str(src), store=str(store), program=str(program))
+    out = subprocess.run([sys.executable, "-c", script],
+                         capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def report(label, run):
+    print(f"{label:<22} {run['status']:6s} {run['queries']:4d} queries  "
+          f"{run['sat_calls']:4d} SAT searches  "
+          f"{'warm' if run['warm_starts'] else 'cold'}")
+
+
+def main():
+    src = pathlib.Path(__file__).parent.parent / "src"
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-cache-demo-"))
+    store = workdir / "store"
+    program = workdir / "cache-demo.rsc"
+    program.write_text(SOURCE)
+
+    # Process 1: cold — solves the fixpoint, persists its artifacts.
+    cold = check_in_fresh_process(src, store, program)
+    report("process 1 (cold)", cold)
+
+    # Process 2: a different process, same sources — pure replay.
+    warm = check_in_fresh_process(src, store, program)
+    report("process 2 (warm)", warm)
+    assert warm["queries"] == 0 and warm["sat_calls"] == 0
+    assert warm["solution"] == cold["solution"], "replay must be identical"
+
+    # Process 3: an edit changes the content hash, so nothing aliases.
+    program.write_text(SOURCE.replace("n = n + a[i];",
+                                      "var t = a[i]; n = n + t;"))
+    report("process 3 (edited)", check_in_fresh_process(src, store, program))
+
+    stats = open_store(CheckConfig(store_path=str(store))).stats()
+    print(f"\nstore now holds {stats.total_entries} entries "
+          f"({stats.total_bytes} bytes) under {store}")
+    print("inspect or prune it with: "
+          f"python -m repro cache stats --store {store}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,14 +27,16 @@ topo-parallel build, signature-cut incremental re-checks)::
     pw.check()
     update = pw.update("my-project/lib.rsc")   # body edit -> 1 module
 
-One-shot convenience wrappers (deprecated)::
+Persistent artifact store (cross-process caching — interface summaries,
+kappa solutions, SMT verdict memos; see :mod:`repro.store`)::
 
-    from repro import check_source
-    result = check_source("function f(x: {v: number | 0 <= v}): number { return x; }")
-    assert result.ok
+    from repro import CheckConfig, Session
+
+    config = CheckConfig(store_path="/var/cache/repro")
+    Session(config).check_file("a.rsc")    # cold: populates the store
+    Session(config).check_file("a.rsc")    # fresh process: zero SMT queries
 """
 
-from repro.core.api import check_program, check_source
 from repro.core.config import CheckConfig, SolverOptions
 from repro.core.result import (BatchResult, CheckResult, SolveStats,
                                StageTimings)
@@ -43,10 +45,12 @@ from repro.core.workspace import Workspace
 from repro.errors import ERROR_CATALOG, Diagnostic, explain_code
 from repro.project import (ProjectResult, ProjectUpdate, ProjectWorkspace,
                            check_project)
+from repro.store import ArtifactStore
 
-__version__ = "2.2.0"
+__version__ = "3.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "BatchResult",
     "CheckConfig",
     "CheckResult",
@@ -60,9 +64,7 @@ __all__ = [
     "SolverOptions",
     "StageTimings",
     "Workspace",
-    "check_program",
     "check_project",
-    "check_source",
     "explain_code",
     "__version__",
 ]

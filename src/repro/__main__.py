@@ -12,7 +12,15 @@ Subcommands:
   loop over stdin/stdout backed by an incremental workspace.
 * ``watch FILES...`` — re-check files on mtime change, printing per-edit
   timing deltas.
+* ``cache stats|gc|clear`` — inspect and maintain the persistent artifact
+  store (``--store PATH``, the ``REPRO_STORE`` environment variable, or the
+  XDG default ``~/.cache/repro/store``).
 * ``explain CODE`` — describe a diagnostic code (e.g. ``RSC-SUB-003``).
+
+The checking subcommands (``check``, ``serve``, ``watch``) take
+``--store PATH`` to persist interface summaries, kappa solutions and SMT
+verdict memos across processes; with the flag unset the ``REPRO_STORE``
+environment variable is consulted, and with neither set no store is used.
 
 For backwards compatibility a bare file list (``python -m repro a.rsc``)
 is treated as ``check a.rsc``.
@@ -28,7 +36,7 @@ from typing import List, Optional
 from repro import CheckConfig, Session
 from repro.errors import ERROR_CATALOG, explain_code
 
-SUBCOMMANDS = ("check", "bench", "explain", "serve", "watch")
+SUBCOMMANDS = ("check", "bench", "cache", "explain", "serve", "watch")
 
 #: Process exit codes of the CLI (stable, part of the public interface).
 EXIT_OK = 0
@@ -70,17 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default",
                        help="qualifier pool: built-ins plus harvested "
                             "(default) or program-harvested only")
+    _store_flags(check)
 
     bench = sub.add_parser(
         "bench", help="regenerate the paper's evaluation tables")
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
-                                "modules", "smt"),
+                                "modules", "smt", "store"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
                             "ports; smt compares the fresh-solver and "
-                            "incremental-context SMT engines)")
+                            "incremental-context SMT engines; store measures "
+                            "cold vs store-warm fresh-process re-checks)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -113,11 +123,45 @@ def build_parser() -> argparse.ArgumentParser:
                              "until interrupted)")
     _workspace_flags(watchp)
 
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the persistent artifact store")
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: entry counts and bytes per artifact "
+                            "kind; gc: evict oldest entries down to "
+                            "--max-bytes; clear: delete every entry")
+    cache.add_argument("--store", metavar="PATH", default=None,
+                       help="store location (default: $REPRO_STORE, then "
+                            "the XDG cache path ~/.cache/repro/store)")
+    cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                       help="gc: target size in bytes (default: 256 MiB)")
+    cache.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text)")
+
     explain = sub.add_parser(
         "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
     explain.add_argument("code", nargs="?", default=None,
                          help="the diagnostic code; omit to list all codes")
     return parser
+
+
+def _store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persist interfaces, kappa solutions and SMT "
+                             "verdicts under PATH and replay them on "
+                             "re-checks (default: $REPRO_STORE; unset "
+                             "disables the store)")
+    parser.add_argument("--store-mode", choices=("readwrite", "readonly"),
+                        default="readwrite",
+                        help="readonly replays stored artifacts without "
+                             "writing new ones (default: readwrite)")
+
+
+def _store_path(args: argparse.Namespace) -> Optional[str]:
+    """``--store`` beats ``REPRO_STORE``; neither means no store."""
+    import os
+    if getattr(args, "store", None):
+        return args.store
+    return os.environ.get("REPRO_STORE") or None
 
 
 def _workspace_flags(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +173,7 @@ def _workspace_flags(parser: argparse.ArgumentParser) -> None:
                              "fixpoint (every update is a cold check)")
     parser.add_argument("--warnings-as-errors", action="store_true",
                         help="treat warnings as errors in the verdict")
+    _store_flags(parser)
 
 
 def _workspace_config(args: argparse.Namespace) -> CheckConfig:
@@ -136,6 +181,8 @@ def _workspace_config(args: argparse.Namespace) -> CheckConfig:
         max_fixpoint_iterations=args.max_iterations,
         warnings_as_errors=args.warnings_as_errors,
         incremental=not args.no_incremental,
+        store_path=_store_path(args),
+        store_mode=getattr(args, "store_mode", "readwrite"),
     )
 
 
@@ -148,6 +195,8 @@ def cmd_check(args: argparse.Namespace) -> int:
             warnings_as_errors=args.warnings_as_errors,
             qualifier_set=args.qualifiers,
             output_format=args.format,
+            store_path=_store_path(args),
+            store_mode=args.store_mode,
         )
         # An unset --jobs defers to CheckConfig.jobs instead of silently
         # overriding the config with argparse's former default of 1.
@@ -278,6 +327,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "BENCH_modules.json", "modules", partial,
                 lambda: bench.format_modules(rows))
             return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
+        if args.table == "store":
+            rows = bench.store_rows(names if partial else None,
+                                    programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.store_report(rows),
+                "BENCH_store.json", "store", partial,
+                lambda: bench.format_store(rows))
+            ok = all(row.safe and row.identical for row in rows)
+            return EXIT_OK if ok else EXIT_UNSAFE
         if args.table == "smt":
             rows = bench.smt_mode_rows(names, programs_dir=programs_dir)
             _emit_bench_report(
@@ -326,6 +384,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return EXIT_USAGE
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    import os
+    from repro.store import (DEFAULT_MAX_BYTES, ArtifactStore,
+                             create_store_backend, default_store_path)
+    path = (args.store or os.environ.get("REPRO_STORE")
+            or default_store_path())
+    try:
+        store = ArtifactStore(create_store_backend("local", root=path))
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.action == "stats":
+        stats = store.stats()
+        payload = {"store": str(path), **stats.to_dict()}
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"store: {path}")
+            for kind, entry in sorted(stats.kinds.items()):
+                print(f"  {kind:10s} {entry.entries:6d} entries  "
+                      f"{entry.bytes:10d} bytes")
+            print(f"  {'total':10s} {stats.total_entries:6d} entries  "
+                  f"{stats.total_bytes:10d} bytes")
+        return EXIT_OK
+    if args.action == "gc":
+        limit = args.max_bytes if args.max_bytes is not None \
+            else DEFAULT_MAX_BYTES
+        if limit < 0:
+            print("repro: --max-bytes must be >= 0", file=sys.stderr)
+            return EXIT_USAGE
+        result = store.gc(limit)
+        payload = {"store": str(path), **result.to_dict()}
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"store: {path}")
+            print(f"  evicted {result.evicted_entries} entries "
+                  f"({result.evicted_bytes} bytes), kept "
+                  f"{result.kept_entries} entries "
+                  f"({result.kept_bytes} bytes)")
+        return EXIT_OK
+    removed = store.clear()
+    if args.format == "json":
+        print(json.dumps({"store": str(path), "removed": removed}, indent=2))
+    else:
+        print(f"store: {path}")
+        print(f"  removed {removed} entries")
+    return EXIT_OK
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     if args.code is None:
         width = max(len(code) for code in ERROR_CATALOG)
@@ -360,6 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "watch":
         return cmd_watch(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     return cmd_explain(args)
 
 

@@ -912,6 +912,170 @@ def format_modules(rows: List[ModulesRow]) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# persistent-store benchmarks (`repro bench store`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreRow:
+    """Cold-process vs store-warm numbers for one benchmark.
+
+    ``kind`` is ``"file"`` (single-file port through a fresh
+    :class:`Session` per run) or ``"project"`` (module split through
+    :func:`repro.project.build.check_project`).  The warm run is a *fresh*
+    session/build against the store the cold run populated — exactly the
+    cross-process replay scenario — and must issue **zero** SMT queries and
+    zero SAT searches while producing byte-identical diagnostics and kappa
+    solutions (``identical``).
+    """
+
+    name: str
+    kind: str
+    cold_queries: int
+    cold_sat_calls: int
+    cold_time_seconds: float
+    warm_queries: int
+    warm_sat_calls: int
+    warm_time_seconds: float
+    identical: bool
+    safe: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "cold": {
+                "queries": self.cold_queries,
+                "sat_calls": self.cold_sat_calls,
+                "time_seconds": self.cold_time_seconds,
+            },
+            "warm": {
+                "queries": self.warm_queries,
+                "sat_calls": self.warm_sat_calls,
+                "time_seconds": self.warm_time_seconds,
+            },
+            "identical": self.identical,
+            "safe": self.safe,
+        }
+
+
+def _project_verdicts(result) -> list:
+    return [_comparable_verdict(r) for r in result.results]
+
+
+def store_rows(names: Optional[List[str]] = None,
+               programs_dir: Optional[pathlib.Path] = None,
+               modules_dir: Optional[pathlib.Path] = None,
+               store_dir: Optional[pathlib.Path] = None) -> List[StoreRow]:
+    """Run every port cold then store-warm against one persistent store.
+
+    Each benchmark's cold run populates a store (a throwaway temporary
+    directory unless ``store_dir`` pins one), then a completely fresh
+    session — new solver, new caches, nothing shared but the store —
+    re-checks the identical sources.  The module splits go through the
+    project build the same way.
+    """
+    import shutil
+    import tempfile
+    from repro.project.build import check_project
+
+    root = pathlib.Path(store_dir) if store_dir else \
+        pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    rows: List[StoreRow] = []
+    try:
+        config = CheckConfig(store_path=str(root))
+        for name in (names or BENCHMARKS):
+            source = source_of(name, programs_dir)
+            filename = f"{name}.rsc"
+            cold = Session(config).check_source(source, filename=filename)
+            warm = Session(config).check_source(source, filename=filename)
+            rows.append(StoreRow(
+                name=name, kind="file",
+                cold_queries=cold.stats.queries if cold.stats else 0,
+                cold_sat_calls=cold.stats.sat_calls if cold.stats else 0,
+                cold_time_seconds=cold.time_seconds,
+                warm_queries=warm.stats.queries if warm.stats else 0,
+                warm_sat_calls=warm.stats.sat_calls if warm.stats else 0,
+                warm_time_seconds=warm.time_seconds,
+                identical=_comparable_verdict(cold)
+                == _comparable_verdict(warm),
+                safe=cold.ok and warm.ok))
+        module_names = [n for n in (names or MODULE_BENCHMARKS)
+                        if n in MODULE_BENCHMARKS]
+        for name in module_names:
+            project_root = (modules_dir or default_modules_dir()) / name
+            if not project_root.is_dir():
+                raise FileNotFoundError(f"no module benchmark at "
+                                        f"{project_root}")
+            cold = check_project(project_root, config=config)
+            warm = check_project(project_root, config=config)
+            rows.append(StoreRow(
+                name=f"{name}-modules", kind="project",
+                cold_queries=cold.stats.queries,
+                cold_sat_calls=cold.stats.sat_calls,
+                cold_time_seconds=cold.time_seconds,
+                warm_queries=warm.stats.queries,
+                warm_sat_calls=warm.stats.sat_calls,
+                warm_time_seconds=warm.time_seconds,
+                identical=_project_verdicts(cold) == _project_verdicts(warm),
+                safe=cold.ok and warm.ok))
+    finally:
+        if store_dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+#: Schema identifier stamped into persistent-store reports.
+STORE_REPORT_SCHEMA = "repro-bench-store/1"
+
+
+def store_report(rows: List[StoreRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_store.json``."""
+    return {
+        "schema": STORE_REPORT_SCHEMA,
+        "benchmarks": {row.name: row.to_dict() for row in rows},
+        "totals": {
+            "cold_queries": sum(r.cold_queries for r in rows),
+            "cold_sat_calls": sum(r.cold_sat_calls for r in rows),
+            "warm_queries": sum(r.warm_queries for r in rows),
+            "warm_sat_calls": sum(r.warm_sat_calls for r in rows),
+            "cold_time_seconds": sum(r.cold_time_seconds for r in rows),
+            "warm_time_seconds": sum(r.warm_time_seconds for r in rows),
+        },
+    }
+
+
+def format_store(rows: List[StoreRow]) -> str:
+    """The table printed by ``repro bench store``."""
+    lines = [
+        "Persistent store: cold process vs store-warm fresh process",
+        "Benchmark            Kind     Cold-q  Cold-sat  Warm-q  Warm-sat  "
+        "Same  Cold(s)  Warm(s)",
+        "-" * 88,
+    ]
+    tot_cq = tot_cs = tot_wq = tot_ws = 0
+    tot_ct = tot_wt = 0.0
+    for row in rows:
+        lines.append(
+            f"{row.name:20s} {row.kind:8s} {row.cold_queries:6d} "
+            f"{row.cold_sat_calls:9d} {row.warm_queries:7d} "
+            f"{row.warm_sat_calls:9d} "
+            f"{'yes' if row.identical else 'NO':>5s} "
+            f"{row.cold_time_seconds:8.2f} {row.warm_time_seconds:8.2f}")
+        tot_cq += row.cold_queries
+        tot_cs += row.cold_sat_calls
+        tot_wq += row.warm_queries
+        tot_ws += row.warm_sat_calls
+        tot_ct += row.cold_time_seconds
+        tot_wt += row.warm_time_seconds
+    lines.append("-" * 88)
+    lines.append(f"{'TOTAL':20s} {'':8s} {tot_cq:6d} {tot_cs:9d} "
+                 f"{tot_wq:7d} {tot_ws:9d} {'':5s} {tot_ct:8.2f} "
+                 f"{tot_wt:8.2f}")
+    return "\n".join(lines)
+
+
 def format_figure7(names: Optional[List[str]] = None,
                    programs_dir: Optional[pathlib.Path] = None) -> str:
     lines = ["Benchmark        LOC  ImpDiff  AllDiff",

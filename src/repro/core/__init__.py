@@ -1,12 +1,15 @@
 """The RSC refinement type checker.
 
-The public entry points live in :mod:`repro.core.api`:
+The public entry points:
 
-* :func:`repro.core.api.check_source` — parse + check a nanoTS source string,
-* :func:`repro.core.api.check_program` — check an already-parsed program,
-* :class:`repro.core.api.CheckResult` — diagnostics plus statistics.
+* :class:`repro.core.session.Session` — one-shot checks sharing one solver,
+* :class:`repro.core.workspace.Workspace` — long-lived documents with
+  incremental re-checks,
+* :class:`repro.core.result.CheckResult` — diagnostics plus statistics.
 """
 
-from repro.core.api import CheckResult, check_program, check_source
+from repro.core.result import CheckResult
+from repro.core.session import Session
+from repro.core.workspace import Workspace
 
-__all__ = ["CheckResult", "check_program", "check_source"]
+__all__ = ["CheckResult", "Session", "Workspace"]

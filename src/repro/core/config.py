@@ -10,7 +10,7 @@ derive variants with :func:`dataclasses.replace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Qualifier-pool selections understood by :class:`CheckConfig`.
 QUALIFIER_SETS: Tuple[str, ...] = ("default", "harvested")
@@ -26,6 +26,12 @@ FIXPOINT_STRATEGIES: Tuple[str, ...] = ("worklist", "naive")
 #: ``"fresh"`` rebuilds CNF and a SAT solver per query (the historical
 #: behaviour, kept as the differential oracle for ``repro bench smt``).
 SMT_MODES: Tuple[str, ...] = ("incremental", "fresh")
+
+#: Persistent artifact store modes (see :mod:`repro.store`):
+#: ``"readwrite"`` serves hits and writes back finished artifacts,
+#: ``"readonly"`` serves hits but never writes (shared pre-populated
+#: caches), ``"off"`` ignores ``store_path`` entirely.
+STORE_MODES: Tuple[str, ...] = ("readwrite", "readonly", "off")
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,13 @@ class CheckConfig:
     * ``document_cache_limit`` — how many content-hash snapshots each open
       document keeps (bounds workspace memory; the most recent snapshot is
       always retained).
+    * ``store_path`` — root of the persistent content-addressed artifact
+      store (:mod:`repro.store`); ``None`` (the default) disables it.  May
+      carry a backend scheme (``"redis://..."``) to select a registered
+      store backend; plain paths use the local filesystem backend.
+    * ``store_mode`` — ``"readwrite"`` (the default: load artifacts and
+      write back finished checks), ``"readonly"`` (load only) or ``"off"``
+      (ignore ``store_path``).
     """
 
     max_fixpoint_iterations: int = 40
@@ -107,6 +120,8 @@ class CheckConfig:
     jobs: int = 1
     incremental: bool = True
     document_cache_limit: int = 8
+    store_path: Optional[str] = None
+    store_mode: str = "readwrite"
 
     def __post_init__(self) -> None:
         if self.max_fixpoint_iterations < 1:
@@ -131,6 +146,10 @@ class CheckConfig:
             raise ValueError("jobs must be positive")
         if self.document_cache_limit < 1:
             raise ValueError("document_cache_limit must be positive")
+        if self.store_mode not in STORE_MODES:
+            raise ValueError(
+                f"unknown store_mode {self.store_mode!r} "
+                f"(expected one of {', '.join(STORE_MODES)})")
 
     def with_options(self, **changes) -> "CheckConfig":
         """A copy of this config with the given fields replaced."""
@@ -148,4 +167,6 @@ class CheckConfig:
             "jobs": self.jobs,
             "incremental": self.incremental,
             "document_cache_limit": self.document_cache_limit,
+            "store_path": self.store_path,
+            "store_mode": self.store_mode,
         }

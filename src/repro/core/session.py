@@ -73,6 +73,11 @@ class Session:
     def solver(self) -> Solver:
         return self.workspace.solver
 
+    @property
+    def store(self):
+        """The persistent artifact store (``None`` unless configured)."""
+        return self.workspace.store
+
     # -- staged pipeline (delegated to the workspace) ----------------------
 
     def parse(self, source: str, filename: str = "<input>") -> ParseStage:

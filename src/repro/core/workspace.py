@@ -75,6 +75,7 @@ from repro.core.liquid.fixpoint import (
 from repro.core.liquid.qualifiers import QualifierPool
 from repro.core.result import CheckResult, SolveStats, StageTimings
 from repro.core.subtype import SubtypeSplitter
+from repro.store import ArtifactStore, config_fingerprint, open_store
 
 
 # ---------------------------------------------------------------------------
@@ -117,13 +118,24 @@ class SsaStage:
 
 @dataclass
 class ConstraintsStage:
-    """Output of :meth:`Workspace.constraints`: the constraint system."""
+    """Output of :meth:`Workspace.constraints`: the constraint system.
+
+    The ``store_*`` fields carry the persistent-store bookkeeping of this
+    check across the staged pipeline (all inert when no store is active):
+    the document's artifact key, the solution/memos loaded for it, the
+    recording sink mirroring every verdict the solver serves, and whether
+    the solve stage replayed the stored solution."""
 
     parse: ParseStage
     checker: Checker
     diags: DiagnosticBag
     stats_base: SolverStats
     timings: StageTimings
+    store_key: Optional[str] = None
+    store_solution: Optional[Solution] = None
+    store_memos_hit: bool = False
+    store_recorded: Optional[Dict] = None
+    store_plan_used: bool = False
 
     @property
     def num_subtypings(self) -> int:
@@ -243,6 +255,10 @@ class Workspace:
         self._documents: Dict[str, Document] = {}
         self.checks_run = 0
         self.artifact_cache_hits = 0
+        #: persistent cross-process artifact store (None when disabled)
+        self.store = open_store(self.config)
+        self._store_fp = (config_fingerprint(self.config)
+                          if self.store is not None else None)
 
     # -- document lifecycle ------------------------------------------------
 
@@ -322,8 +338,8 @@ class Workspace:
             snapshot = Snapshot(content_hash, result)
         else:
             cons = self.constraints(parsed)
-            # The fingerprint/partition bookkeeping only matters when warm
-            # starts are possible at all.
+            # The fingerprint/partition bookkeeping only matters when
+            # warm starts are possible at all.
             warm_capable = (self.config.incremental
                             and self.config.fixpoint_strategy == "worklist")
             sig_fp: Optional[str] = None
@@ -334,11 +350,10 @@ class Workspace:
                 sig_fp = signature_fingerprint(parsed.program)
                 unit_fps = unit_fingerprints(parsed.program)
                 local = _partition_local(cons.checker)
-                if local:
-                    plan = self._plan(document.last_good, sig_fp, unit_fps,
-                                      cons)
+            if warm_capable and local:
+                plan = self._plan(document.last_good, sig_fp, unit_fps, cons)
             solved = self.solve(cons, plan)
-            if plan is None:
+            if plan is None and not cons.store_plan_used:
                 solved.liquid.stats.declarations_rechecked = len(unit_fps)
             result, outcomes = self._verify(solved, plan)
             snapshot = Snapshot(
@@ -472,19 +487,52 @@ class Workspace:
         parsed = stage.parse if isinstance(stage, SsaStage) else stage
         if parsed.program is None:
             raise ValueError("cannot generate constraints on a failed parse")
+        store_key, store_solution, memos_hit, recorded = \
+            self._store_begin(parsed)
         stats_base = self.solver.stats.copy()
         start = time.perf_counter()
-        diags = DiagnosticBag()
-        diags.extend(parsed.diagnostics)
-        checker = Checker(parsed.program, diags, self.solver,
-                          pool=self._new_pool())
-        checker.run()
-        splitter = SubtypeSplitter(checker.table, checker.constraints)
-        for constraint in list(checker.constraints.subtypings):
-            splitter.split(constraint)
+        try:
+            diags = DiagnosticBag()
+            diags.extend(parsed.diagnostics)
+            checker = Checker(parsed.program, diags, self.solver,
+                              pool=self._new_pool())
+            checker.run()
+            splitter = SubtypeSplitter(checker.table, checker.constraints)
+            for constraint in list(checker.constraints.subtypings):
+                splitter.split(constraint)
+        except BaseException:
+            if recorded is not None:
+                self.solver.stop_recording(recorded)
+            raise
         parsed.timings.record("constraints", time.perf_counter() - start)
         return ConstraintsStage(parsed, checker, diags, stats_base,
-                                parsed.timings)
+                                parsed.timings, store_key=store_key,
+                                store_solution=store_solution,
+                                store_memos_hit=memos_hit,
+                                store_recorded=recorded)
+
+    def _store_begin(self, parsed: ParseStage):
+        """Persistent store, read side: replay a previous process's verdict
+        memos into the solver cache *before* constraint generation (dead-code
+        satisfiability checks run during it), fetch the stored kappa
+        solution, and attach a recording sink mirroring every verdict this
+        check serves, for write-back.  Keyed by content hash, so it is
+        skipped for programmatically built ASTs with no source text."""
+        if self.store is None or not parsed.source:
+            return None, None, False, None
+        content_hash = hashlib.sha256(parsed.source.encode()).hexdigest()
+        store_key = ArtifactStore.document_key(content_hash, self._store_fp)
+        memos = self.store.load_verdicts(store_key)
+        memos_hit = False
+        if memos and hasattr(self.solver, "seed_cache"):
+            memos_hit = self.solver.seed_cache(memos) > 0
+        store_solution = self.store.load_solution(store_key)
+        recorded: Optional[Dict] = None
+        if (not self.store.readonly
+                and hasattr(self.solver, "record_queries")):
+            recorded = {}
+            self.solver.record_queries(recorded)
+        return store_key, store_solution, memos_hit, recorded
 
     def solve(self, stage: ConstraintsStage,
               plan: Optional[WarmPlan] = None) -> SolveStage:
@@ -495,6 +543,8 @@ class Workspace:
         """
         start = time.perf_counter()
         checker = stage.checker
+        if plan is None:
+            plan = self._store_plan(stage)
         liquid = LiquidSolver(
             self.solver, checker.pool, checker.kappas,
             max_iterations=self.config.max_fixpoint_iterations,
@@ -509,6 +559,29 @@ class Workspace:
             solution = liquid.solve(checker.constraints.implications)
         stage.timings.record("solve", time.perf_counter() - start)
         return SolveStage(stage, liquid, solution, stage.timings)
+
+    def _store_plan(self, stage: ConstraintsStage) -> Optional[WarmPlan]:
+        """A stored solution for this exact (content, config) key *is* the
+        fixpoint this deterministic pipeline would recompute: replay it with
+        an empty dirty set, so the worklist never runs.  Sound without
+        partition-locality — nothing is carried across an edit, the key
+        equality is the whole-document match — but the replay still flows
+        through the ordinary warm-start machinery (and through
+        :meth:`LiquidSolver.check_concrete` against the seeded verdict
+        memos).  A kappa-name mismatch (hash collision, solver divergence)
+        demotes the hit to a cold solve."""
+        if (stage.store_solution is None
+                or self.config.fixpoint_strategy != "worklist"):
+            return None
+        checker = stage.checker
+        if set(stage.store_solution) != set(checker.kappas.kappas):
+            return None
+        owners = {owner for owner in checker.kappas.owners_of().values()
+                  if owner is not None}
+        stage.store_plan_used = True
+        return WarmPlan(previous=stage.store_solution, dirty_kappas=set(),
+                        dirty_owners=set(), reused_owners=owners,
+                        reuse_concrete={})
 
     def verify(self, stage: SolveStage,
                plan: Optional[WarmPlan] = None) -> CheckResult:
@@ -551,7 +624,29 @@ class Workspace:
             filename=cons.parse.filename,
             timings=stage.timings,
         )
+        self._store_end(stage)
         return result, results
+
+    def _store_end(self, stage: SolveStage) -> None:
+        """Persistent store, write side: detach the recording sink and write
+        back anything short of a full hit (a full hit's artifacts are
+        already on disk, byte-identical)."""
+        cons = stage.constraints
+        if cons.store_recorded is not None:
+            self.solver.stop_recording(cons.store_recorded)
+        if (cons.store_key is None or self.store is None
+                or self.store.readonly):
+            cons.store_recorded = None
+            return
+        if not cons.store_plan_used:
+            self.store.save_solution(cons.store_key, stage.solution)
+        recorded = cons.store_recorded or {}
+        if recorded and not (cons.store_plan_used and cons.store_memos_hit):
+            self.store.save_verdicts(cons.store_key, recorded.items())
+        # Once written (or skipped), a second verify() of the same stage
+        # must not write again.
+        cons.store_key = None
+        cons.store_recorded = None
 
     def _verify_selective(self, stage: SolveStage,
                           plan: WarmPlan) -> List[ObligationOutcome]:

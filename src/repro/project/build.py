@@ -27,6 +27,7 @@ from repro.core.result import CheckResult
 from repro.project.graph import ModuleGraph
 from repro.project.result import ProjectResult
 from repro.smt.solver import SolverStats
+from repro.store import open_store
 
 PathLike = Union[str, pathlib.Path]
 
@@ -152,8 +153,16 @@ def _run_batch_parallel(pool: ProcessPoolExecutor, config: CheckConfig,
 def check_project(root: PathLike, config: Optional[CheckConfig] = None,
                   pattern: str = "**/*.rsc",
                   jobs: Optional[int] = None) -> ProjectResult:
-    """Check the project rooted at ``root`` (every ``pattern`` match)."""
-    graph = ModuleGraph.from_root(pathlib.Path(root), pattern)
+    """Check the project rooted at ``root`` (every ``pattern`` match).
+
+    With ``config.store_path`` set, the module graph loads interface
+    summaries from the persistent store and every module check (each in a
+    fresh session whose workspace opens the same store) replays persisted
+    solutions and verdict memos — an unchanged project re-checks with zero
+    SMT queries."""
+    config = config or CheckConfig()
+    graph = ModuleGraph.from_root(pathlib.Path(root), pattern,
+                                  store=open_store(config))
     return check_graph(graph, config, jobs)
 
 
@@ -161,5 +170,7 @@ def check_files(paths: Sequence[PathLike],
                 config: Optional[CheckConfig] = None,
                 jobs: Optional[int] = None) -> ProjectResult:
     """Check an explicit set of files as one module graph."""
-    graph = ModuleGraph.from_paths([pathlib.Path(p) for p in paths])
+    config = config or CheckConfig()
+    graph = ModuleGraph.from_paths([pathlib.Path(p) for p in paths],
+                                   store=open_store(config))
     return check_graph(graph, config, jobs)

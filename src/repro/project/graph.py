@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import Diagnostic, ErrorKind, ParseError, SourceSpan
 from repro.lang import ast, parse_program
 from repro.project.summary import ModuleSummary, summarize_program
+from repro.store import ArtifactStore, ModuleArtifact
 
 
 def resolve_specifier(importer: pathlib.Path, specifier: str) -> str:
@@ -52,7 +53,12 @@ class ResolvedImport:
 
 @dataclass
 class Module:
-    """One project module: source, AST (if it parses), resolved imports."""
+    """One project module: source, AST (if it parses), resolved imports.
+
+    ``parses`` records the parse outcome independently of ``program`` —
+    a module served from the persistent artifact store carries its summary,
+    imports and diagnostics but *no* AST, and must still be distinguished
+    from one that genuinely failed to parse."""
 
     path: str
     source: str
@@ -62,6 +68,14 @@ class Module:
     summary: ModuleSummary = None  # type: ignore[assignment]
     #: module-level diagnostics (unresolved imports, cycles, unknown exports)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    parses: bool = False
+
+    def __post_init__(self) -> None:
+        # Direct constructions (tests, tools) pass a parsed program without
+        # the flag; infer it so `parses` only ever needs explicit setting
+        # for AST-less store-loaded modules.
+        if self.program is not None:
+            self.parses = True
 
     @property
     def dependencies(self) -> List[str]:
@@ -91,23 +105,25 @@ class ModuleGraph:
     # -- construction ------------------------------------------------------
 
     @staticmethod
-    def from_root(root: pathlib.Path, pattern: str = "**/*.rsc"
-                  ) -> "ModuleGraph":
+    def from_root(root: pathlib.Path, pattern: str = "**/*.rsc",
+                  store: Optional[ArtifactStore] = None) -> "ModuleGraph":
         paths = sorted(p for p in pathlib.Path(root).glob(pattern)
                        if p.is_file())
-        return ModuleGraph.from_paths(paths)
+        return ModuleGraph.from_paths(paths, store=store)
 
     @staticmethod
-    def from_paths(paths: Sequence[pathlib.Path]) -> "ModuleGraph":
+    def from_paths(paths: Sequence[pathlib.Path],
+                   store: Optional[ArtifactStore] = None) -> "ModuleGraph":
         sources = {}
         for path in paths:
             resolved = str(pathlib.Path(path).resolve())
             sources[resolved] = pathlib.Path(path).read_text()
-        return ModuleGraph.from_sources(sources)
+        return ModuleGraph.from_sources(sources, store=store)
 
     @staticmethod
     def from_sources(sources: Dict[str, str],
-                     cache: Optional[Dict[str, Module]] = None
+                     cache: Optional[Dict[str, Module]] = None,
+                     store: Optional[ArtifactStore] = None
                      ) -> "ModuleGraph":
         """Build from ``{resolved path: source text}``.
 
@@ -117,7 +133,13 @@ class ModuleGraph:
         rebuild after a one-module edit re-parses exactly that module.
         Import resolution and the graph analyses are recomputed fresh
         (they depend on the module *set*, and the analyses append
-        per-graph diagnostics)."""
+        per-graph diagnostics).
+
+        ``store`` is the cross-process analogue: modules not served by the
+        in-memory cache look up their :class:`~repro.store.ModuleArtifact`
+        (summary + raw imports + parse diagnostics, keyed by path and
+        source text) before paying for a parse, and parsed modules write
+        theirs back."""
         modules: Dict[str, Module] = {}
         known = set(sources)
         for path in sorted(sources):
@@ -126,11 +148,17 @@ class ModuleGraph:
                 module = Module(
                     path=path, source=cached.source, program=cached.program,
                     parse_diagnostics=list(cached.parse_diagnostics),
-                    summary=cached.summary)
-                _resolve_imports(module, known)
+                    summary=cached.summary, parses=cached.parses)
+                # Re-resolve from the cached imports' raw triples, not the
+                # AST — a store-loaded module has no AST, and resolution
+                # must be recomputed against the *new* module set anyway.
+                _resolve_import_list(
+                    module,
+                    [(list(i.names), i.specifier, i.span)
+                     for i in cached.imports], known)
                 modules[path] = module
             else:
-                modules[path] = _load(path, sources[path], known)
+                modules[path] = _load(path, sources[path], known, store)
         return ModuleGraph(modules)
 
     # -- analysis ----------------------------------------------------------
@@ -246,7 +274,7 @@ class ModuleGraph:
                 target = self.modules.get(imp.target)
                 if target is None or target.summary is None:
                     continue
-                if target.program is None:
+                if not target.parses:
                     continue  # unparsable dependency reports its own error
                 for name in imp.names:
                     if not target.summary.has(name):
@@ -345,10 +373,22 @@ class ModuleGraph:
         return f"{body}\n{prelude}\n"
 
 
-def _load(path: str, source: str, known: set) -> Module:
+def _load(path: str, source: str, known: set,
+          store: Optional[ArtifactStore] = None) -> Module:
+    if store is not None:
+        artifact = store.load_module(path, source)
+        if artifact is not None:
+            module = Module(
+                path=path, source=source, program=None,
+                parse_diagnostics=list(artifact.parse_diagnostics),
+                summary=artifact.summary)
+            module.parses = artifact.parses
+            _resolve_import_list(module, artifact.imports, known)
+            return module
     module = Module(path=path, source=source)
     try:
         module.program = parse_program(source, path)
+        module.parses = True
     except ParseError as exc:
         span = exc.span
         if span.filename != path:
@@ -357,27 +397,45 @@ def _load(path: str, source: str, known: set) -> Module:
             Diagnostic(ErrorKind.PARSE, exc.message, span,
                        code="RSC-PARSE-001"))
     module.summary = summarize_program(path, module.program)
-    _resolve_imports(module, known)
+    raw_imports = _raw_imports(module)
+    _resolve_import_list(module, raw_imports, known)
+    if store is not None:
+        store.save_module(path, source, ModuleArtifact(
+            parses=module.parses, summary=module.summary,
+            imports=raw_imports,
+            parse_diagnostics=list(module.parse_diagnostics)))
     return module
+
+
+def _raw_imports(module: Module):
+    """The unresolved ``(names, specifier, span)`` triples of a parsed
+    module — the shape module artifacts persist (resolution depends on the
+    surrounding module set, so it is recomputed per graph)."""
+    if module.program is None:
+        return []
+    return [(list(decl.names), decl.module, decl.span)
+            for decl in module.program.imports()]
 
 
 def _resolve_imports(module: Module, known: set) -> None:
     """Resolve a module's import specifiers against the module set."""
-    if module.program is None:
-        return
+    _resolve_import_list(module, _raw_imports(module), known)
+
+
+def _resolve_import_list(module: Module, raw_imports, known: set) -> None:
     importer = pathlib.Path(module.path)
-    for decl in module.program.imports():
-        target = resolve_specifier(importer, decl.module)
+    for names, specifier, span in raw_imports:
+        target = resolve_specifier(importer, specifier)
         exists = target in known
         module.imports.append(ResolvedImport(
-            names=list(decl.names), specifier=decl.module,
-            target=target, span=decl.span, exists=exists))
+            names=list(names), specifier=specifier,
+            target=target, span=span, exists=exists))
         if not exists:
             module.diagnostics.append(Diagnostic(
                 ErrorKind.MODULE,
-                f"cannot resolve import {decl.module!r} "
+                f"cannot resolve import {specifier!r} "
                 f"(no module at {_display(target)})",
-                decl.span, code="RSC-MOD-001"))
+                span, code="RSC-MOD-001"))
 
 
 def _display(path: str) -> str:

@@ -91,7 +91,11 @@ class ProjectWorkspace:
                 str(p.resolve()): p.read_text()
                 for p in sorted(pathlib.Path(root).glob(pattern))
                 if p.is_file()}
-        self.graph = ModuleGraph.from_sources(dict(self._sources))
+        # The inner workspace's store (if the config selects one) also
+        # serves the module graph's interface summaries, so its hit/miss
+        # counters see the whole project's store traffic.
+        self.graph = ModuleGraph.from_sources(dict(self._sources),
+                                              store=self.workspace.store)
         self._results: Dict[str, CheckResult] = {}
         self._checked = False
 
@@ -132,7 +136,8 @@ class ProjectWorkspace:
         # Unchanged modules reuse their parsed AST and summary from the
         # previous graph — a one-module edit re-parses one module.
         self.graph = ModuleGraph.from_sources(dict(self._sources),
-                                              cache=self.graph.modules)
+                                              cache=self.graph.modules,
+                                              store=self.workspace.store)
         module = self.graph.modules[resolved]
         summary_changed = module.summary.fingerprint != previous_fp
 

@@ -217,9 +217,11 @@ class Server:
 
     def _serve_shutdown(self, params: dict) -> dict:
         self.shutting_down = True
+        store = self.workspace.store
         return {"shutdown": True, "protocol": PROTOCOL,
                 "requests_served": self.requests_served,
-                "checks_run": self.workspace.checks_run}
+                "checks_run": self.workspace.checks_run,
+                "store": store.counters() if store is not None else None}
 
     # -- helpers -----------------------------------------------------------
 

@@ -22,7 +22,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.logic.simplify import simplify
 from repro.logic.terms import BoolLit, Expr, conj, implies, neg
@@ -141,6 +141,7 @@ class Solver:
             limit=context_cache_limit,
             max_theory_iterations=max_theory_iterations)
         self._cache: "OrderedDict[Expr, Result]" = OrderedDict()
+        self._recorders: List[Dict[Expr, Result]] = []
 
     # -- public queries ------------------------------------------------------
 
@@ -152,6 +153,39 @@ class Solver:
         """Drop every cached query result (statistics are kept)."""
         self._cache.clear()
 
+    def seed_cache(self, entries: Iterable[Tuple[Expr, Result]]) -> int:
+        """Pre-populate the result cache with already-known verdicts.
+
+        This is how the persistent artifact store (:mod:`repro.store`)
+        replays a previous process's verdict memos: seeded entries are
+        served as ordinary cache hits, so a store-warm check issues no
+        queries for them at all.  Entries past ``cache_size_limit`` evict
+        LRU-first as usual.  Returns how many entries were installed
+        (0 when result caching is disabled)."""
+        if not self.cache_results or self.cache_size_limit <= 0:
+            return 0
+        count = 0
+        for formula, result in entries:
+            self._cache_store(formula, result)
+            count += 1
+        return count
+
+    def record_queries(self, sink: Dict[Expr, Result]) -> None:
+        """Mirror every verdict this solver serves into ``sink``.
+
+        Both freshly computed results and cache hits are recorded — a
+        check window's recording is therefore complete even when a shared
+        long-lived solver already held some of its obligations — until
+        :meth:`stop_recording` detaches the sink."""
+        self._recorders.append(sink)
+
+    def stop_recording(self, sink: Dict[Expr, Result]) -> None:
+        self._recorders = [r for r in self._recorders if r is not sink]
+
+    def _record(self, formula: Expr, result: Result) -> None:
+        for sink in self._recorders:
+            sink[formula] = result
+
     def _cache_lookup(self, formula: Expr) -> Optional[Result]:
         if not self.cache_results:
             return None
@@ -159,6 +193,7 @@ class Solver:
         if result is not None:
             self.stats.cache_hits += 1
             self._cache.move_to_end(formula)
+            self._record(formula, result)
         return result
 
     def _cache_store(self, formula: Expr, result: Result) -> None:
@@ -181,6 +216,7 @@ class Solver:
         finally:
             self.stats.time_seconds += time.perf_counter() - start
         self._cache_store(formula, result)
+        self._record(formula, result)
         return result
 
     def is_satisfiable(self, formula: Expr) -> bool:
@@ -245,6 +281,7 @@ class Solver:
             finally:
                 self.stats.time_seconds += time.perf_counter() - start
             self._cache_store(formula, result)
+            self._record(formula, result)
         valid = result is Result.UNSAT
         if valid:
             self.stats.valid += 1

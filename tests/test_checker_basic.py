@@ -1,8 +1,13 @@
 """End-to-end checker tests: small programs, positive and negative."""
 
 
-from repro import check_source
+from repro import Session
 from repro.errors import ErrorKind
+
+
+def check_source(source: str):
+    """One independent cold check in a fresh session."""
+    return Session().check_source(source)
 
 
 def ok(source: str):

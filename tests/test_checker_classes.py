@@ -1,10 +1,9 @@
 """Checker tests for classes, interfaces, mutability, casts and overloading."""
 
 
-from repro import check_source
 from repro.errors import ErrorKind
 
-from test_checker_basic import ok, bad, PRELUDE
+from test_checker_basic import check_source, ok, bad, PRELUDE
 
 
 FIELD_CLASS = PRELUDE + """

@@ -18,12 +18,17 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "examples"))
 
-from repro import check_source
+from repro import Session
 
 import quickstart
 import field_mutation
 import overloading
 import downcasts
+
+
+def check_source(source: str):
+    """One independent cold check in a fresh session."""
+    return Session().check_source(source)
 
 
 class TestSection211ArrayBounds:

@@ -6,7 +6,7 @@ import warnings
 
 import pytest
 
-from repro import CheckConfig, Session, SolverOptions, check_source
+from repro import CheckConfig, Session, SolverOptions
 from repro.core.session import ConstraintsStage, ParseStage, SolveStage, SsaStage
 from repro.errors import Severity
 
@@ -80,12 +80,6 @@ class TestParseErrors:
         [diag] = result.diagnostics
         assert diag.code == "RSC-PARSE-001"
         assert diag.span.filename == "oops.rsc"
-
-    def test_wrapper_check_source_parse_error_also_fixed(self):
-        result = check_source("function f( {", filename="oops.rsc")
-        assert result.time_seconds > 0
-        assert result.diagnostics[0].span.filename == "oops.rsc"
-
 
 class TestSolverReuse:
     def test_cache_reused_across_files(self):
@@ -207,16 +201,10 @@ class TestResultSerialisation:
         assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
-class TestBackCompatWrappers:
-    def test_check_source_wrapper_unchanged(self):
-        result = check_source(SAFE_SOURCE)
-        assert result.ok
-        assert result.summary().startswith("SAFE")
-
-    def test_check_program_wrapper(self):
-        from repro import check_program
+class TestCheckProgram:
+    def test_check_program_skips_parsing(self):
         from repro.lang import parse_program
         program = parse_program(SAFE_SOURCE, "wrapped.rsc")
-        result = check_program(program)
+        result = Session().check_program(program)
         assert result.ok
         assert result.filename == "wrapped.rsc"

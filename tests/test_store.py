@@ -1,0 +1,346 @@
+"""Unit tests for the persistent artifact store: codec, local backend,
+registry, keying and configuration."""
+
+import json
+
+import pytest
+
+from repro import CheckConfig
+from repro.core.config import SolverOptions
+from repro.errors import Diagnostic, ErrorKind, Severity, SourceSpan
+from repro.logic.sorts import BOOL, INT, STR
+from repro.logic.terms import (App, BinOp, BoolLit, Field, IntLit, Ite,
+                               StrLit, UnOp, Var)
+from repro.smt.solver import Result
+from repro.store import (
+    ArtifactStore,
+    CodecError,
+    LocalStoreBackend,
+    ModuleArtifact,
+    STORE_SCHEMA,
+    available_store_backends,
+    config_fingerprint,
+    create_store_backend,
+    default_store_path,
+    open_store,
+    register_store_backend,
+)
+from repro.store.codec import (decode_entry, decode_expr, decode_module,
+                               decode_solution, decode_verdicts, encode_entry,
+                               encode_expr, encode_module)
+from repro.project.summary import ModuleSummary
+
+
+def _deep_formula():
+    x = Var("x", INT)
+    y = Var("y", INT)
+    return BinOp(
+        "and",
+        BinOp("<=", IntLit(0), x, BOOL),
+        Ite(UnOp("not", BoolLit(False), BOOL),
+            BinOp("=", Field(Var("o", INT), "len", INT), y, BOOL),
+            App("len", (x, StrLit("s")), INT),
+            BOOL),
+        BOOL)
+
+
+class TestExprCodec:
+    def test_every_node_type_round_trips_identically(self):
+        formula = _deep_formula()
+        decoded = decode_expr(encode_expr(formula))
+        assert decoded == formula
+        assert hash(decoded) == hash(formula)
+
+    def test_atoms_round_trip(self):
+        for expr in (Var("v", STR), IntLit(-7), BoolLit(True), StrLit("")):
+            assert decode_expr(encode_expr(expr)) == expr
+
+    def test_bool_is_not_an_intlit(self):
+        # bool subclasses int; a smuggled true must not decode as IntLit(1).
+        with pytest.raises(CodecError):
+            decode_expr(["i", True])
+
+    @pytest.mark.parametrize("garbage", [
+        None, 42, "x", [], ["zz", 1], ["v", 7, "Int"], ["i", "7"],
+        ["b", 1], ["s", 0], ["a", "f"], ["o", "+", ["i", 1]],
+        ["t", ["b", True], ["i", 1]],
+    ])
+    def test_garbage_raises_codec_error(self, garbage):
+        with pytest.raises(CodecError):
+            decode_expr(garbage)
+
+
+class TestVerdictAndSolutionCodec:
+    def test_verdicts_round_trip_all_results(self):
+        pairs = [(_deep_formula(), Result.UNSAT),
+                 (Var("p", BOOL), Result.SAT),
+                 (IntLit(3), Result.UNKNOWN)]
+        assert decode_verdicts(json.loads(json.dumps(
+            [[encode_expr(f), r.value] for f, r in pairs]))) == pairs
+
+    def test_unknown_result_value_rejected(self):
+        with pytest.raises(CodecError):
+            decode_verdicts([[encode_expr(IntLit(1)), "maybe"]])
+
+    def test_solution_round_trips_qualifier_order(self):
+        solution = {"k_1": [BinOp("<=", IntLit(0), Var("v", INT), BOOL),
+                            BinOp("<", Var("v", INT), IntLit(9), BOOL)],
+                    "k_2": []}
+        encoded = json.loads(json.dumps(
+            {k: [encode_expr(q) for q in qs] for k, qs in solution.items()}))
+        assert decode_solution(encoded) == solution
+
+
+class TestEntryEnvelope:
+    def test_round_trip(self):
+        pairs = [(Var("p", BOOL), Result.UNSAT)]
+        assert decode_entry("verdicts",
+                            encode_entry("verdicts", pairs)) == pairs
+
+    def test_schema_mismatch_is_a_miss(self):
+        payload = encode_entry("verdicts", [])
+        bumped = payload.replace(
+            f'"schema":{STORE_SCHEMA}'.encode(),
+            f'"schema":{STORE_SCHEMA + 1}'.encode())
+        assert bumped != payload
+        with pytest.raises(CodecError):
+            decode_entry("verdicts", bumped)
+
+    def test_kind_mismatch_is_a_miss(self):
+        payload = encode_entry("solutions", {})
+        with pytest.raises(CodecError):
+            decode_entry("verdicts", payload)
+
+    @pytest.mark.parametrize("payload", [
+        b"", b"garbage", b"{", b"[1,2,3]", b'{"schema":1}',
+        b'\x00\xff\xfe', encode_entry("verdicts", [])[:-10],
+    ])
+    def test_truncated_or_garbage_bytes(self, payload):
+        with pytest.raises(CodecError):
+            decode_entry("verdicts", payload)
+
+
+class TestModuleArtifactCodec:
+    def _artifact(self):
+        summary = ModuleSummary(
+            path="/p/lib.rsc",
+            exports={"zeta": ["spec zeta :: () => number;"],
+                     "alpha": ["export type alpha = number;"]},
+            qualifiers=["0 <= v"], fingerprint="abc123")
+        span = SourceSpan(3, 1, 3, 20, "/p/lib.rsc")
+        diag = Diagnostic(ErrorKind.PARSE, "boom", span,
+                          Severity.ERROR, "RSC-PARSE-001")
+        return ModuleArtifact(parses=True, summary=summary,
+                              imports=[(["a", "b"], "./dep", span)],
+                              parse_diagnostics=[diag])
+
+    def test_round_trip(self):
+        artifact = self._artifact()
+        decoded = decode_entry("modules", encode_entry("modules", artifact))
+        assert decoded.parses is True
+        assert decoded.summary.path == artifact.summary.path
+        assert decoded.summary.exports == artifact.summary.exports
+        assert decoded.summary.qualifiers == artifact.summary.qualifiers
+        assert decoded.summary.fingerprint == artifact.summary.fingerprint
+        assert decoded.imports == artifact.imports
+        assert decoded.parse_diagnostics == artifact.parse_diagnostics
+
+    def test_export_order_survives_the_sorted_envelope(self):
+        # The envelope serialiser sorts object keys; export order is
+        # declaration order and feeds the interface prelude, so it must
+        # survive byte-exactly ("zeta" deliberately precedes "alpha").
+        decoded = decode_entry("modules",
+                               encode_entry("modules", self._artifact()))
+        assert list(decoded.summary.exports) == ["zeta", "alpha"]
+
+    def test_malformed_module_rejected(self):
+        obj = encode_module(self._artifact())
+        del obj["summary"]["fingerprint"]
+        with pytest.raises(CodecError):
+            decode_module(obj)
+
+
+class TestLocalBackend:
+    def test_put_get_and_shard_layout(self, tmp_path):
+        backend = LocalStoreBackend(tmp_path)
+        key = "ab" + "0" * 62
+        assert backend.get("verdicts", key) is None
+        assert backend.put("verdicts", key, b"payload")
+        assert backend.get("verdicts", key) == b"payload"
+        assert (tmp_path / "verdicts" / "ab" / f"{key}.json").is_file()
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        backend = LocalStoreBackend(tmp_path)
+        key = "cd" + "1" * 62
+        assert backend.put("solutions", key, b"old")
+        assert backend.put("solutions", key, b"new")
+        assert backend.get("solutions", key) == b"new"
+        leftovers = list((tmp_path / "solutions").rglob("*.tmp"))
+        assert leftovers == []
+
+    @pytest.mark.parametrize("kind,key", [
+        ("../evil", "a" * 64), ("", "a" * 64), ("k.v", "a" * 64),
+        ("verdicts", "no"), ("verdicts", "../../../../etc/passwd"),
+        ("verdicts", "a b c"),
+    ])
+    def test_path_traversal_rejected(self, tmp_path, kind, key):
+        with pytest.raises(ValueError):
+            LocalStoreBackend(tmp_path)._path(kind, key)
+
+    def test_stats_and_clear(self, tmp_path):
+        backend = LocalStoreBackend(tmp_path)
+        backend.put("verdicts", "aa" + "0" * 62, b"12345")
+        backend.put("solutions", "bb" + "0" * 62, b"123")
+        stats = backend.stats()
+        assert stats.kinds["verdicts"].entries == 1
+        assert stats.kinds["verdicts"].bytes == 5
+        assert stats.total_entries == 2
+        assert stats.total_bytes == 8
+        assert backend.clear() == 2
+        assert backend.stats().total_entries == 0
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        import os
+        backend = LocalStoreBackend(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            backend.put("verdicts", key, b"x" * 10)
+            os.utime(backend._path("verdicts", key), (1000 + i, 1000 + i))
+        result = backend.gc(max_bytes=20)
+        assert result.evicted_entries == 2
+        assert result.kept_entries == 2
+        assert backend.get("verdicts", keys[0]) is None
+        assert backend.get("verdicts", keys[1]) is None
+        assert backend.get("verdicts", keys[3]) == b"x" * 10
+
+    def test_gc_sweeps_crashed_writer_droppings(self, tmp_path):
+        backend = LocalStoreBackend(tmp_path)
+        key = "aa" + "0" * 62
+        backend.put("verdicts", key, b"kept")
+        shard = tmp_path / "verdicts" / "aa"
+        (shard / ".crashed.123.0.tmp").write_bytes(b"partial")
+        backend.gc(max_bytes=10 ** 9)
+        assert not (shard / ".crashed.123.0.tmp").exists()
+        assert backend.get("verdicts", key) == b"kept"
+
+
+class TestRegistry:
+    def test_local_is_registered(self):
+        assert "local" in available_store_backends()
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            create_store_backend("no-such-backend", root="/tmp/x")
+
+    def test_custom_backend_and_scheme_path(self, tmp_path):
+        created = {}
+
+        def factory(root):
+            created["root"] = root
+            return LocalStoreBackend(tmp_path)
+
+        register_store_backend("teststore", factory)
+        try:
+            store = open_store(CheckConfig(store_path="teststore://sub/dir"))
+            assert created["root"] == "sub/dir"
+            assert isinstance(store, ArtifactStore)
+        finally:
+            from repro.store.backend import _REGISTRY
+            _REGISTRY.pop("teststore", None)
+
+
+class TestConfigAndKeys:
+    def test_store_mode_validated(self):
+        with pytest.raises(ValueError, match="store_mode"):
+            CheckConfig(store_mode="sometimes")
+
+    def test_open_store_disabled(self, tmp_path):
+        assert open_store(CheckConfig()) is None
+        assert open_store(CheckConfig(store_path=str(tmp_path),
+                                      store_mode="off")) is None
+
+    def test_open_store_readonly(self, tmp_path):
+        store = open_store(CheckConfig(store_path=str(tmp_path),
+                                       store_mode="readonly"))
+        assert store.readonly
+        store.save_solution("a" * 64, {})
+        assert store.writes == 0
+        assert store.load_solution("a" * 64) is None
+
+    def test_default_store_path_honours_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_store_path() == str(tmp_path / "repro" / "store")
+
+    def test_config_fingerprint_tracks_verdict_affecting_options(self):
+        base = config_fingerprint(CheckConfig())
+        assert base == config_fingerprint(CheckConfig())
+        assert base != config_fingerprint(
+            CheckConfig(qualifier_set="harvested"))
+        assert base != config_fingerprint(
+            CheckConfig(max_fixpoint_iterations=7))
+        assert base != config_fingerprint(
+            CheckConfig(fixpoint_strategy="naive"))
+        assert base != config_fingerprint(
+            CheckConfig(solver=SolverOptions(max_theory_iterations=2)))
+
+    def test_config_fingerprint_ignores_capacity_and_output(self):
+        base = config_fingerprint(CheckConfig())
+        # Verdicts are identical under both SMT modes (differential fuzz
+        # suite) and unaffected by cache sizing or output options.
+        assert base == config_fingerprint(CheckConfig(smt_mode="fresh"))
+        assert base == config_fingerprint(
+            CheckConfig(warnings_as_errors=True))
+        assert base == config_fingerprint(
+            CheckConfig(document_cache_limit=2))
+        assert base == config_fingerprint(
+            CheckConfig(solver=SolverOptions(cache_size_limit=1)))
+
+    def test_document_key_separates_config_and_content(self):
+        key = ArtifactStore.document_key
+        assert key("h1", "c1") != key("h2", "c1")
+        assert key("h1", "c1") != key("h1", "c2")
+        assert key("h1", "c1") == key("h1", "c1")
+
+    def test_module_key_separates_path_and_source(self):
+        key = ArtifactStore.module_key
+        assert key("a.rsc", "x") != key("b.rsc", "x")
+        assert key("a.rsc", "x") != key("a.rsc", "y")
+
+
+class TestArtifactStoreRobustness:
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        store = open_store(CheckConfig(store_path=str(tmp_path)))
+        key = "a" * 64
+        store.save_solution(key, {"k": [IntLit(1)]})
+        assert store.writes == 1
+        path = tmp_path / "solutions" / key[:2] / f"{key}.json"
+        path.write_bytes(b"{corrupt")
+        assert store.load_solution(key) is None
+        assert store.misses == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = open_store(CheckConfig(store_path=str(tmp_path)))
+        key = "b" * 64
+        store.save_verdicts(key, [(Var("p", BOOL), Result.UNSAT)])
+        path = tmp_path / "verdicts" / key[:2] / f"{key}.json"
+        path.write_bytes(path.read_bytes()[:-15])
+        assert store.load_verdicts(key) is None
+
+    def test_version_bumped_entry_is_a_miss(self, tmp_path):
+        store = open_store(CheckConfig(store_path=str(tmp_path)))
+        key = "c" * 64
+        store.save_solution(key, {})
+        path = tmp_path / "solutions" / key[:2] / f"{key}.json"
+        obj = json.loads(path.read_bytes())
+        obj["schema"] = STORE_SCHEMA + 1
+        path.write_text(json.dumps(obj))
+        assert store.load_solution(key) is None
+
+    def test_hit_and_counter_accounting(self, tmp_path):
+        store = open_store(CheckConfig(store_path=str(tmp_path)))
+        key = "d" * 64
+        assert store.load_solution(key) is None
+        solution = {"k": [BinOp("<=", IntLit(0), Var("v", INT), BOOL)]}
+        store.save_solution(key, solution)
+        assert store.load_solution(key) == solution
+        assert store.counters() == {"hits": 1, "misses": 1, "writes": 1}

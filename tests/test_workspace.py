@@ -7,7 +7,7 @@ import warnings
 
 import pytest
 
-from repro import CheckConfig, Session, Workspace, check_program, check_source
+from repro import CheckConfig, Session, Workspace
 from repro import bench
 from repro.smt.solver import Solver
 
@@ -279,23 +279,6 @@ class TestFacades:
         solver.clear_cache()
         assert solver.cache_size == 0
         assert solver.stats.queries == 1  # statistics survive
-
-    def test_check_source_wrapper_warns_but_behaves(self):
-        with pytest.warns(DeprecationWarning, match="check_source"):
-            result = check_source(SAFE_TWO_DECLS)
-        assert result.ok
-        with pytest.warns(DeprecationWarning):
-            unsafe = check_source(UNSAFE_TWO_DECLS, filename="u.rsc")
-        assert not unsafe.ok
-        assert unsafe.filename == "u.rsc"
-
-    def test_check_program_wrapper_warns_but_behaves(self):
-        from repro.lang import parse_program
-        program = parse_program(SAFE_TWO_DECLS, "wrapped.rsc")
-        with pytest.warns(DeprecationWarning, match="check_program"):
-            result = check_program(program)
-        assert result.ok
-        assert result.filename == "wrapped.rsc"
 
     def test_session_checks_do_not_warn(self):
         with warnings.catch_warnings():
