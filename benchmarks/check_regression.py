@@ -64,6 +64,20 @@ section:
 * the incremental ``sat_calls`` count is gated against the baseline like
   the fixpoint queries (it is deterministic).
 
+With ``--serve`` the load-generator report produced by
+``python -m repro bench serve`` is gated against the baseline's ``serve``
+section:
+
+* the concurrent run's diagnostics must be **byte-identical** to a
+  sequential single-client replay of the same edits (``identical``) and
+  every surviving check must verify (``safe``),
+* at least one check must have been cancelled by a superseding edit
+  (queued or in flight) — the supersession machinery must stay observable,
+* no client thread may have died (``error`` per tenant),
+* p99 latency is gated at ``--time-factor`` times the baseline and
+  throughput at baseline divided by ``--time-factor`` (latency percentiles
+  are wall-clock and CI machines are noisy, hence the generous factor).
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -223,6 +237,41 @@ def check_smt(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_serve(report: dict, baseline: dict, time_factor: float) -> list:
+    """Failures of the serve load-generator report vs the baseline."""
+    failures = []
+    if not baseline:
+        return ["serve: baseline has no 'serve' section"]
+    if not report.get("identical", False):
+        failures.append(
+            "serve: concurrent diagnostics differ from the sequential "
+            "single-client replay — tenant isolation or cancellation is "
+            "UNSOUND, fix before merging")
+    if not report.get("safe", False):
+        failures.append("serve: a replayed check no longer verifies")
+    cancelled = (report.get("cancelled_queued", 0)
+                 + report.get("cancelled_inflight", 0))
+    if cancelled < 1:
+        failures.append(
+            "serve: no check was cancelled by a superseding edit "
+            "(expected at least 1 — supersession has gone unobservable)")
+    for name, row in sorted(report.get("tenants", {}).items()):
+        if row.get("error"):
+            failures.append(f"serve: client {name} died: {row['error']}")
+    p99 = report.get("p99_ms", 0.0)
+    if p99 > baseline["p99_ms"] * time_factor:
+        failures.append(
+            f"serve: p99 latency {p99:.0f}ms, baseline "
+            f"{baseline['p99_ms']:.0f}ms (x{time_factor:g} allowed)")
+    throughput = report.get("throughput_cps", 0.0)
+    floor = baseline["throughput_cps"] / time_factor
+    if throughput < floor:
+        failures.append(
+            f"serve: throughput {throughput:.2f} checks/s, baseline "
+            f"{baseline['throughput_cps']:.2f} (floor {floor:.2f})")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
@@ -245,6 +294,9 @@ def main(argv=None) -> int:
     parser.add_argument("--store", metavar="FILE", default=None,
                         help="also gate BENCH_store.json against the "
                              "baseline's 'store' section")
+    parser.add_argument("--serve", metavar="FILE", default=None,
+                        help="also gate BENCH_serve.json against the "
+                             "baseline's 'serve' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -301,6 +353,12 @@ def main(argv=None) -> int:
             store_report = json.load(f)
         failures.extend(check_store(
             store_report, baseline.get("store", {}), args.threshold))
+
+    if args.serve is not None:
+        with open(args.serve) as f:
+            serve_report = json.load(f)
+        failures.extend(check_serve(
+            serve_report, baseline.get("serve", {}), args.time_factor))
 
     if failures:
         print("benchmark regression(s) against "

@@ -35,9 +35,21 @@ kappa solutions, SMT verdict memos; see :mod:`repro.store`)::
     config = CheckConfig(store_path="/var/cache/repro")
     Session(config).check_file("a.rsc")    # cold: populates the store
     Session(config).check_file("a.rsc")    # fresh process: zero SMT queries
+
+Check service (multi-tenant serve protocol v3; see :mod:`repro.service`
+and :mod:`repro.client`)::
+
+    from repro import Client
+
+    client = Client.connect("127.0.0.1", 7345, tenant="alice")
+    payload = client.check("a.rsc", source)     # typed CheckPayload
+    client.update("a.rsc", edited)
+    print(client.stats().tenants["alice"]["latency"]["p50_ms"])
 """
 
-from repro.core.config import CheckConfig, SolverOptions
+from repro.client import Client
+from repro.core.cancel import CancelToken, CheckCancelled
+from repro.core.config import CheckConfig, ServiceOptions, SolverOptions
 from repro.core.result import (BatchResult, CheckResult, SolveStats,
                                StageTimings)
 from repro.core.session import Session
@@ -52,10 +64,14 @@ __version__ = "3.0.0"
 __all__ = [
     "ArtifactStore",
     "BatchResult",
+    "CancelToken",
+    "CheckCancelled",
     "CheckConfig",
     "CheckResult",
+    "Client",
     "Diagnostic",
     "ERROR_CATALOG",
+    "ServiceOptions",
     "ProjectResult",
     "ProjectUpdate",
     "ProjectWorkspace",

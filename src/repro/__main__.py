@@ -84,13 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the paper's evaluation tables")
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
-                                "modules", "smt", "store"),
+                                "modules", "smt", "store", "serve"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
                             "ports; smt compares the fresh-solver and "
                             "incremental-context SMT engines; store measures "
-                            "cold vs store-warm fresh-process re-checks)")
+                            "cold vs store-warm fresh-process re-checks; "
+                            "serve load-tests the multi-tenant socket "
+                            "server with concurrent editing clients)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -107,10 +109,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-compare", action="store_true",
                        help="figure6: skip the naive-engine comparison run "
                             "and the report dump")
+    bench.add_argument("--clients", type=int, default=4, metavar="N",
+                       help="serve: number of concurrent editing clients "
+                            "(default: 4)")
+    bench.add_argument("--edit-rate", type=float, default=2.0, metavar="R",
+                       help="serve: edits per second each client replays "
+                            "(default: 2.0)")
 
     serve = sub.add_parser(
-        "serve", help="newline-delimited JSON request/response loop over "
-                      "stdin/stdout (check/update/diagnostics/shutdown)")
+        "serve", help="check service: stdio NDJSON loop (repro-serve/2 "
+                      "compatible) or, with --tcp, the multi-tenant "
+                      "asyncio socket server (repro-serve/3)")
+    serve.add_argument("--tcp", action="store_true",
+                       help="serve the repro-serve/3 protocol over TCP "
+                            "instead of the stdio v2 loop")
+    serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="TCP bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="TCP port (default: 0 = ephemeral; the bound "
+                            "port is printed as a JSON line on startup)")
+    serve.add_argument("--tenants", type=int, default=None, metavar="N",
+                       help="max tenant workspaces kept alive before LRU "
+                            "eviction (default: 8)")
+    serve.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                       help="per-tenant pending-request bound; above it "
+                            "requests get a backpressure error "
+                            "(default: 16)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="checker thread pool size (default: 4)")
     _workspace_flags(serve)
 
     watchp = sub.add_parser(
@@ -262,12 +288,25 @@ def _check_project_dir(root: str, config: CheckConfig,
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import serve
     try:
         config = _workspace_config(args)
+        service_changes = {
+            key: value for key, value in (
+                ("max_tenants", args.tenants),
+                ("queue_limit", args.queue_limit),
+                ("workers", args.workers),
+            ) if value is not None}
+        if service_changes:
+            from dataclasses import replace
+            config = config.with_options(
+                service=replace(config.service, **service_changes))
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if args.tcp:
+        from repro.service.server import run_server
+        return run_server(config, host=args.host, port=args.port)
+    from repro.serve import serve
     return serve(config=config)
 
 
@@ -311,6 +350,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import pathlib
     programs_dir = pathlib.Path(args.programs_dir) if args.programs_dir else None
     try:
+        if args.table == "serve":
+            if args.clients < 1 or args.edit_rate <= 0:
+                print("repro: --clients must be >= 1 and --edit-rate > 0",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            load = bench.serve_load(clients=args.clients,
+                                    edit_rate=args.edit_rate,
+                                    programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.serve_report(load),
+                "BENCH_serve.json", "serve", False,
+                lambda: bench.format_serve(load))
+            return EXIT_OK if load.ok else EXIT_UNSAFE
         known = (bench.MODULE_BENCHMARKS if args.table == "modules"
                  else bench.BENCHMARKS)
         names = args.only or known

@@ -562,10 +562,16 @@ EDIT_TARGETS: Dict[str, str] = {
 }
 
 
-def edit_function_body(source: str, name: str) -> str:
-    """Insert a no-op statement at the start of function ``name``'s body."""
+def edit_function_body(source: str, name: str, marker: int = 0) -> str:
+    """Insert a no-op statement at the start of function ``name``'s body.
+
+    Distinct ``marker`` values produce distinct program texts (and so
+    distinct content hashes) that still dirty exactly the same declaration
+    — how the serve bench fabricates fresh superseding edits.
+    """
     pattern = re.compile(rf"(function\s+{re.escape(name)}\s*\([^)]*\)\s*\{{)")
-    edited, count = pattern.subn(r"\1 var __bench_edit = 0;", source, count=1)
+    edited, count = pattern.subn(rf"\1 var __bench_edit = {marker};",
+                                 source, count=1)
     if count != 1:
         raise ValueError(f"cannot find function {name!r} to edit")
     return edited
@@ -1073,6 +1079,283 @@ def format_store(rows: List[StoreRow]) -> str:
     lines.append(f"{'TOTAL':20s} {'':8s} {tot_cq:6d} {tot_cs:9d} "
                  f"{tot_wq:7d} {tot_ws:9d} {'':5s} {tot_ct:8.2f} "
                  f"{tot_wt:8.2f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# check-service load generator (`repro bench serve`)
+# ---------------------------------------------------------------------------
+
+#: Benchmark ports the serve load-generator replays; client ``i`` edits
+#: ``SERVE_BENCHMARKS[i % len]`` under its own tenant.
+SERVE_BENCHMARKS = ["splay", "d3-arrays", "richards", "transducers"]
+
+
+@dataclass
+class ServeClientResult:
+    """What one concurrent editing client observed."""
+
+    tenant: str
+    benchmark: str
+    requests: int = 0
+    checks_ok: int = 0
+    cancelled: int = 0
+    backpressure: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    identical: bool = False
+    safe: bool = False
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        from repro.service.core import percentile
+        return {
+            "tenant": self.tenant,
+            "benchmark": self.benchmark,
+            "requests": self.requests,
+            "checks_ok": self.checks_ok,
+            "cancelled": self.cancelled,
+            "backpressure": self.backpressure,
+            "p50_ms": percentile(self.latencies_ms, 50.0),
+            "p99_ms": percentile(self.latencies_ms, 99.0),
+            "identical": self.identical,
+            "safe": self.safe,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ServeLoadResult:
+    """The aggregate of one ``repro bench serve`` run."""
+
+    clients: int
+    edit_rate: float
+    wall_seconds: float
+    rows: List[ServeClientResult] = field(default_factory=list)
+    server_stats: dict = field(default_factory=dict)
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        return [ms for row in self.rows for ms in row.latencies_ms]
+
+    @property
+    def checks_ok(self) -> int:
+        return sum(row.checks_ok for row in self.rows)
+
+    @property
+    def cancelled_queued(self) -> int:
+        return int(self.server_stats.get("totals", {})
+                   .get("cancelled_queued", 0))
+
+    @property
+    def cancelled_inflight(self) -> int:
+        return int(self.server_stats.get("totals", {})
+                   .get("cancelled_inflight", 0))
+
+    @property
+    def cancelled(self) -> int:
+        return self.cancelled_queued + self.cancelled_inflight
+
+    @property
+    def throughput_cps(self) -> float:
+        return self.checks_ok / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def identical(self) -> bool:
+        return all(row.identical for row in self.rows)
+
+    @property
+    def safe(self) -> bool:
+        return all(row.safe for row in self.rows)
+
+    @property
+    def ok(self) -> bool:
+        """Load run acceptance: every client's diagnostics byte-identical
+        to its sequential replay, every verdict safe, and at least one
+        check observably cancelled by a superseding edit."""
+        return self.identical and self.safe and self.cancelled >= 1
+
+
+def _replay_sequentially(uri: str, transcript: List[tuple],
+                         config: Optional[CheckConfig] = None) -> bool:
+    """Re-run one client's successful edit texts through a fresh sequential
+    workspace; True iff every diagnostics list matches byte-for-byte."""
+    workspace = Workspace(config or CheckConfig())
+    for index, (text, diagnostics) in enumerate(transcript):
+        if index == 0:
+            result = workspace.open(uri, text)
+        else:
+            result = workspace.update(uri, text)
+        if [d.to_dict() for d in result.diagnostics] != diagnostics:
+            return False
+    return True
+
+
+def _run_serve_client(host: str, port: int, name: str, source: str,
+                      edit_rate: float, row: ServeClientResult,
+                      config: Optional[CheckConfig] = None) -> None:
+    """One editing client: cold check, paced scripted edits, then a
+    pipelined superseding pair, then a sequential-replay comparison."""
+    import time as _time
+
+    from repro.client import Client
+    from repro.service.protocol import ProtocolError
+
+    uri = f"{name}.rsc"
+    period = 1.0 / edit_rate
+    transcript: List[tuple] = []  # (text, diagnostics) of served checks
+    safe = True
+    try:
+        with Client.connect(host, port, tenant=row.tenant,
+                            timeout=600) as client:
+            def timed(method: str, text: str) -> None:
+                nonlocal safe
+                row.requests += 1
+                start = _time.perf_counter()
+                payload = getattr(client, method)(uri, text)
+                row.latencies_ms.append(
+                    (_time.perf_counter() - start) * 1000.0)
+                row.checks_ok += 1
+                safe = safe and payload.ok
+                transcript.append((text, payload.diagnostics))
+
+            timed("check", source)
+            for _label, text in scripted_edits(name, source):
+                _time.sleep(period)
+                timed("update", text)
+
+            # The superseding pair: two pipelined updates of the same URI.
+            # The second obsoletes the first — queued (removed before it
+            # starts) or in-flight (cancellation token fired mid-check).
+            probe = edit_function_body(source, EDIT_TARGETS[name], marker=1)
+            first = client.submit("update", uri=uri, text=probe)
+            second = client.submit("update", uri=uri, text=source)
+            row.requests += 2
+            for request_id, text in ((first, probe), (second, source)):
+                response = client.wait(request_id)
+                if response.ok:
+                    row.checks_ok += 1
+                    payload = response.result or {}
+                    safe = safe and bool(payload.get("ok"))
+                    transcript.append((text, payload.get("diagnostics", [])))
+                elif response.error_code == "cancelled":
+                    row.cancelled += 1
+                elif response.error_code == "backpressure":
+                    row.backpressure += 1
+                else:
+                    raise ProtocolError(response.error_code or "?",
+                                        response.error_message or "?")
+        row.identical = _replay_sequentially(uri, transcript, config)
+        row.safe = safe
+    except Exception as exc:  # noqa: BLE001 — one client's failure must
+        # surface in the report, not kill the other load threads.
+        row.error = f"{type(exc).__name__}: {exc}"
+        row.identical = False
+        row.safe = False
+
+
+def serve_load(clients: int = 4, edit_rate: float = 2.0,
+               programs_dir: Optional[pathlib.Path] = None,
+               config: Optional[CheckConfig] = None) -> ServeLoadResult:
+    """Load-test the socket server with concurrent editing clients.
+
+    Starts an in-process :class:`repro.service.server.ServerThread`, points
+    ``clients`` threads at it (each under its own tenant, replaying its
+    benchmark's scripted edit sequence at ``edit_rate`` edits/second, plus
+    one pipelined superseding pair), then collects the server's ``stats``
+    and compares every client's served diagnostics against a sequential
+    single-client replay.
+    """
+    import threading
+    import time as _time
+
+    from repro.client import Client
+    from repro.service.server import ServerThread
+
+    config = config or CheckConfig()
+    rows = [ServeClientResult(
+                tenant=f"client-{index}",
+                benchmark=SERVE_BENCHMARKS[index % len(SERVE_BENCHMARKS)])
+            for index in range(clients)]
+    sources = {row.benchmark: source_of(row.benchmark, programs_dir)
+               for row in rows}
+    start = _time.perf_counter()
+    with ServerThread(config) as server:
+        threads = [
+            threading.Thread(
+                target=_run_serve_client,
+                args=(server.host, server.port, row.benchmark,
+                      sources[row.benchmark], edit_rate, row, config),
+                name=row.tenant)
+            for row in rows]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = _time.perf_counter() - start
+        with Client.connect(server.host, server.port) as control:
+            stats = control.stats()
+            control.shutdown()
+    return ServeLoadResult(clients=clients, edit_rate=edit_rate,
+                           wall_seconds=wall, rows=rows,
+                           server_stats=stats.to_json())
+
+
+#: Schema identifier stamped into serve-load reports.
+SERVE_REPORT_SCHEMA = "repro-bench-serve/1"
+
+
+def serve_report(load: ServeLoadResult) -> dict:
+    """The machine-readable report dumped as ``BENCH_serve.json``."""
+    from repro.service.core import percentile
+    return {
+        "schema": SERVE_REPORT_SCHEMA,
+        "clients": load.clients,
+        "edit_rate": load.edit_rate,
+        "wall_seconds": load.wall_seconds,
+        "checks_ok": load.checks_ok,
+        "cancelled_queued": load.cancelled_queued,
+        "cancelled_inflight": load.cancelled_inflight,
+        "p50_ms": percentile(load.latencies_ms, 50.0),
+        "p99_ms": percentile(load.latencies_ms, 99.0),
+        "throughput_cps": load.throughput_cps,
+        "identical": load.identical,
+        "safe": load.safe,
+        "tenants": {row.tenant: row.to_dict() for row in load.rows},
+        "server": load.server_stats.get("totals", {}),
+    }
+
+
+def format_serve(load: ServeLoadResult) -> str:
+    """The table printed by ``repro bench serve``."""
+    from repro.service.core import percentile
+    lines = [
+        f"Check service: {load.clients} concurrent clients x "
+        f"{load.edit_rate:g} edits/s (supersede pair per client)",
+        "Tenant       Benchmark        Reqs  OK  Cancel  p50(ms)  p99(ms)  "
+        "Same  Safe",
+        "-" * 78,
+    ]
+    for row in load.rows:
+        lines.append(
+            f"{row.tenant:12s} {row.benchmark:15s} {row.requests:5d} "
+            f"{row.checks_ok:3d} {row.cancelled:7d} "
+            f"{percentile(row.latencies_ms, 50.0):8.1f} "
+            f"{percentile(row.latencies_ms, 99.0):8.1f} "
+            f"{'yes' if row.identical else 'NO':>5s} "
+            f"{'yes' if row.safe else 'NO':>5s}"
+            + (f"  [{row.error}]" if row.error else ""))
+    lines.append("-" * 78)
+    lines.append(
+        f"{'TOTAL':12s} {'':15s} {sum(r.requests for r in load.rows):5d} "
+        f"{load.checks_ok:3d} {load.cancelled:7d} "
+        f"{percentile(load.latencies_ms, 50.0):8.1f} "
+        f"{percentile(load.latencies_ms, 99.0):8.1f}")
+    lines.append(
+        f"cancelled: {load.cancelled_queued} queued + "
+        f"{load.cancelled_inflight} in-flight; throughput "
+        f"{load.throughput_cps:.2f} checks/s over {load.wall_seconds:.2f}s; "
+        f"diagnostics identical to sequential replay: "
+        f"{'yes' if load.identical else 'NO'}")
     return "\n".join(lines)
 
 

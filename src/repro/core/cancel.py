@@ -1,0 +1,63 @@
+"""Cooperative cancellation for in-flight checks.
+
+A :class:`CancelToken` is handed to :meth:`repro.core.workspace.Workspace.open`
+/ :meth:`~repro.core.workspace.Workspace.update` (and threaded from there
+through the staged pipeline) by callers that may want to abort a check that
+is still running — the multi-tenant serve layer cancels a check when a
+superseding edit for the same document arrives.
+
+Cancellation is *cooperative*: the pipeline polls the token at stage
+boundaries (parse → constraints → solve → verify), between fixpoint worklist
+visits, between concrete-obligation checks, and between module re-checks of
+a project update.  When the token has been cancelled the poll raises
+:class:`CheckCancelled`; the workspace then unwinds without recording a
+snapshot and without writing anything to the persistent artifact store, so
+a cancelled check leaves no partial state behind — the document's previous
+verdict stays current.
+
+Tokens are thread-safe (an :class:`threading.Event` underneath): the serve
+layer cancels from its event-loop thread while the check runs in a worker
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class CheckCancelled(Exception):
+    """Raised inside the checking pipeline when its token was cancelled."""
+
+    def __init__(self, reason: Optional[str] = None) -> None:
+        super().__init__(reason or "check cancelled")
+        self.reason = reason
+
+
+class CancelToken:
+    """A one-shot, thread-safe cancellation flag polled by the pipeline."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def checkpoint(self) -> None:
+        """Raise :class:`CheckCancelled` iff cancellation was requested."""
+        if self._event.is_set():
+            raise CheckCancelled(self.reason)
+
+
+def checkpoint(token: Optional[CancelToken]) -> None:
+    """None-tolerant :meth:`CancelToken.checkpoint` (the common call site)."""
+    if token is not None:
+        token.checkpoint()

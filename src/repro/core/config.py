@@ -76,6 +76,48 @@ class SolverOptions:
 
 
 @dataclass(frozen=True)
+class ServiceOptions:
+    """Options for the multi-tenant check service (:mod:`repro.service`).
+
+    * ``max_tenants`` — how many tenant workspaces the session manager keeps
+      alive; past the cap the least-recently-used idle tenant is evicted
+      (its documents close, its solver is dropped — a later request under
+      the same tenant name starts cold).
+    * ``queue_limit`` — per-tenant bound on queued-but-not-started requests;
+      a request arriving over the limit is rejected immediately with a
+      ``backpressure`` error instead of being buffered without bound.
+    * ``workers`` — size of the thread pool executing checks across all
+      tenants (checks are CPU-bound; the asyncio loop only does I/O and
+      scheduling).
+    * ``latency_window`` — how many recent per-request latencies each tenant
+      retains for the ``stats`` method's p50/p99 percentiles.
+    """
+
+    max_tenants: int = 8
+    queue_limit: int = 16
+    workers: int = 4
+    latency_window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.max_tenants < 1:
+            raise ValueError("max_tenants must be positive")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_tenants": self.max_tenants,
+            "queue_limit": self.queue_limit,
+            "workers": self.workers,
+            "latency_window": self.latency_window,
+        }
+
+
+@dataclass(frozen=True)
 class CheckConfig:
     """Immutable configuration shared by every check in a session.
 
@@ -108,6 +150,8 @@ class CheckConfig:
     * ``store_mode`` — ``"readwrite"`` (the default: load artifacts and
       write back finished checks), ``"readonly"`` (load only) or ``"off"``
       (ignore ``store_path``).
+    * ``service`` — multi-tenant serve-layer options
+      (:class:`ServiceOptions`); inert outside :mod:`repro.service`.
     """
 
     max_fixpoint_iterations: int = 40
@@ -122,6 +166,7 @@ class CheckConfig:
     document_cache_limit: int = 8
     store_path: Optional[str] = None
     store_mode: str = "readwrite"
+    service: ServiceOptions = field(default_factory=ServiceOptions)
 
     def __post_init__(self) -> None:
         if self.max_fixpoint_iterations < 1:
@@ -169,4 +214,5 @@ class CheckConfig:
             "document_cache_limit": self.document_cache_limit,
             "store_path": self.store_path,
             "store_mode": self.store_mode,
+            "service": self.service.to_dict(),
         }

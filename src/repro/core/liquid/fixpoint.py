@@ -57,6 +57,7 @@ from repro.logic.terms import (
 )
 from repro.rtypes.types import is_kvar_app
 from repro.smt.solver import Solver
+from repro.core.cancel import CancelToken, checkpoint
 from repro.core.config import FIXPOINT_STRATEGIES
 from repro.core.constraints import Implication
 from repro.core.liquid.qualifiers import QualifierPool
@@ -255,6 +256,7 @@ class LiquidSolver:
         self.max_iterations = max_iterations
         self.strategy = strategy
         self.stats = SolveStats(strategy=strategy)
+        self._cancel: Optional[CancelToken] = None
         # (kappa name, qualifier template) pairs refuted in an earlier solve
         # on this instance; such candidates are dropped without a new query.
         # The memo is sound only while the constraint set does not change
@@ -329,7 +331,8 @@ class LiquidSolver:
 
     def solve(self, implications: Sequence[Implication],
               previous: Optional[Solution] = None,
-              dirty_kappas: Optional[Set[str]] = None) -> Solution:
+              dirty_kappas: Optional[Set[str]] = None,
+              cancel: Optional[CancelToken] = None) -> Solution:
         """Solve the Horn implications for the strongest kappa assignment.
 
         With ``previous`` and ``dirty_kappas`` given (worklist strategy
@@ -338,8 +341,14 @@ class LiquidSolver:
         implications constraining dirty kappas — everything else is reached
         through the dependency graph if (and only if) a weakening actually
         propagates to it.
+
+        A ``cancel`` token is polled between scheduler steps; when it fires
+        the solve raises :class:`repro.core.cancel.CheckCancelled` (the
+        partial solution is discarded by the caller — only the refuted-memo,
+        which is always sound, survives).
         """
         self.stats = SolveStats(strategy=self.strategy)
+        self._cancel = cancel
         warm = (previous is not None and dirty_kappas is not None
                 and self.strategy == "worklist")
         if warm:
@@ -370,6 +379,7 @@ class LiquidSolver:
                      solution: Solution) -> None:
         """The reference global-round loop: sweep everything every round."""
         for _ in range(self.max_iterations):
+            checkpoint(self._cancel)
             self.stats.rounds += 1
             changed = False
             for imp in horn:
@@ -448,6 +458,7 @@ class LiquidSolver:
             for pos, idx in enumerate(current):
                 if self.stats.rounds >= budget:
                     break
+                checkpoint(self._cancel)
                 self.stats.rounds += 1
                 if not self._visit(horn[idx], solution):
                     continue
@@ -518,12 +529,15 @@ class LiquidSolver:
         return changed
 
     def check_concrete(self, implications: Sequence[Implication],
-                       solution: Solution) -> List[ObligationOutcome]:
+                       solution: Solution,
+                       cancel: Optional[CancelToken] = None
+                       ) -> List[ObligationOutcome]:
         """Check every implication with a concrete goal under the solution."""
         results: List[ObligationOutcome] = []
         for imp in implications:
             if self._goal_kappa(imp) is not None:
                 continue
+            checkpoint(cancel)
             hyps = [self.apply(h, solution) for h in imp.hyps]
             goal = self.apply(imp.goal, solution)
             ok = self.solver.check_implication(hyps, goal)

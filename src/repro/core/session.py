@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.errors import Diagnostic, ErrorKind, SourceSpan
 from repro.lang import ast
 from repro.smt.solver import Solver, SolverStats
+from repro.core.cancel import CancelToken, CheckCancelled, checkpoint
 from repro.core.config import CheckConfig
 from repro.core.result import BatchResult, CheckResult, StageTimings
 from repro.core.workspace import (  # noqa: F401  (re-exported stage types)
@@ -92,33 +93,49 @@ class Session:
         """Stage 3: generate and flatten the subtyping constraints."""
         return self.workspace.constraints(stage)
 
-    def solve(self, stage: ConstraintsStage) -> SolveStage:
+    def solve(self, stage: ConstraintsStage,
+              token: Optional[CancelToken] = None) -> SolveStage:
         """Stage 4: liquid fixpoint — infer the kappa refinements."""
-        return self.workspace.solve(stage)
+        return self.workspace.solve(stage, token=token)
 
-    def verify(self, stage: SolveStage) -> CheckResult:
+    def verify(self, stage: SolveStage,
+               token: Optional[CancelToken] = None) -> CheckResult:
         """Stage 5: discharge the concrete obligations, build the verdict."""
-        result = self.workspace.verify(stage)
+        result = self.workspace.verify(stage, token=token)
         self.files_checked += 1
         return result
 
     # -- batch entry points ------------------------------------------------
 
-    def check_source(self, source: str, filename: str = "<input>") -> CheckResult:
+    def check_source(self, source: str, filename: str = "<input>",
+                     token: Optional[CancelToken] = None) -> CheckResult:
         """Run the full pipeline on one nanoTS source string.
 
         The inspectable :meth:`ssa` stage is skipped here — the checker
         re-derives SSA per callable while generating constraints, so running
         it eagerly would only duplicate work (its timing stays 0 unless the
         staged pipeline is driven explicitly).
+
+        A ``token`` makes the check cancellable at stage boundaries (and
+        inside the solve/verify loops); a fired token raises
+        :class:`repro.core.cancel.CheckCancelled`.
         """
+        checkpoint(token)
         parsed = self.parse(source, filename)
         if not parsed.ok:
             self.files_checked += 1
             return CheckResult(diagnostics=list(parsed.diagnostics),
                                time_seconds=parsed.timings.total,
                                filename=filename, timings=parsed.timings)
-        return self.verify(self.solve(self.constraints(parsed)))
+        checkpoint(token)
+        cons = self.constraints(parsed)
+        try:
+            return self.verify(self.solve(cons, token), token)
+        except CheckCancelled:
+            # Leave no trace: the store recording sink attached by the
+            # constraints stage must not survive a cancelled check.
+            self.workspace._store_abort(cons)
+            raise
 
     def check_program(self, program: ast.Program) -> CheckResult:
         """Run the pipeline from stage 3 on an already-parsed program."""
@@ -127,10 +144,12 @@ class Session:
                             timings=StageTimings())
         return self.verify(self.solve(self.constraints(parsed)))
 
-    def check_file(self, path: PathLike) -> CheckResult:
+    def check_file(self, path: PathLike,
+                   token: Optional[CancelToken] = None) -> CheckResult:
         """Check one file.  Raises :class:`OSError` if it cannot be read."""
         path = pathlib.Path(path)
-        return self.check_source(path.read_text(), filename=str(path))
+        return self.check_source(path.read_text(), filename=str(path),
+                                 token=token)
 
     def check_files(self, paths: Sequence[PathLike],
                     jobs: Optional[int] = None) -> BatchResult:

@@ -63,6 +63,7 @@ from repro.smt.backend import create_backend
 from repro.smt.solver import Solver, SolverStats
 from repro.ssa import ir
 from repro.ssa.transform import SsaTransformer
+from repro.core.cancel import CancelToken, CheckCancelled, checkpoint
 from repro.core.checker import Checker
 from repro.core.config import CheckConfig
 from repro.core.fingerprint import signature_fingerprint, unit_fingerprints
@@ -254,6 +255,7 @@ class Workspace:
             context_cache_limit=opts.context_cache_limit)
         self._documents: Dict[str, Document] = {}
         self.checks_run = 0
+        self.checks_cancelled = 0
         self.artifact_cache_hits = 0
         #: persistent cross-process artifact store (None when disabled)
         self.store = open_store(self.config)
@@ -262,11 +264,17 @@ class Workspace:
 
     # -- document lifecycle ------------------------------------------------
 
-    def open(self, uri: str, text: Optional[str] = None) -> CheckResult:
+    def open(self, uri: str, text: Optional[str] = None,
+             token: Optional[CancelToken] = None) -> CheckResult:
         """Open (or re-open) a document and check it.
 
         With ``text=None`` the document is read from ``uri`` as a path.
         Re-opening an already-open document behaves like :meth:`update`.
+        A ``token`` makes the check cancellable: the pipeline polls it at
+        stage boundaries (and inside the solve/verify loops) and raises
+        :class:`repro.core.cancel.CheckCancelled` without recording a
+        snapshot or writing to the artifact store — the document's previous
+        verdict stays current.
         """
         if text is None:
             text = pathlib.Path(uri).read_text()
@@ -274,16 +282,17 @@ class Workspace:
         if document is None:
             document = Document(uri)
             self._documents[uri] = document
-        return self._check_document(document, text)
+        return self._check_document(document, text, token)
 
-    def update(self, uri: str, text: Optional[str] = None) -> CheckResult:
+    def update(self, uri: str, text: Optional[str] = None,
+               token: Optional[CancelToken] = None) -> CheckResult:
         """Replace an open document's text and re-check incrementally."""
         document = self._documents.get(uri)
         if document is None:
             raise KeyError(f"document not open: {uri!r}")
         if text is None:
             text = pathlib.Path(uri).read_text()
-        return self._check_document(document, text)
+        return self._check_document(document, text, token)
 
     def close(self, uri: str) -> None:
         """Forget a document and every cached artifact for it."""
@@ -316,9 +325,22 @@ class Workspace:
 
     # -- the incremental check ---------------------------------------------
 
-    def _check_document(self, document: Document, text: str) -> CheckResult:
+    def _check_document(self, document: Document, text: str,
+                        token: Optional[CancelToken] = None) -> CheckResult:
+        try:
+            return self._check_document_inner(document, text, token)
+        except CheckCancelled:
+            # Counted here (not at the inner stage boundaries) so a check
+            # aborted before it even built constraints still registers.
+            self.checks_cancelled += 1
+            raise
+
+    def _check_document_inner(self, document: Document, text: str,
+                              token: Optional[CancelToken] = None
+                              ) -> CheckResult:
         document.version += 1
         document.text = text
+        checkpoint(token)
         content_hash = hashlib.sha256(text.encode()).hexdigest()
         if self.config.incremental:
             hit = document.cached(content_hash)
@@ -337,25 +359,37 @@ class Workspace:
                                  timings=parsed.timings)
             snapshot = Snapshot(content_hash, result)
         else:
+            checkpoint(token)
             cons = self.constraints(parsed)
-            # The fingerprint/partition bookkeeping only matters when
-            # warm starts are possible at all.
-            warm_capable = (self.config.incremental
-                            and self.config.fixpoint_strategy == "worklist")
-            sig_fp: Optional[str] = None
-            unit_fps: Dict[str, str] = {}
-            local = False
-            plan = None
-            if warm_capable:
-                sig_fp = signature_fingerprint(parsed.program)
-                unit_fps = unit_fingerprints(parsed.program)
-                local = _partition_local(cons.checker)
-            if warm_capable and local:
-                plan = self._plan(document.last_good, sig_fp, unit_fps, cons)
-            solved = self.solve(cons, plan)
-            if plan is None and not cons.store_plan_used:
-                solved.liquid.stats.declarations_rechecked = len(unit_fps)
-            result, outcomes = self._verify(solved, plan)
+            try:
+                checkpoint(token)
+                # The fingerprint/partition bookkeeping only matters when
+                # warm starts are possible at all.
+                warm_capable = (self.config.incremental
+                                and self.config.fixpoint_strategy
+                                == "worklist")
+                sig_fp: Optional[str] = None
+                unit_fps: Dict[str, str] = {}
+                local = False
+                plan = None
+                if warm_capable:
+                    sig_fp = signature_fingerprint(parsed.program)
+                    unit_fps = unit_fingerprints(parsed.program)
+                    local = _partition_local(cons.checker)
+                if warm_capable and local:
+                    plan = self._plan(document.last_good, sig_fp, unit_fps,
+                                      cons)
+                solved = self.solve(cons, plan, token)
+                if plan is None and not cons.store_plan_used:
+                    solved.liquid.stats.declarations_rechecked = len(unit_fps)
+                checkpoint(token)
+                result, outcomes = self._verify(solved, plan, token)
+            except CheckCancelled:
+                # A cancelled check must leave no trace: detach the store
+                # recording sink so nothing is written back and unwind —
+                # the previous snapshot stays current.
+                self._store_abort(cons)
+                raise
             snapshot = Snapshot(
                 content_hash, result,
                 solution=solved.solution,
@@ -535,7 +569,8 @@ class Workspace:
         return store_key, store_solution, memos_hit, recorded
 
     def solve(self, stage: ConstraintsStage,
-              plan: Optional[WarmPlan] = None) -> SolveStage:
+              plan: Optional[WarmPlan] = None,
+              token: Optional[CancelToken] = None) -> SolveStage:
         """Stage 4: liquid fixpoint — infer the kappa refinements.
 
         With a :class:`WarmPlan` the fixpoint starts from the previous
@@ -552,11 +587,13 @@ class Workspace:
         if plan is not None:
             solution = liquid.solve(checker.constraints.implications,
                                     previous=plan.previous,
-                                    dirty_kappas=plan.dirty_kappas)
+                                    dirty_kappas=plan.dirty_kappas,
+                                    cancel=token)
             liquid.stats.declarations_rechecked = len(plan.dirty_owners)
             liquid.stats.declarations_reused = len(plan.reused_owners)
         else:
-            solution = liquid.solve(checker.constraints.implications)
+            solution = liquid.solve(checker.constraints.implications,
+                                    cancel=token)
         stage.timings.record("solve", time.perf_counter() - start)
         return SolveStage(stage, liquid, solution, stage.timings)
 
@@ -584,19 +621,22 @@ class Workspace:
                         reuse_concrete={})
 
     def verify(self, stage: SolveStage,
-               plan: Optional[WarmPlan] = None) -> CheckResult:
+               plan: Optional[WarmPlan] = None,
+               token: Optional[CancelToken] = None) -> CheckResult:
         """Stage 5: discharge the concrete obligations, build the verdict."""
-        result, _outcomes = self._verify(stage, plan)
+        result, _outcomes = self._verify(stage, plan, token)
         return result
 
-    def _verify(self, stage: SolveStage, plan: Optional[WarmPlan]
+    def _verify(self, stage: SolveStage, plan: Optional[WarmPlan],
+                token: Optional[CancelToken] = None
                 ) -> Tuple[CheckResult, List[ObligationOutcome]]:
         start = time.perf_counter()
         cons = stage.constraints
         checker = cons.checker
         if plan is None:
             results = stage.liquid.check_concrete(
-                checker.constraints.implications, stage.solution)
+                checker.constraints.implications, stage.solution,
+                cancel=token)
         else:
             results = self._verify_selective(stage, plan)
         for outcome in results:
@@ -626,6 +666,15 @@ class Workspace:
         )
         self._store_end(stage)
         return result, results
+
+    def _store_abort(self, cons: ConstraintsStage) -> None:
+        """Cancelled-check store teardown: detach the recording sink and
+        drop the key so neither the solution nor the verdict memos of the
+        aborted check can ever reach the persistent store."""
+        if cons.store_recorded is not None:
+            self.solver.stop_recording(cons.store_recorded)
+        cons.store_recorded = None
+        cons.store_key = None
 
     def _store_end(self, stage: SolveStage) -> None:
         """Persistent store, write side: detach the recording sink and write

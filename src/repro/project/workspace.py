@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.core.cancel import CancelToken, checkpoint
 from repro.core.config import CheckConfig
 from repro.core.result import CheckResult
 from repro.core.workspace import Workspace
@@ -117,11 +118,17 @@ class ProjectWorkspace:
     # -- incremental editing -----------------------------------------------
 
     def update(self, path: PathLike,
-               text: Optional[str] = None) -> ProjectUpdate:
+               text: Optional[str] = None,
+               token: Optional[CancelToken] = None) -> ProjectUpdate:
         """Replace one module's source and re-check what it invalidated.
 
         ``text=None`` re-reads the module from disk.  Unknown paths are
-        added to the project as new modules.
+        added to the project as new modules.  A ``token`` makes the update
+        cancellable: it is polled between module re-checks (and inside each
+        module's pipeline), and a fired token raises
+        :class:`repro.core.cancel.CheckCancelled` — modules already
+        re-checked keep their fresh verdicts, the rest keep their previous
+        ones.
         """
         if not self._checked:
             self.check()
@@ -154,10 +161,11 @@ class ProjectWorkspace:
         cyclic = set(self.graph.cyclic)
         for target in sorted(dirty,
                              key=lambda p: (self.graph.ranks.get(p, 0), p)):
+            checkpoint(token)
             if target in cyclic:
                 self._results[target] = skipped_result(self.graph, target)
             else:
-                self._check_one(target)
+                self._check_one(target, token)
             update.rechecked.append(target)
             update.results[target] = self._results[target]
         update.reused = [p for p in self.graph.paths if p not in dirty]
@@ -181,8 +189,9 @@ class ProjectWorkspace:
 
     # -- helpers -----------------------------------------------------------
 
-    def _check_one(self, path: str) -> None:
+    def _check_one(self, path: str,
+                   token: Optional[CancelToken] = None) -> None:
         text = self.graph.document_text(path)
-        result = self.workspace.open(path, text)
+        result = self.workspace.open(path, text, token=token)
         self._results[path] = attach_module_diagnostics(
             self.graph, path, result)

@@ -1,10 +1,17 @@
-"""``repro serve`` — a newline-delimited JSON request/response loop.
+"""``repro serve`` — the stdio NDJSON loop (``repro-serve/2`` shim).
 
 The server reads one JSON object per line from its input stream, applies it
 to a long-lived :class:`repro.core.workspace.Workspace`, and writes exactly
 one JSON response line per request — so a driver (editor plugin, test
 harness, ``printf | repro serve`` in CI) can hold a pipe open and get
 incremental re-check latency for every edit.
+
+This module is now a thin adapter: decoding, dispatch and payload building
+live in :mod:`repro.service` (the typed protocol layer and the multi-tenant
+service core), and this shim pins the protocol version to ``repro-serve/2``
+over a single ``default`` tenant — recorded v2 transcripts replay
+byte-identically, while the same core also powers the asyncio socket
+server (``repro serve --tcp``, :mod:`repro.service.server`).
 
 Request shape::
 
@@ -33,73 +40,63 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Dict, IO, Optional
+from typing import IO, Optional
 
 from repro.core.config import CheckConfig
-from repro.core.result import CheckResult
 from repro.core.workspace import Workspace
+from repro.service.core import ServiceCore
+from repro.service.protocol import (PROTOCOL_V2, ProtocolError,
+                                    method_names, parse_error_response)
 
 #: Protocol identifier reported by the ``shutdown`` response.
-PROTOCOL = "repro-serve/2"
+PROTOCOL = PROTOCOL_V2
 
-METHODS = ("check", "update", "diagnostics", "close", "shutdown",
-           "project_open", "project_update", "project_diagnostics")
+#: The methods this shim accepts (the v2 subset of the registry).
+METHODS = method_names(2)
 
-
-class ServerError(Exception):
-    """A request that cannot be served (unknown method, missing params)."""
-
-    def __init__(self, code: str, message: str) -> None:
-        super().__init__(message)
-        self.code = code
-        self.message = message
+#: Backwards-compatible alias: raising :class:`ServerError` from handler
+#: code still produces the matching error response.
+ServerError = ProtocolError
 
 
 class Server:
-    """The request dispatcher; one instance per ``repro serve`` process."""
+    """The request dispatcher; one instance per ``repro serve`` process.
+
+    A thin v2 facade over :class:`repro.service.core.ServiceCore`: all
+    requests run against the single ``default`` tenant, synchronously.
+    """
 
     def __init__(self, config: Optional[CheckConfig] = None,
                  workspace: Optional[Workspace] = None) -> None:
-        # An injected workspace's config governs *all* operations (any
-        # `config` argument is superseded), so single-file and project
-        # checks of the same text always agree.
-        if workspace is not None:
-            config = workspace.config
-        self.config = config or CheckConfig()
-        self.workspace = workspace or Workspace(self.config)
-        self.project = None  # lazily created by project_open
-        self.requests_served = 0
-        self.shutting_down = False
-        self._last_time: Dict[str, float] = {}
+        if workspace is None:
+            workspace = Workspace(config or CheckConfig())
+        self.core = ServiceCore(workspace=workspace)
+        self.config = self.core.config
+
+    # -- state passthroughs (the original Server's public surface) ---------
+
+    @property
+    def workspace(self) -> Workspace:
+        return self.core.manager.get(self.core.default_tenant).workspace
+
+    @property
+    def project(self):
+        tenant = self.core.manager.peek(self.core.default_tenant)
+        return tenant.project if tenant is not None else None
+
+    @property
+    def requests_served(self) -> int:
+        return self.core.requests_served
+
+    @property
+    def shutting_down(self) -> bool:
+        return self.core.shutting_down
 
     # -- request handling --------------------------------------------------
 
     def handle(self, request: dict) -> dict:
         """Serve one decoded request object, returning the response object."""
-        self.requests_served += 1
-        request_id = request.get("id")
-        try:
-            method = request.get("method")
-            if method not in METHODS:
-                raise ServerError("unknown-method",
-                                  f"unknown method {method!r} "
-                                  f"(expected one of {', '.join(METHODS)})")
-            params = request.get("params") or {}
-            if not isinstance(params, dict):
-                raise ServerError("bad-params", "params must be an object")
-            result = getattr(self, f"_serve_{method}")(params)
-            return {"id": request_id, "ok": True, "result": result}
-        except ServerError as exc:
-            return {"id": request_id, "ok": False,
-                    "error": {"code": exc.code, "message": exc.message}}
-        except OSError as exc:
-            return {"id": request_id, "ok": False,
-                    "error": {"code": "io-error", "message": str(exc)}}
-        except Exception as exc:  # noqa: BLE001 — one request must never
-            # take down the loop; the contract is one response per line.
-            return {"id": request_id, "ok": False,
-                    "error": {"code": "internal-error",
-                              "message": f"{type(exc).__name__}: {exc}"}}
+        return self.core.handle_raw(request, version=2).to_json()
 
     def handle_line(self, line: str) -> Optional[dict]:
         """Serve one raw input line; ``None`` for blank lines."""
@@ -108,153 +105,11 @@ class Server:
         try:
             request = json.loads(line)
         except ValueError as exc:
-            return {"id": None, "ok": False,
-                    "error": {"code": "parse-error",
-                              "message": f"malformed request: {exc}"}}
+            return parse_error_response(f"malformed request: {exc}").to_json()
         if not isinstance(request, dict):
-            return {"id": None, "ok": False,
-                    "error": {"code": "parse-error",
-                              "message": "request must be a JSON object"}}
+            return parse_error_response(
+                "request must be a JSON object").to_json()
         return self.handle(request)
-
-    # -- methods -----------------------------------------------------------
-
-    def _serve_check(self, params: dict) -> dict:
-        uri = self._uri(params)
-        result = self.workspace.open(uri, self._text(params))
-        return self._check_payload(uri, result)
-
-    def _serve_update(self, params: dict) -> dict:
-        uri = self._uri(params)
-        if uri not in self.workspace.documents():
-            raise ServerError("not-open", f"document not open: {uri!r}")
-        result = self.workspace.update(uri, self._text(params))
-        return self._check_payload(uri, result)
-
-    def _serve_diagnostics(self, params: dict) -> dict:
-        uri = self._uri(params)
-        try:
-            result = self.workspace.result(uri)
-        except KeyError:
-            raise ServerError("not-open", f"document not open: {uri!r}")
-        return {"uri": uri, "status": result.status, "ok": result.ok,
-                "diagnostics": [d.to_dict() for d in result.diagnostics]}
-
-    def _serve_close(self, params: dict) -> dict:
-        uri = self._uri(params)
-        try:
-            self.workspace.close(uri)
-        except KeyError:
-            raise ServerError("not-open", f"document not open: {uri!r}")
-        self._last_time.pop(uri, None)
-        return {"uri": uri, "closed": True}
-
-    # -- project methods ---------------------------------------------------
-
-    def _serve_project_open(self, params: dict) -> dict:
-        """Open a project root as a module graph and run the initial build."""
-        from repro.project.workspace import ProjectWorkspace
-        root = params.get("root")
-        if not isinstance(root, str) or not root:
-            raise ServerError("bad-params", "params.root must be a string")
-        import pathlib
-        if not pathlib.Path(root).is_dir():
-            raise ServerError("io-error", f"not a directory: {root!r}")
-        self.project = ProjectWorkspace(root=root, config=self.config)
-        result = self.project.check()
-        return self._project_payload(result)
-
-    def _serve_project_update(self, params: dict) -> dict:
-        """Replace one module's text and re-check what it invalidated."""
-        import pathlib
-        project = self._require_project()
-        uri = self._uri(params)
-        # The library's update() deliberately adds unknown paths as new
-        # modules; over the protocol that would turn a typo'd or relative
-        # URI into a phantom module, so membership is checked first.
-        if str(pathlib.Path(uri).resolve()) not in project.modules():
-            raise ServerError("not-open",
-                              f"module not in the project: {uri!r}")
-        update = project.update(uri, self._text(params))
-        payload = update.to_dict()
-        payload["modules"] = [
-            self._module_payload(update.results[path])
-            for path in update.rechecked]
-        return payload
-
-    def _serve_project_diagnostics(self, params: dict) -> dict:
-        """One module's current diagnostics (no re-check)."""
-        project = self._require_project()
-        uri = self._uri(params)
-        try:
-            result = project.result(uri)
-        except KeyError:
-            raise ServerError("not-open", f"module not in the project: "
-                                          f"{uri!r}")
-        return self._module_payload(result)
-
-    def _require_project(self):
-        if self.project is None:
-            raise ServerError("not-open",
-                              "no project open (send project_open first)")
-        return self.project
-
-    @staticmethod
-    def _module_payload(result: CheckResult) -> dict:
-        return {"uri": result.filename, "status": result.status,
-                "ok": result.ok,
-                "diagnostics": [d.to_dict() for d in result.diagnostics]}
-
-    def _project_payload(self, result) -> dict:
-        return {
-            "status": "SAFE" if result.ok else "UNSAFE",
-            "ok": result.ok,
-            "num_modules": result.num_modules,
-            "ranks": dict(sorted(result.ranks.items())),
-            "cyclic": list(result.cyclic),
-            "modules": [self._module_payload(r) for r in result.results],
-        }
-
-    def _serve_shutdown(self, params: dict) -> dict:
-        self.shutting_down = True
-        store = self.workspace.store
-        return {"shutdown": True, "protocol": PROTOCOL,
-                "requests_served": self.requests_served,
-                "checks_run": self.workspace.checks_run,
-                "store": store.counters() if store is not None else None}
-
-    # -- helpers -----------------------------------------------------------
-
-    @staticmethod
-    def _uri(params: dict) -> str:
-        uri = params.get("uri")
-        if not isinstance(uri, str) or not uri:
-            raise ServerError("bad-params", "params.uri must be a string")
-        return uri
-
-    @staticmethod
-    def _text(params: dict) -> Optional[str]:
-        text = params.get("text")
-        if text is not None and not isinstance(text, str):
-            raise ServerError("bad-params", "params.text must be a string")
-        return text
-
-    def _check_payload(self, uri: str, result: CheckResult) -> dict:
-        previous = self._last_time.get(uri)
-        self._last_time[uri] = result.time_seconds
-        solve = result.solve_stats
-        return {
-            "uri": uri,
-            "status": result.status,
-            "ok": result.ok,
-            "diagnostics": [d.to_dict() for d in result.diagnostics],
-            "time_seconds": result.time_seconds,
-            "delta_seconds": (result.time_seconds - previous
-                              if previous is not None else None),
-            "queries": result.stats.queries if result.stats else 0,
-            "warm": bool(solve and solve.warm_starts),
-            "solve_stats": solve.to_dict() if solve else None,
-        }
 
 
 def serve(stdin: Optional[IO[str]] = None, stdout: Optional[IO[str]] = None,

@@ -1,0 +1,382 @@
+"""The synchronous service core: tenants, dispatch, counters.
+
+A :class:`TenantSession` is one tenant's isolated state — its own
+:class:`repro.core.workspace.Workspace` (documents, solver, store handle),
+optional :class:`repro.project.workspace.ProjectWorkspace`, per-URI timing
+history and the counters the ``stats`` method reports.  Tenants never share
+mutable state, so two tenants can never observe each other's diagnostics.
+
+A :class:`SessionManager` holds many tenants keyed by name, LRU-ordered;
+past ``CheckConfig.service.max_tenants`` the least-recently-used *idle*
+tenant is evicted (its documents close, its solver is dropped — the next
+request under that name starts cold).
+
+A :class:`ServiceCore` is the typed dispatcher both servers share: the
+stdio ``repro-serve/2`` shim (:mod:`repro.serve`) and the asyncio socket
+server (:mod:`repro.service.server`) decode with
+:func:`repro.service.protocol.decode_request` and execute here, so the
+business logic has exactly one code path.  The core itself is synchronous
+and single-threaded per tenant — concurrency (queues, supersession,
+executors) lives in the async server, which guarantees at most one request
+per tenant is executing at a time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.cancel import CancelToken, CheckCancelled
+from repro.core.config import CheckConfig
+from repro.core.result import CheckResult
+from repro.core.workspace import Workspace
+from repro.service.protocol import (PROTOCOLS, CancelPayload, CheckPayload,
+                                    ClosePayload, DiagnosticsPayload,
+                                    HelloPayload, ModulePayload,
+                                    ProjectBuildPayload, ProjectUpdatePayload,
+                                    ProtocolError, Request, Response,
+                                    ShutdownPayload, StatsPayload,
+                                    decode_request, method_names)
+
+#: Methods whose wall-clock enters the tenant's latency window.
+TIMED_METHODS = frozenset(
+    {"check", "update", "project_open", "project_update"})
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0 for an empty one)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class TenantSession:
+    """One tenant's isolated workspace, project and counters."""
+
+    def __init__(self, name: str, config: CheckConfig,
+                 workspace: Optional[Workspace] = None) -> None:
+        self.name = name
+        self.config = workspace.config if workspace is not None else config
+        self.workspace = workspace or Workspace(self.config)
+        self.project = None  # lazily created by project_open
+        self.requests = 0
+        self.cancelled_queued = 0
+        self.cancelled_inflight = 0
+        #: maintained by the async server's lane; 0 under the stdio shim
+        self.queue_depth = 0
+        self.latencies_ms: deque = deque(
+            maxlen=self.config.service.latency_window)
+        self._last_time: Dict[str, float] = {}
+
+    # -- document methods --------------------------------------------------
+
+    def check(self, params, token: Optional[CancelToken] = None
+              ) -> CheckPayload:
+        result = self.workspace.open(params.uri, params.text, token=token)
+        return self._check_payload(params.uri, result)
+
+    def update(self, params, token: Optional[CancelToken] = None
+               ) -> CheckPayload:
+        if params.uri not in self.workspace.documents():
+            raise ProtocolError("not-open",
+                                f"document not open: {params.uri!r}")
+        result = self.workspace.update(params.uri, params.text, token=token)
+        return self._check_payload(params.uri, result)
+
+    def diagnostics(self, params, token=None) -> DiagnosticsPayload:
+        try:
+            result = self.workspace.result(params.uri)
+        except KeyError:
+            raise ProtocolError("not-open",
+                                f"document not open: {params.uri!r}")
+        return DiagnosticsPayload(
+            uri=params.uri, status=result.status, ok=result.ok,
+            diagnostics=[d.to_dict() for d in result.diagnostics])
+
+    def close(self, params, token=None) -> ClosePayload:
+        try:
+            self.workspace.close(params.uri)
+        except KeyError:
+            raise ProtocolError("not-open",
+                                f"document not open: {params.uri!r}")
+        self._last_time.pop(params.uri, None)
+        return ClosePayload(uri=params.uri, closed=True)
+
+    # -- project methods ---------------------------------------------------
+
+    def project_open(self, params, token: Optional[CancelToken] = None
+                     ) -> ProjectBuildPayload:
+        import pathlib
+
+        from repro.project.workspace import ProjectWorkspace
+        if not pathlib.Path(params.root).is_dir():
+            raise ProtocolError("io-error",
+                                f"not a directory: {params.root!r}")
+        self.project = ProjectWorkspace(root=params.root, config=self.config)
+        result = self.project.check()
+        return ProjectBuildPayload(
+            status="SAFE" if result.ok else "UNSAFE", ok=result.ok,
+            num_modules=result.num_modules,
+            ranks=dict(sorted(result.ranks.items())),
+            cyclic=list(result.cyclic),
+            modules=[self._module_payload(r).to_json()
+                     for r in result.results])
+
+    def project_update(self, params, token: Optional[CancelToken] = None
+                       ) -> ProjectUpdatePayload:
+        import pathlib
+        project = self._require_project()
+        # The library's update() deliberately adds unknown paths as new
+        # modules; over the protocol that would turn a typo'd or relative
+        # URI into a phantom module, so membership is checked first.
+        if str(pathlib.Path(params.uri).resolve()) not in project.modules():
+            raise ProtocolError("not-open",
+                                f"module not in the project: {params.uri!r}")
+        update = project.update(params.uri, params.text, token=token)
+        return ProjectUpdatePayload(
+            path=update.path, rechecked=list(update.rechecked),
+            reused=list(update.reused),
+            summary_changed=update.summary_changed, ok=update.ok,
+            queries=update.queries,
+            modules=[self._module_payload(update.results[path]).to_json()
+                     for path in update.rechecked])
+
+    def project_diagnostics(self, params, token=None) -> ModulePayload:
+        project = self._require_project()
+        try:
+            result = project.result(params.uri)
+        except KeyError:
+            raise ProtocolError("not-open", f"module not in the project: "
+                                            f"{params.uri!r}")
+        return self._module_payload(result)
+
+    def _require_project(self):
+        if self.project is None:
+            raise ProtocolError("not-open",
+                                "no project open (send project_open first)")
+        return self.project
+
+    # -- payload helpers ---------------------------------------------------
+
+    @staticmethod
+    def _module_payload(result: CheckResult) -> ModulePayload:
+        return ModulePayload(
+            uri=result.filename, status=result.status, ok=result.ok,
+            diagnostics=[d.to_dict() for d in result.diagnostics])
+
+    def _check_payload(self, uri: str, result: CheckResult) -> CheckPayload:
+        previous = self._last_time.get(uri)
+        self._last_time[uri] = result.time_seconds
+        solve = result.solve_stats
+        return CheckPayload(
+            uri=uri, status=result.status, ok=result.ok,
+            diagnostics=[d.to_dict() for d in result.diagnostics],
+            time_seconds=result.time_seconds,
+            delta_seconds=(result.time_seconds - previous
+                           if previous is not None else None),
+            queries=result.stats.queries if result.stats else 0,
+            warm=bool(solve and solve.warm_starts),
+            solve_stats=solve.to_dict() if solve else None)
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def checks_cancelled(self) -> int:
+        return self.cancelled_queued + self.cancelled_inflight
+
+    def stats_entry(self) -> dict:
+        window = list(self.latencies_ms)
+        return {
+            "open_documents": len(self.workspace.documents()),
+            "checks_run": self.workspace.checks_run,
+            "requests": self.requests,
+            "queue_depth": self.queue_depth,
+            "cancelled_queued": self.cancelled_queued,
+            "cancelled_inflight": self.cancelled_inflight,
+            "latency": {
+                "count": len(window),
+                "p50_ms": percentile(window, 50.0),
+                "p99_ms": percentile(window, 99.0),
+            },
+        }
+
+
+class SessionManager:
+    """Tenant sessions keyed by name, LRU-evicted past the configured cap."""
+
+    def __init__(self, config: CheckConfig) -> None:
+        self.config = config
+        self.tenants: "OrderedDict[str, TenantSession]" = OrderedDict()
+        self.tenants_evicted = 0
+        #: overridden by the async server so an executing tenant (queued or
+        #: in-flight work) is never evicted out from under its own check
+        self.busy: Callable[[str], bool] = lambda name: False
+
+    def get(self, name: str) -> TenantSession:
+        """The named tenant, created on first use and LRU-touched."""
+        session = self.tenants.get(name)
+        if session is None:
+            session = TenantSession(name, self.config)
+            self.tenants[name] = session
+        self.tenants.move_to_end(name)
+        self._evict(keep=name)
+        return session
+
+    def peek(self, name: str) -> Optional[TenantSession]:
+        """The named tenant without creating or LRU-touching it."""
+        return self.tenants.get(name)
+
+    def install(self, name: str, session: TenantSession) -> None:
+        """Pre-install a tenant (the stdio shim's injected workspace)."""
+        self.tenants[name] = session
+        self.tenants.move_to_end(name)
+
+    def _evict(self, keep: str) -> None:
+        limit = self.config.service.max_tenants
+        if len(self.tenants) <= limit:
+            return
+        for candidate in list(self.tenants):  # oldest first
+            if len(self.tenants) <= limit:
+                break
+            if candidate == keep or self.busy(candidate):
+                continue
+            del self.tenants[candidate]
+            self.tenants_evicted += 1
+
+
+class ServiceCore:
+    """The typed dispatcher shared by the stdio shim and the async server."""
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 workspace: Optional[Workspace] = None,
+                 default_tenant: str = "default") -> None:
+        # An injected workspace's config governs *all* operations (any
+        # `config` argument is superseded), so single-file and project
+        # checks of the same text always agree.
+        if workspace is not None:
+            config = workspace.config
+        self.config = config or CheckConfig()
+        self.default_tenant = default_tenant
+        self.manager = SessionManager(self.config)
+        if workspace is not None:
+            self.manager.install(
+                default_tenant,
+                TenantSession(default_tenant, self.config, workspace))
+        self.requests_served = 0
+        self.shutting_down = False
+        #: installed by the async server: (tenant, uri) -> CancelPayload
+        self.cancel_hook: Optional[Callable[[str, str], CancelPayload]] = None
+
+    # -- entry points ------------------------------------------------------
+
+    def count_request(self) -> None:
+        """Every received request counts, even ones that fail to decode
+        (the v2 server counted before validating)."""
+        self.requests_served += 1
+
+    def handle_raw(self, obj: Any, version: int = 3) -> Response:
+        """Count, decode and execute one request object."""
+        self.count_request()
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        try:
+            request = decode_request(obj, version)
+        except ProtocolError as exc:
+            return Response.failure(request_id, exc.code, exc.message)
+        return self.execute(request, version)
+
+    def execute(self, request: Request, version: int = 3,
+                token: Optional[CancelToken] = None) -> Response:
+        """Execute one decoded (and already counted) request."""
+        try:
+            return Response.success(
+                request.id, self._dispatch(request, version, token))
+        except ProtocolError as exc:
+            return Response.failure(request.id, exc.code, exc.message)
+        except CheckCancelled as exc:
+            return Response.failure(request.id, "cancelled", str(exc))
+        except (OSError, UnicodeDecodeError) as exc:
+            # An undecodable file is as unreadable as a missing one.
+            return Response.failure(request.id, "io-error", str(exc))
+        except Exception as exc:  # noqa: BLE001 — one request must never
+            # take down the loop; the contract is one response per line.
+            return Response.failure(request.id, "internal-error",
+                                    f"{type(exc).__name__}: {exc}")
+
+    # -- dispatch ----------------------------------------------------------
+
+    def tenant_name(self, request: Request) -> str:
+        return request.tenant or self.default_tenant
+
+    def _dispatch(self, request: Request, version: int,
+                  token: Optional[CancelToken]):
+        method = request.method
+        if method == "hello":
+            return HelloPayload(protocol=PROTOCOLS[version],
+                                methods=list(method_names(version)),
+                                tenant=self.tenant_name(request))
+        if method == "stats":
+            return self.stats(version)
+        if method == "shutdown":
+            return self.shutdown(version)
+        if method == "cancel":
+            return self.cancel(self.tenant_name(request), request.params.uri)
+        tenant = self.manager.get(self.tenant_name(request))
+        tenant.requests += 1
+        handler = getattr(tenant, method)
+        start = time.perf_counter()
+        try:
+            payload = handler(request.params, token)
+        except CheckCancelled:
+            tenant.cancelled_inflight += 1
+            raise
+        if method in TIMED_METHODS:
+            tenant.latencies_ms.append(
+                (time.perf_counter() - start) * 1000.0)
+        return payload
+
+    # -- service-level methods ---------------------------------------------
+
+    def cancel(self, tenant_name: str, uri: str) -> CancelPayload:
+        if self.cancel_hook is not None:
+            return self.cancel_hook(tenant_name, uri)
+        # The synchronous core runs one request at a time; there is never
+        # anything in flight to cancel by the time a cancel is dispatched.
+        return CancelPayload(uri=uri, cancelled=False, state="idle")
+
+    def stats(self, version: int = 3) -> StatsPayload:
+        tenants = {name: session.stats_entry()
+                   for name, session in self.manager.tenants.items()}
+        return StatsPayload(
+            protocol=PROTOCOLS[version], tenants=tenants,
+            totals={
+                "requests_served": self.requests_served,
+                "checks_run": self.checks_run,
+                "tenants": len(self.manager.tenants),
+                "tenants_evicted": self.manager.tenants_evicted,
+                "cancelled_queued": sum(s.cancelled_queued for s in
+                                        self.manager.tenants.values()),
+                "cancelled_inflight": sum(s.cancelled_inflight for s in
+                                          self.manager.tenants.values()),
+            })
+
+    def shutdown(self, version: int = 3) -> ShutdownPayload:
+        self.shutting_down = True
+        default = self.manager.peek(self.default_tenant)
+        store = default.workspace.store if default is not None else None
+        return ShutdownPayload(
+            shutdown=True, protocol=PROTOCOLS[version],
+            requests_served=self.requests_served,
+            checks_run=self.checks_run,
+            store=store.counters() if store is not None else None)
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def checks_run(self) -> int:
+        return sum(session.workspace.checks_run
+                   for session in self.manager.tenants.values())

@@ -1,0 +1,489 @@
+"""The typed serve protocol: envelopes, params/payload codecs, registry.
+
+Every method the check service speaks is declared **once**, in
+:data:`METHODS` — a name-ordered registry of :class:`MethodSpec` entries
+binding the method name to its params dataclass, its result payload
+dataclass and the protocol version that introduced it.  The stdio server,
+the asyncio socket server, the synchronous client and the rendered method
+docs (:func:`describe_methods`) all consult the same registry, so a method
+cannot exist half-way: adding one here is what adds it everywhere.
+
+Versioning
+----------
+
+Two protocol versions share the registry:
+
+* ``repro-serve/2`` — the original stdio NDJSON protocol.  Decoding with
+  ``version=2`` accepts exactly the original eight methods, produces the
+  original error messages verbatim, and ignores v3-only envelope fields, so
+  recorded v2 transcripts replay byte-identically through the shim.
+* ``repro-serve/3`` — adds the ``tenant`` envelope field (many isolated
+  workspaces behind one server) and the ``hello``, ``cancel`` and ``stats``
+  methods.
+
+Codecs are **unknown-field tolerant** in both directions: decoding ignores
+JSON keys it does not know (so a v3 client can talk to a shim that predates
+a field) and encoding emits only the fields a dataclass declares.  Type
+errors, by contrast, are strict and produce ``bad-params`` errors with the
+same messages the v2 server used (``"params.uri must be a string"``).
+
+Wire shapes (one JSON object per NDJSON line)::
+
+    -> {"id": 7, "method": "update", "tenant": "alice",
+        "params": {"uri": "a.rsc", "text": "..."}}
+    <- {"id": 7, "ok": true,  "result": {...}}
+    <- {"id": 8, "ok": false, "error": {"code": "cancelled",
+                                        "message": "superseded by request 9"}}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Protocol identifier of the stdio compatibility shim.
+PROTOCOL_V2 = "repro-serve/2"
+
+#: Protocol identifier of the multi-tenant async service.
+PROTOCOL_V3 = "repro-serve/3"
+
+#: Version number -> protocol identifier.
+PROTOCOLS: Dict[int, str] = {2: PROTOCOL_V2, 3: PROTOCOL_V3}
+
+#: Error codes a response may carry (exhaustive; the client maps unknown
+#: codes to ``internal-error`` rather than crashing).
+ERROR_CODES: Tuple[str, ...] = (
+    "parse-error",      # the request line is not a JSON object
+    "unknown-method",   # method absent from the registry (at this version)
+    "bad-params",       # params missing, mistyped or not an object
+    "not-open",         # document/module/project not open
+    "io-error",         # the server could not read a file
+    "cancelled",        # the check was superseded or explicitly cancelled
+    "backpressure",     # the tenant's request queue is full
+    "internal-error",   # the checker crashed; the loop survives
+)
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served (unknown method, bad params, ...)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# ---------------------------------------------------------------------------
+# field extraction helpers (strict types, v2-exact messages)
+# ---------------------------------------------------------------------------
+
+
+def _require_str(obj: dict, name: str, where: str = "params") -> str:
+    value = obj.get(name)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError("bad-params", f"{where}.{name} must be a string")
+    return value
+
+
+def _optional_str(obj: dict, name: str, where: str = "params"
+                  ) -> Optional[str]:
+    value = obj.get(name)
+    if value is not None and not isinstance(value, str):
+        raise ProtocolError("bad-params", f"{where}.{name} must be a string")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# params codecs (client -> server)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EmptyParams:
+    """Params for methods that take none (extra fields are ignored)."""
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "EmptyParams":
+        return cls()
+
+    def to_json(self) -> dict:
+        return {}
+
+
+@dataclass
+class HelloParams:
+    """``hello``: optional protocol identifier the client prefers."""
+
+    protocol: Optional[str] = None
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "HelloParams":
+        return cls(protocol=_optional_str(obj, "protocol"))
+
+    def to_json(self) -> dict:
+        return {} if self.protocol is None else {"protocol": self.protocol}
+
+
+@dataclass
+class CheckParams:
+    """``check``/``update``/``project_update``: a URI plus optional text.
+
+    With ``text`` omitted the URI is read as a file path server-side.
+    """
+
+    uri: str
+    text: Optional[str] = None
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CheckParams":
+        return cls(uri=_require_str(obj, "uri"),
+                   text=_optional_str(obj, "text"))
+
+    def to_json(self) -> dict:
+        payload: dict = {"uri": self.uri}
+        if self.text is not None:
+            payload["text"] = self.text
+        return payload
+
+
+@dataclass
+class UriParams:
+    """``diagnostics``/``close``/``cancel``/``project_diagnostics``."""
+
+    uri: str
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "UriParams":
+        return cls(uri=_require_str(obj, "uri"))
+
+    def to_json(self) -> dict:
+        return {"uri": self.uri}
+
+
+@dataclass
+class ProjectOpenParams:
+    """``project_open``: the project root directory."""
+
+    root: str
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ProjectOpenParams":
+        return cls(root=_require_str(obj, "root"))
+
+    def to_json(self) -> dict:
+        return {"root": self.root}
+
+
+# ---------------------------------------------------------------------------
+# payload codecs (server -> client)
+# ---------------------------------------------------------------------------
+#
+# Field declaration order *is* the JSON key order (``to_json`` walks the
+# dataclass fields), which keeps v2 transcript replays byte-identical.
+
+
+class _Payload:
+    """Shared to_json/from_json over the dataclass fields."""
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, obj: dict):
+        if not isinstance(obj, dict):
+            raise ProtocolError("parse-error",
+                                f"{cls.__name__} payload must be an object")
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in obj.items() if k in known})
+
+
+@dataclass
+class CheckPayload(_Payload):
+    """Result of ``check``/``update`` — the per-edit verdict and counters."""
+
+    uri: str = ""
+    status: str = ""
+    ok: bool = False
+    diagnostics: List[dict] = field(default_factory=list)
+    time_seconds: float = 0.0
+    delta_seconds: Optional[float] = None
+    queries: int = 0
+    warm: bool = False
+    solve_stats: Optional[dict] = None
+
+
+@dataclass
+class DiagnosticsPayload(_Payload):
+    """Result of ``diagnostics`` — the current verdict, no re-check."""
+
+    uri: str = ""
+    status: str = ""
+    ok: bool = False
+    diagnostics: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class ClosePayload(_Payload):
+    uri: str = ""
+    closed: bool = True
+
+
+@dataclass
+class HelloPayload(_Payload):
+    """Result of ``hello`` — what the server speaks, rendered from the
+    registry (so it can never disagree with what dispatch accepts)."""
+
+    protocol: str = PROTOCOL_V3
+    methods: List[str] = field(default_factory=list)
+    tenant: str = ""
+
+
+@dataclass
+class CancelPayload(_Payload):
+    """Result of ``cancel`` — whether anything was actually cancelled.
+
+    ``state`` reports what the URI's latest check was doing when the cancel
+    arrived: ``"queued"`` (removed before it started), ``"inflight"``
+    (cancellation token fired; the check unwinds at its next stage
+    boundary) or ``"idle"`` (nothing to cancel).
+    """
+
+    uri: str = ""
+    cancelled: bool = False
+    state: str = "idle"
+
+
+@dataclass
+class StatsPayload(_Payload):
+    """Result of ``stats`` — per-tenant queue/latency/cancel counters."""
+
+    protocol: str = PROTOCOL_V3
+    tenants: Dict[str, dict] = field(default_factory=dict)
+    totals: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShutdownPayload(_Payload):
+    shutdown: bool = True
+    protocol: str = PROTOCOL_V2
+    requests_served: int = 0
+    checks_run: int = 0
+    store: Optional[dict] = None
+
+
+@dataclass
+class ModulePayload(_Payload):
+    """One module's verdict inside the project methods' results."""
+
+    uri: str = ""
+    status: str = ""
+    ok: bool = False
+    diagnostics: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class ProjectBuildPayload(_Payload):
+    """Result of ``project_open`` — the initial build of the module graph."""
+
+    status: str = ""
+    ok: bool = False
+    num_modules: int = 0
+    ranks: Dict[str, int] = field(default_factory=dict)
+    cyclic: List[str] = field(default_factory=list)
+    modules: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class ProjectUpdatePayload(_Payload):
+    """Result of ``project_update`` — what one module edit invalidated."""
+
+    path: str = ""
+    rechecked: List[str] = field(default_factory=list)
+    reused: List[str] = field(default_factory=list)
+    summary_changed: bool = False
+    ok: bool = False
+    queries: int = 0
+    modules: List[dict] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# the method registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One protocol method: its codecs, introduction version and doc."""
+
+    name: str
+    since: int
+    params: type
+    payload: type
+    doc: str
+
+
+def _spec(name: str, since: int, params: type, payload: type,
+          doc: str) -> Tuple[str, MethodSpec]:
+    return name, MethodSpec(name, since, params, payload, doc)
+
+
+#: The exhaustive method registry.  Insertion order is load-bearing: the
+#: first eight entries reproduce the v2 ``METHODS`` tuple (error messages
+#: enumerate them in this order), v3-only methods follow.
+METHODS: Dict[str, MethodSpec] = dict([
+    _spec("check", 2, CheckParams, CheckPayload,
+          "Open (or replace) a document and check it."),
+    _spec("update", 2, CheckParams, CheckPayload,
+          "Re-check an open document incrementally."),
+    _spec("diagnostics", 2, UriParams, DiagnosticsPayload,
+          "An open document's current verdict (no re-check)."),
+    _spec("close", 2, UriParams, ClosePayload,
+          "Close an open document, dropping its artifacts."),
+    _spec("shutdown", 2, EmptyParams, ShutdownPayload,
+          "Stop the server after responding."),
+    _spec("project_open", 2, ProjectOpenParams, ProjectBuildPayload,
+          "Open a directory as a module graph and build it."),
+    _spec("project_update", 2, CheckParams, ProjectUpdatePayload,
+          "Replace one module's text and re-check the cut."),
+    _spec("project_diagnostics", 2, UriParams, ModulePayload,
+          "One module's current diagnostics (no re-check)."),
+    _spec("hello", 3, HelloParams, HelloPayload,
+          "Identify the protocol and list the methods it speaks."),
+    _spec("cancel", 3, UriParams, CancelPayload,
+          "Cancel the in-flight or queued check of a URI."),
+    _spec("stats", 3, EmptyParams, StatsPayload,
+          "Per-tenant queue depth, latency percentiles and counters."),
+])
+
+
+def method_names(version: int = 3) -> Tuple[str, ...]:
+    """The methods available at ``version``, in registry order."""
+    return tuple(name for name, spec in METHODS.items()
+                 if spec.since <= version)
+
+
+def spec_for(method: Any, version: int = 3) -> MethodSpec:
+    """Resolve a method name, or raise the v2-exact unknown-method error."""
+    spec = METHODS.get(method) if isinstance(method, str) else None
+    if spec is None or spec.since > version:
+        raise ProtocolError(
+            "unknown-method",
+            f"unknown method {method!r} "
+            f"(expected one of {', '.join(method_names(version))})")
+    return spec
+
+
+def describe_methods(version: int = 3) -> List[dict]:
+    """The registry rendered for docs and the ``hello`` response."""
+    out = []
+    for name in method_names(version):
+        spec = METHODS[name]
+        out.append({
+            "method": name,
+            "since": PROTOCOLS[spec.since],
+            "params": [f.name for f in fields(spec.params)],
+            "result": [f.name for f in fields(spec.payload)],
+            "doc": spec.doc,
+        })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# envelopes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Request:
+    """One decoded request: method + typed params (+ tenant under v3)."""
+
+    method: str
+    id: Any = None
+    params: Any = None
+    tenant: Optional[str] = None
+
+    @property
+    def uri(self) -> Optional[str]:
+        """The target URI, when the params carry one (supersede matching)."""
+        return getattr(self.params, "uri", None)
+
+    def to_json(self, version: int = 3) -> dict:
+        obj: dict = {"id": self.id, "method": self.method}
+        if self.tenant is not None and version >= 3:
+            obj["tenant"] = self.tenant
+        params = self.params.to_json() if self.params is not None else {}
+        if params:
+            obj["params"] = params
+        return obj
+
+
+def decode_request(obj: dict, version: int = 3) -> Request:
+    """Decode one request object; raises :class:`ProtocolError`.
+
+    Validation order matches the v2 server (method first, then the params
+    shape), so error transcripts replay identically.
+    """
+    spec = spec_for(obj.get("method"), version)
+    params = obj.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-params", "params must be an object")
+    tenant = None
+    if version >= 3:
+        tenant = _optional_str(obj, "tenant", where="request")
+    return Request(method=spec.name, id=obj.get("id"),
+                   params=spec.params.from_json(params), tenant=tenant)
+
+
+@dataclass
+class Response:
+    """One response: ``ok`` with a result payload, or an error."""
+
+    id: Any = None
+    ok: bool = True
+    result: Optional[dict] = None
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @classmethod
+    def success(cls, request_id: Any, payload: Any) -> "Response":
+        result = payload.to_json() if hasattr(payload, "to_json") else payload
+        return cls(id=request_id, ok=True, result=result)
+
+    @classmethod
+    def failure(cls, request_id: Any, code: str,
+                message: str) -> "Response":
+        return cls(id=request_id, ok=False, error_code=code,
+                   error_message=message)
+
+    def raise_for_error(self) -> dict:
+        """The result payload, or the error re-raised client-side."""
+        if not self.ok:
+            raise ProtocolError(self.error_code or "internal-error",
+                                self.error_message or "unknown error")
+        return self.result if self.result is not None else {}
+
+    def to_json(self) -> dict:
+        if self.ok:
+            return {"id": self.id, "ok": True, "result": self.result}
+        return {"id": self.id, "ok": False,
+                "error": {"code": self.error_code,
+                          "message": self.error_message}}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Response":
+        if not isinstance(obj, dict):
+            raise ProtocolError("parse-error",
+                                "response must be a JSON object")
+        if obj.get("ok"):
+            return cls(id=obj.get("id"), ok=True, result=obj.get("result"))
+        error = obj.get("error") or {}
+        if not isinstance(error, dict):
+            error = {}
+        return cls(id=obj.get("id"), ok=False,
+                   error_code=error.get("code") or "internal-error",
+                   error_message=error.get("message") or "unknown error")
+
+
+def parse_error_response(message: str) -> Response:
+    """The ``id: null`` response for an undecodable input line."""
+    return Response.failure(None, "parse-error", message)

@@ -1,0 +1,356 @@
+"""The asyncio TCP check server (``repro serve --tcp``).
+
+One process serves many concurrent clients and many isolated tenants.  The
+event loop only parses, schedules and writes; the CPU-bound checks run on a
+:class:`~concurrent.futures.ThreadPoolExecutor`
+(``CheckConfig.service.workers`` threads).  Requests are scheduled through
+**per-tenant lanes**:
+
+* a lane executes at most one request at a time, so a tenant's workspace is
+  never touched concurrently (the isolation the sync core relies on);
+* a ``check``/``update`` arriving for a URI that already has one queued
+  **supersedes** it — the stale request is answered immediately with a
+  ``cancelled`` error; if the stale check is already executing its
+  :class:`repro.core.cancel.CancelToken` is fired and the pipeline unwinds
+  at its next stage boundary (fixpoint round, SSA/constraint seams),
+  leaving the artifact store untouched;
+* a lane whose queue is full (``CheckConfig.service.queue_limit``) answers
+  new work with a ``backpressure`` error instead of buffering without
+  bound.
+
+Lane state is only ever mutated on the event-loop thread (enqueue,
+supersede, the ``cancel`` method's hook, completion), so no locks are
+needed beyond the thread-safe cancellation token itself.
+
+:class:`ServerThread` hosts the server on a background thread for tests,
+the watch loop and ``repro bench serve``; :func:`run_server` is the
+blocking CLI entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.cancel import CancelToken
+from repro.core.config import CheckConfig
+from repro.service.core import ServiceCore
+from repro.service.protocol import (CancelPayload, ProtocolError, Request,
+                                    Response, decode_request,
+                                    parse_error_response)
+
+#: Methods a later edit of the same URI supersedes.
+SUPERSEDABLE = frozenset({"check", "update"})
+
+#: NDJSON line limit for the stream reader (sources are whole lines).
+LINE_LIMIT = 16 * 1024 * 1024
+
+
+@dataclass
+class _Job:
+    """One queued request plus how to answer it."""
+
+    request: Request
+    respond: Callable  # async (Response) -> None
+    token: CancelToken = field(default_factory=CancelToken)
+
+
+@dataclass
+class _Lane:
+    """One tenant's serialized request stream."""
+
+    queue: deque = field(default_factory=deque)
+    current: Optional[_Job] = None
+    task: Optional[asyncio.Task] = None
+
+    @property
+    def active(self) -> bool:
+        return self.current is not None or bool(self.queue)
+
+
+class AsyncCheckServer:
+    """The asyncio TCP server fronting one :class:`ServiceCore`."""
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+        self.config = config or CheckConfig()
+        self.core = ServiceCore(self.config)
+        self.core.cancel_hook = self._cancel_uri
+        self.core.manager.busy = self._tenant_busy
+        self.host = host
+        self.port = port
+        self.lanes: Dict[str, _Lane] = {}
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.service.workers,
+            thread_name_prefix="repro-check")
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=LINE_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`request_stop`)."""
+        assert self._stop is not None, "call start() first"
+        await self._stop.wait()
+        await self._drain()
+
+    def request_stop(self) -> None:
+        """Stop the server from the event-loop thread."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, flush queued work as cancelled, finish in-flight
+        checks (their clients may still be reading), release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for name, lane in self.lanes.items():
+            tenant = self.core.manager.peek(name)
+            while lane.queue:
+                job = lane.queue.popleft()
+                if tenant is not None:
+                    tenant.cancelled_queued += 1
+                await job.respond(Response.failure(
+                    job.request.id, "cancelled", "server shutting down"))
+            if lane.task is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await lane.task
+        self.executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+
+        async def send(response: Response) -> None:
+            line = json.dumps(response.to_json()) + "\n"
+            try:
+                async with lock:
+                    writer.write(line.encode("utf-8"))
+                    await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # the client went away; the check result is dropped
+
+        try:
+            while not self.core.shutting_down:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await send(parse_error_response("request line too long"))
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError as exc:
+                    await send(parse_error_response(
+                        f"malformed request: {exc}"))
+                    continue
+                if not isinstance(obj, dict):
+                    await send(parse_error_response(
+                        "request must be a JSON object"))
+                    continue
+                self.core.count_request()
+                try:
+                    request = decode_request(obj, version=3)
+                except ProtocolError as exc:
+                    await send(Response.failure(obj.get("id"), exc.code,
+                                                exc.message))
+                    continue
+                if request.method in ("hello", "stats", "cancel"):
+                    # Control methods answer inline on the event loop; they
+                    # never touch a workspace, so they cannot race a check.
+                    await send(self.core.execute(request, version=3))
+                    continue
+                if request.method == "shutdown":
+                    await send(self.core.execute(request, version=3))
+                    self.request_stop()
+                    break
+                self._route(request, send)
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    # -- scheduling --------------------------------------------------------
+
+    def _route(self, request: Request, send) -> None:
+        """Enqueue one tenant-level request on its lane."""
+        name = self.core.tenant_name(request)
+        lane = self.lanes.setdefault(name, _Lane())
+        if request.method in SUPERSEDABLE and request.uri:
+            self._supersede(name, lane, request)
+        if len(lane.queue) >= self.config.service.queue_limit:
+            asyncio.ensure_future(send(Response.failure(
+                request.id, "backpressure",
+                f"tenant {name!r} queue is full "
+                f"({self.config.service.queue_limit} requests pending)")))
+            return
+        lane.queue.append(_Job(request=request, respond=send))
+        self._sync_depth(name, lane)
+        if lane.task is None:
+            lane.task = asyncio.ensure_future(self._drain_lane(name, lane))
+
+    def _supersede(self, name: str, lane: _Lane, request: Request) -> None:
+        """A newer edit of a URI obsoletes older pending checks of it."""
+        reason = f"superseded by request {request.id!r}"
+        tenant = self.core.manager.get(name)
+        for job in [j for j in lane.queue
+                    if j.request.method in SUPERSEDABLE
+                    and j.request.uri == request.uri]:
+            lane.queue.remove(job)
+            tenant.cancelled_queued += 1
+            asyncio.ensure_future(job.respond(Response.failure(
+                job.request.id, "cancelled", reason)))
+        current = lane.current
+        if (current is not None and current.request.method in SUPERSEDABLE
+                and current.request.uri == request.uri):
+            current.token.cancel(reason)
+
+    async def _drain_lane(self, name: str, lane: _Lane) -> None:
+        loop = asyncio.get_event_loop()
+        while lane.queue:
+            job = lane.queue.popleft()
+            self._sync_depth(name, lane)
+            lane.current = job
+            try:
+                response = await loop.run_in_executor(
+                    self.executor, self.core.execute, job.request, 3,
+                    job.token)
+            finally:
+                lane.current = None
+            await job.respond(response)
+        lane.task = None
+
+    def _sync_depth(self, name: str, lane: _Lane) -> None:
+        tenant = self.core.manager.peek(name)
+        if tenant is not None:
+            tenant.queue_depth = len(lane.queue)
+
+    def _tenant_busy(self, name: str) -> bool:
+        lane = self.lanes.get(name)
+        return lane is not None and lane.active
+
+    def _cancel_uri(self, name: str, uri: str) -> CancelPayload:
+        """The ``cancel`` method: explicit client-driven cancellation."""
+        reason = "cancelled by request"
+        lane = self.lanes.get(name)
+        if lane is None:
+            return CancelPayload(uri=uri, cancelled=False, state="idle")
+        stale = [job for job in lane.queue
+                 if job.request.method in SUPERSEDABLE
+                 and job.request.uri == uri]
+        if stale:
+            tenant = self.core.manager.get(name)
+            for job in stale:
+                lane.queue.remove(job)
+                tenant.cancelled_queued += 1
+                asyncio.ensure_future(job.respond(Response.failure(
+                    job.request.id, "cancelled", reason)))
+            self._sync_depth(name, lane)
+            return CancelPayload(uri=uri, cancelled=True, state="queued")
+        current = lane.current
+        if (current is not None and current.request.method in SUPERSEDABLE
+                and current.request.uri == uri):
+            current.token.cancel(reason)
+            return CancelPayload(uri=uri, cancelled=True, state="inflight")
+        return CancelPayload(uri=uri, cancelled=False, state="idle")
+
+
+class ServerThread:
+    """Host an :class:`AsyncCheckServer` on a background thread.
+
+    Usage::
+
+        with ServerThread(config) as server:
+            client = Client.connect(server.host, server.port)
+            ...
+
+    ``port`` is the bound port (an ephemeral one unless pinned) once the
+    context is entered / :meth:`start` returns.
+    """
+
+    def __init__(self, config: Optional[CheckConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = AsyncCheckServer(config, host=host, port=port)
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("check server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface bind errors to start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_event_loop()
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def stop(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_server(config: Optional[CheckConfig] = None,
+               host: str = "127.0.0.1", port: int = 0) -> int:
+    """Blocking entry point for ``repro serve --tcp``."""
+    import sys
+
+    async def main() -> None:
+        server = AsyncCheckServer(config, host=host, port=port)
+        await server.start()
+        print(json.dumps({"listening": {"host": server.host,
+                                        "port": server.port},
+                          "protocol": "repro-serve/3"}), flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    return 0

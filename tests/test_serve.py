@@ -233,7 +233,7 @@ class TestWatcher:
                            path.stat().st_mtime_ns + 1_000_000))
         second = watcher.scan()
         assert len(second) == 1 and second[0].ok
-        assert second[0].solve_stats.warm_starts == 1
+        assert second[0].solve_stats["warm_starts"] == 1
         report = out.getvalue()
         assert "warm, 1/1 declarations re-checked" in report
 

@@ -68,7 +68,7 @@ class TestEdit:
         assert result.ok
         # The whole point of the Workspace port: a body edit re-checks
         # warm-started, not cold from scratch.
-        assert result.solve_stats.warm_starts == 1
+        assert result.solve_stats["warm_starts"] == 1
         assert "warm" in out.getvalue()
 
     def test_revert_hits_the_artifact_cache(self, watched):
@@ -86,6 +86,30 @@ class TestEdit:
     def test_run_with_max_scans_terminates(self, watched):
         _path, watcher, _out = watched
         assert watcher.run(poll_seconds=0.0, max_scans=2) == 0
+
+
+class TestCrashDegradation:
+    def test_checker_crash_is_reported_not_fatal(self, tmp_path):
+        # A pathologically deep expression blows the recursion limit inside
+        # the checker; through the service layer that surfaces as an
+        # internal-error *response* the watcher reports and survives.
+        bomb = tmp_path / "bomb.rsc"
+        bomb.write_text("function f() { return " + "(" * 4000 + ";")
+        good = tmp_path / "good.rsc"
+        good.write_text(SAFE_SOURCE)
+        out = io.StringIO()
+        watcher = Watcher([str(bomb), str(good)], out=out)
+        [result] = watcher.scan()
+        assert result.ok  # the good file still got its verdict
+        assert watcher.errors_reported == 1
+        assert "checker error" in out.getvalue()
+        # The crashing path is parked: no hot re-crash loop...
+        assert watcher.scan() == []
+        assert watcher.errors_reported == 1
+        # ...until its content actually changes.
+        bomb.write_text(SAFE_SOURCE)
+        bump_mtime(bomb)
+        assert len(watcher.scan()) == 1
 
 
 class TestUnreadable:
