@@ -78,6 +78,21 @@ section:
   throughput at baseline divided by ``--time-factor`` (latency percentiles
   are wall-clock and CI machines are noisy, hence the generous factor).
 
+With ``--cache`` the shared-cache fleet report produced by
+``python -m repro bench cache`` is gated against the baseline's ``cache``
+section:
+
+* every fleet worker must verify with **byte-identical** diagnostics and
+  kappa solutions against the sequential replay (``identical``),
+* every warm worker must issue exactly **zero** queries and SAT searches,
+  and the whole fleet's SAT total must equal the one cold worker's
+  (``sat_budget_ok`` — shared caching makes fleet cost independent of
+  fleet size),
+* the fault-injection phase must have injected faults, counted degraded
+  operations client-side, and still produced identical verdicts,
+* the cold worker's query count is gated against the baseline like the
+  fixpoint queries.
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -272,6 +287,56 @@ def check_serve(report: dict, baseline: dict, time_factor: float) -> list:
     return failures
 
 
+def check_cache(report: dict, baseline: dict, threshold: float) -> list:
+    """Failures of the shared-cache fleet report vs the baseline."""
+    failures = []
+    if not baseline:
+        return ["cache: baseline has no 'cache' section"]
+    if not report.get("identical", False):
+        failures.append(
+            "cache: a fleet worker's diagnostics differ from the "
+            "sequential replay — shared-cache replay is UNSOUND, fix "
+            "before merging")
+    if not report.get("safe", False):
+        failures.append("cache: a fleet worker no longer verifies")
+    if not report.get("warm_zero", False):
+        failures.append(
+            "cache: a warm worker issued solver queries or SAT searches "
+            "(expected exactly 0 — the shared replay has degenerated)")
+    if not report.get("sat_budget_ok", False):
+        totals = report.get("totals", {})
+        failures.append(
+            f"cache: fleet spent {totals.get('fleet_sat_calls')} SAT "
+            f"searches, expected exactly one cold worker's "
+            f"{totals.get('cold_sat_calls')}")
+    cold = report.get("totals", {}).get("cold_queries", 0)
+    allowed = baseline["cold_queries"] * (1.0 + threshold)
+    if cold > max(allowed, baseline["cold_queries"] + 5):
+        failures.append(
+            f"cache: cold worker issued {cold} queries, baseline "
+            f"{baseline['cold_queries']} (+{threshold:.0%} allowed)")
+    fault = report.get("fault")
+    if fault is None:
+        failures.append("cache: fault-injection phase missing from report")
+    else:
+        if not fault.get("identical", False):
+            failures.append(
+                "cache: verdicts under fault injection differ from the "
+                "sequential replay — degraded paths are UNSOUND, fix "
+                "before merging")
+        if not fault.get("safe", False):
+            failures.append("cache: a fault-phase worker no longer verifies")
+        if fault.get("injected_ops", 0) < 1:
+            failures.append(
+                "cache: the fault server injected no faults (the "
+                "degradation paths went unexercised)")
+        if fault.get("degraded_ops", 0) < 1:
+            failures.append(
+                "cache: no degraded operations were counted client-side "
+                "(expected remote_errors/degraded counters > 0)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
@@ -297,6 +362,9 @@ def main(argv=None) -> int:
     parser.add_argument("--serve", metavar="FILE", default=None,
                         help="also gate BENCH_serve.json against the "
                              "baseline's 'serve' section")
+    parser.add_argument("--cache", metavar="FILE", default=None,
+                        help="also gate BENCH_cache.json against the "
+                             "baseline's 'cache' section")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -359,6 +427,12 @@ def main(argv=None) -> int:
             serve_report = json.load(f)
         failures.extend(check_serve(
             serve_report, baseline.get("serve", {}), args.time_factor))
+
+    if args.cache is not None:
+        with open(args.cache) as f:
+            cache_report = json.load(f)
+        failures.extend(check_cache(
+            cache_report, baseline.get("cache", {}), args.threshold))
 
     if failures:
         print("benchmark regression(s) against "

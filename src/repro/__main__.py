@@ -12,9 +12,11 @@ Subcommands:
   loop over stdin/stdout backed by an incremental workspace.
 * ``watch FILES...`` — re-check files on mtime change, printing per-edit
   timing deltas.
-* ``cache stats|gc|clear`` — inspect and maintain the persistent artifact
-  store (``--store PATH``, the ``REPRO_STORE`` environment variable, or the
-  XDG default ``~/.cache/repro/store``).
+* ``cache stats|gc|clear|serve|shutdown`` — inspect, maintain and serve
+  the persistent artifact store (``--store PATH``, the ``REPRO_STORE``
+  environment variable, or the XDG default ``~/.cache/repro/store``).
+  ``cache serve --tcp`` runs the fleet cache server; the admin actions
+  also accept ``--store remote://host:port`` to manage one remotely.
 * ``explain CODE`` — describe a diagnostic code (e.g. ``RSC-SUB-003``).
 
 The checking subcommands (``check``, ``serve``, ``watch``) take
@@ -84,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the paper's evaluation tables")
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
-                                "modules", "smt", "store", "serve"),
+                                "modules", "smt", "store", "serve", "cache"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
@@ -92,7 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "incremental-context SMT engines; store measures "
                             "cold vs store-warm fresh-process re-checks; "
                             "serve load-tests the multi-tenant socket "
-                            "server with concurrent editing clients)")
+                            "server with concurrent editing clients; cache "
+                            "spawns a cache server plus a fleet of fresh "
+                            "worker processes sharing it, then re-runs "
+                            "under fault injection)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -115,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--edit-rate", type=float, default=2.0, metavar="R",
                        help="serve: edits per second each client replays "
                             "(default: 2.0)")
+    bench.add_argument("--workers", type=int, default=3, metavar="N",
+                       help="cache: fleet worker processes sharing the "
+                            "cache server (default: 3)")
 
     serve = sub.add_parser(
         "serve", help="check service: stdio NDJSON loop (repro-serve/2 "
@@ -150,18 +158,46 @@ def build_parser() -> argparse.ArgumentParser:
     _workspace_flags(watchp)
 
     cache = sub.add_parser(
-        "cache", help="inspect and maintain the persistent artifact store")
-    cache.add_argument("action", choices=("stats", "gc", "clear"),
+        "cache", help="inspect, maintain and serve the persistent "
+                      "artifact store")
+    cache.add_argument("action",
+                       choices=("stats", "gc", "clear", "serve", "shutdown"),
                        help="stats: entry counts and bytes per artifact "
                             "kind; gc: evict oldest entries down to "
-                            "--max-bytes; clear: delete every entry")
+                            "--max-bytes; clear: delete every entry; "
+                            "serve: run the TCP cache server over a local "
+                            "store; shutdown: stop a running cache server "
+                            "(--store remote://host:port)")
     cache.add_argument("--store", metavar="PATH", default=None,
-                       help="store location (default: $REPRO_STORE, then "
-                            "the XDG cache path ~/.cache/repro/store)")
+                       help="store location: a path, remote://host:port or "
+                            "tiered://PATH?remote=host:port (default: "
+                            "$REPRO_STORE, then the XDG cache path "
+                            "~/.cache/repro/store)")
     cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
                        help="gc: target size in bytes (default: 256 MiB)")
     cache.add_argument("--format", choices=("text", "json"), default="text",
                        help="output format (default: text)")
+    cache.add_argument("--tcp", action="store_true",
+                       help="serve: required flag confirming the TCP "
+                            "listener (mirrors `repro serve --tcp`)")
+    cache.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="serve: TCP bind address (default: 127.0.0.1)")
+    cache.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="serve: TCP port (default: 0 = ephemeral; the "
+                            "bound port is printed as a JSON line on "
+                            "startup)")
+    cache.add_argument("--fault-drop", type=int, default=0, metavar="N",
+                       help="serve: drop every Nth data response (fault "
+                            "injection for degradation testing; 0 = off)")
+    cache.add_argument("--fault-delay", type=int, default=0, metavar="N",
+                       help="serve: delay every Nth data response (0 = off)")
+    cache.add_argument("--fault-delay-seconds", type=float, default=0.05,
+                       metavar="S",
+                       help="serve: how long a --fault-delay response "
+                            "sleeps (default: 0.05)")
+    cache.add_argument("--fault-corrupt", type=int, default=0, metavar="N",
+                       help="serve: corrupt every Nth get-hit payload "
+                            "(0 = off)")
 
     explain = sub.add_parser(
         "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
@@ -243,7 +279,11 @@ def cmd_check(args: argparse.Namespace) -> int:
     batch = session.check_files(args.files)
 
     if args.format == "json":
-        print(batch.to_json(indent=2))
+        payload = batch.to_dict()
+        store_section = _store_section(session)
+        if store_section is not None:
+            payload["store"] = store_section
+        print(json.dumps(payload, indent=2))
     else:
         for result in batch.results:
             print(f"{result.filename}: {result.summary()}")
@@ -263,13 +303,31 @@ def cmd_check(args: argparse.Namespace) -> int:
     return EXIT_OK if batch.ok else EXIT_UNSAFE
 
 
+def _store_section(session) -> Optional[dict]:
+    """The ``"store"`` block of the JSON report: this process's cache
+    traffic plus, for networked backends, their degradation counters —
+    how a fleet worker proves (or a bench asserts) it ran warm or ran
+    degraded."""
+    store = session.store
+    if store is None:
+        return None
+    section = dict(store.counters())
+    if hasattr(store.backend, "counters"):
+        section["backend"] = store.backend.counters()
+    return section
+
+
 def _check_project_dir(root: str, config: CheckConfig,
                        args: argparse.Namespace) -> int:
     """``repro check <dir>``: check the directory as a module graph."""
     session = Session(config)
     project = session.check_project(root)
     if args.format == "json":
-        print(project.to_json(indent=2))
+        payload = project.to_dict()
+        store_section = _store_section(session)
+        if store_section is not None:
+            payload["store"] = store_section
+        print(json.dumps(payload, indent=2))
         return EXIT_OK if project.ok else EXIT_UNSAFE
     for result in project.results:
         rank = project.ranks.get(result.filename)
@@ -363,6 +421,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "BENCH_serve.json", "serve", False,
                 lambda: bench.format_serve(load))
             return EXIT_OK if load.ok else EXIT_UNSAFE
+        if args.table == "cache":
+            if args.workers < 2:
+                print("repro: --workers must be >= 2 (one cold worker plus "
+                      "warm fleet)", file=sys.stderr)
+                return EXIT_USAGE
+            unknown = [n for n in (args.only or [])
+                       if n not in bench.BENCHMARKS]
+            if unknown:
+                print(f"repro: unknown benchmark(s): {', '.join(unknown)}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            fleet = bench.cache_fleet(workers=args.workers,
+                                      names=args.only,
+                                      programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.cache_report(fleet),
+                "BENCH_cache.json", "cache", False,
+                lambda: bench.format_cache(fleet))
+            return EXIT_OK if fleet.ok else EXIT_UNSAFE
         known = (bench.MODULE_BENCHMARKS if args.table == "modules"
                  else bench.BENCHMARKS)
         names = args.only or known
@@ -438,15 +515,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     import os
-    from repro.store import (DEFAULT_MAX_BYTES, ArtifactStore,
-                             create_store_backend, default_store_path)
+    from repro.store import (ArtifactStore, StoreUnavailableError,
+                             default_store_path, resolve_store_backend)
     path = (args.store or os.environ.get("REPRO_STORE")
             or default_store_path())
+    if args.action == "serve":
+        if not args.tcp:
+            print("repro: cache serve requires --tcp", file=sys.stderr)
+            return EXIT_USAGE
+        if "://" in path:
+            print(f"repro: cache serve needs a local store path, not "
+                  f"{path!r} (the server owns the store it fronts)",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        from repro.store.server import FaultPlan, run_store_server
+        faults = None
+        if args.fault_drop or args.fault_delay or args.fault_corrupt:
+            faults = FaultPlan(drop_every=args.fault_drop,
+                               delay_every=args.fault_delay,
+                               corrupt_every=args.fault_corrupt,
+                               delay_seconds=args.fault_delay_seconds)
+        return run_store_server(path, host=args.host, port=args.port,
+                                faults=faults)
     try:
-        store = ArtifactStore(create_store_backend("local", root=path))
+        store = ArtifactStore(resolve_store_backend(path))
+        if args.action == "shutdown":
+            backend = store.backend
+            if not hasattr(backend, "shutdown"):
+                print(f"repro: cache shutdown needs a remote store "
+                      f"(--store remote://host:port), got {path!r}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            ack = backend.shutdown()
+            if args.format == "json":
+                print(json.dumps({"store": str(path), **ack}, indent=2))
+            else:
+                print(f"store: {path}")
+                print(f"  server stopped after "
+                      f"{ack.get('requests_served', 0)} requests")
+            return EXIT_OK
+        return _cache_admin(args, store, path)
+    except StoreUnavailableError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+
+def _cache_admin(args: argparse.Namespace, store, path: str) -> int:
+    from repro.store import DEFAULT_MAX_BYTES
     if args.action == "stats":
         stats = store.stats()
         payload = {"store": str(path), **stats.to_dict()}
@@ -459,6 +577,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
                       f"{entry.bytes:10d} bytes")
             print(f"  {'total':10s} {stats.total_entries:6d} entries  "
                   f"{stats.total_bytes:10d} bytes")
+            if stats.remote:
+                rendered = "  ".join(f"{k}={v}"
+                                     for k, v in stats.remote.items())
+                print(f"  remote: {rendered}")
         return EXIT_OK
     if args.action == "gc":
         limit = args.max_bytes if args.max_bytes is not None \

@@ -1359,6 +1359,327 @@ def format_serve(load: ServeLoadResult) -> str:
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# shared cache fleet (`repro bench cache`)
+# ---------------------------------------------------------------------------
+
+#: Fast subset the fault-injection phase replays (the point is exercising
+#: the degraded paths, not re-timing the whole suite).
+FAULT_BENCHMARKS = ["tsc-checker", "d3-arrays"]
+
+
+@dataclass
+class CacheWorkerRow:
+    """One fleet worker: a fresh ``repro check`` subprocess sharing the
+    cache server.  ``role`` is ``"cold"`` (first worker, populates the
+    server) or ``"warm-N"`` (must replay with zero queries and zero SAT
+    searches)."""
+
+    role: str
+    queries: int = 0
+    sat_calls: int = 0
+    time_seconds: float = 0.0
+    identical: bool = False
+    safe: bool = False
+    store: dict = field(default_factory=dict)
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "role": self.role,
+            "queries": self.queries,
+            "sat_calls": self.sat_calls,
+            "time_seconds": self.time_seconds,
+            "identical": self.identical,
+            "safe": self.safe,
+            "store": self.store,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CacheFleetResult:
+    """What ``repro bench cache`` measured and asserted.
+
+    The contract: N fresh worker processes sharing one cache server are
+    byte-identical to an in-process sequential replay, the warm workers
+    issue zero fixpoint queries and zero SAT searches, and the whole
+    fleet's SAT total equals the one cold worker's — shared caching makes
+    fleet cost independent of fleet size.  The fault phase re-runs two
+    workers against a server that drops, delays and corrupts responses
+    and requires the same verdicts with the degradation *counted*.
+    """
+
+    workers: int
+    names: List[str]
+    rows: List[CacheWorkerRow] = field(default_factory=list)
+    server: dict = field(default_factory=dict)
+    fault: Optional[dict] = None
+
+    @property
+    def cold_row(self) -> Optional[CacheWorkerRow]:
+        return next((r for r in self.rows if r.role == "cold"), None)
+
+    @property
+    def identical(self) -> bool:
+        return bool(self.rows) and all(r.identical and not r.error
+                                       for r in self.rows)
+
+    @property
+    def safe(self) -> bool:
+        return bool(self.rows) and all(r.safe for r in self.rows)
+
+    @property
+    def warm_zero(self) -> bool:
+        warm = [r for r in self.rows if r.role != "cold"]
+        return bool(warm) and all(r.queries == 0 and r.sat_calls == 0
+                                  for r in warm)
+
+    @property
+    def fleet_sat_calls(self) -> int:
+        return sum(r.sat_calls for r in self.rows)
+
+    @property
+    def sat_budget_ok(self) -> bool:
+        """The fleet's entire SAT spend is exactly one cold worker's."""
+        cold = self.cold_row
+        return cold is not None and self.fleet_sat_calls == cold.sat_calls
+
+    @property
+    def fault_ok(self) -> bool:
+        if self.fault is None:
+            return True
+        return bool(self.fault.get("identical")
+                    and self.fault.get("safe")
+                    and self.fault.get("degraded_ops", 0) > 0
+                    and self.fault.get("injected_ops", 0) > 0)
+
+    @property
+    def ok(self) -> bool:
+        return (self.identical and self.safe and self.warm_zero
+                and self.sat_budget_ok and self.fault_ok)
+
+
+def _sequential_verdicts(paths: List[str]) -> list:
+    """The reference: one fresh in-process session, no store, JSON-shaped
+    so it compares byte-for-byte with a worker subprocess's report."""
+    import json as _json
+    batch = Session(CheckConfig()).check_files(paths)
+    return _json.loads(_json.dumps(
+        [_comparable_verdict(r) for r in batch.results]))
+
+
+def _worker_verdicts(report: dict) -> list:
+    return [[f.get("diagnostics", []), f.get("kappas", {})]
+            for f in report.get("files", [])]
+
+
+def _run_cache_worker(role: str, paths: List[str], store_url: str,
+                      reference: list) -> CacheWorkerRow:
+    """One fresh ``repro check --format json`` subprocess against the
+    shared server; nothing but the store URL connects it to this process."""
+    import json as _json
+    import subprocess
+    import sys
+
+    src_dir = str(pathlib.Path(__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_STORE", None)
+    row = CacheWorkerRow(role=role)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "check", "--format", "json",
+         "--store", store_url, *paths],
+        capture_output=True, text=True, env=env, timeout=600)
+    if proc.returncode not in (0, 1):
+        row.error = (f"worker exited {proc.returncode}: "
+                     f"{proc.stderr.strip()[:200]}")
+        return row
+    try:
+        report = _json.loads(proc.stdout)
+    except ValueError as exc:
+        row.error = f"unparseable worker output: {exc}"
+        return row
+    stats = report.get("solver_stats") or {}
+    row.queries = int(stats.get("queries", 0))
+    row.sat_calls = int(stats.get("sat_calls", 0))
+    row.time_seconds = float(report.get("time_seconds", 0.0))
+    row.safe = bool(report.get("ok"))
+    row.store = report.get("store") or {}
+    row.identical = _worker_verdicts(report) == reference
+    return row
+
+
+def _bench_paths(names: List[str],
+                 programs_dir: Optional[pathlib.Path]) -> List[str]:
+    base = programs_dir or default_programs_dir()
+    paths = [str(base / f"{name}.rsc") for name in names]
+    for path in paths:
+        if not pathlib.Path(path).is_file():
+            raise FileNotFoundError(f"no benchmark program at {path}")
+    return paths
+
+
+def cache_fleet(workers: int = 3, names: Optional[List[str]] = None,
+                programs_dir: Optional[pathlib.Path] = None,
+                fault_names: Optional[List[str]] = None) -> CacheFleetResult:
+    """Run the shared-cache fleet scenario end to end.
+
+    Phase 1: start a cache server over a throwaway store, run one cold
+    worker subprocess (populates the server), then ``workers - 1`` warm
+    worker subprocesses concurrently — every one a fresh process whose only
+    connection to the others is ``remote://`` pointing at the server.
+
+    Phase 2 (fault injection): a fresh server configured to drop every 3rd,
+    delay every 4th and corrupt every 5th data response serves two workers
+    over a fast benchmark subset; their verdicts must still match the
+    sequential reference, with the degradation visible in the counters.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.store.remote import RemoteStoreBackend
+    from repro.store.server import FaultPlan, StoreServerThread
+
+    names = list(names or BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {', '.join(unknown)}")
+    paths = _bench_paths(names, programs_dir)
+    reference = _sequential_verdicts(paths)
+    result = CacheFleetResult(workers=workers, names=names)
+
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        with StoreServerThread(root=root) as server:
+            url = f"remote://127.0.0.1:{server.port}"
+            result.rows.append(
+                _run_cache_worker("cold", paths, url, reference))
+            warm_count = max(0, workers - 1)
+            with ThreadPoolExecutor(max_workers=max(1, warm_count)) as pool:
+                futures = [
+                    pool.submit(_run_cache_worker, f"warm-{i + 1}", paths,
+                                url, reference)
+                    for i in range(warm_count)]
+                result.rows.extend(f.result() for f in futures)
+            probe = RemoteStoreBackend(f"127.0.0.1:{server.port}")
+            result.server = probe.ping()
+            probe.shutdown()
+
+        fault_names = [n for n in (fault_names or FAULT_BENCHMARKS)
+                       if n in names] or names[:1]
+        fault_paths = _bench_paths(fault_names, programs_dir)
+        fault_reference = _sequential_verdicts(fault_paths)
+        plan = FaultPlan(drop_every=3, delay_every=4, corrupt_every=5,
+                         delay_seconds=0.02)
+        fault_root = tempfile.mkdtemp(prefix="repro-bench-cache-fault-")
+        try:
+            with StoreServerThread(root=fault_root, faults=plan) as server:
+                url = (f"remote://127.0.0.1:{server.port}"
+                       "?retries=1&timeout=10")
+                fault_rows = [
+                    _run_cache_worker("fault-cold", fault_paths, url,
+                                      fault_reference),
+                    _run_cache_worker("fault-warm", fault_paths, url,
+                                      fault_reference),
+                ]
+                probe = RemoteStoreBackend(f"127.0.0.1:{server.port}")
+                fault_server = probe.ping()
+                probe.shutdown()
+        finally:
+            shutil.rmtree(fault_root, ignore_errors=True)
+        degraded = 0
+        for row in fault_rows:
+            backend = row.store.get("backend", {})
+            degraded += int(backend.get("remote_errors", 0))
+            degraded += int(backend.get("degraded_gets", 0))
+            degraded += int(backend.get("degraded_puts", 0))
+        injected = fault_server.get("faults") or {}
+        result.fault = {
+            "benchmarks": fault_names,
+            "plan": {"drop_every": plan.drop_every,
+                     "delay_every": plan.delay_every,
+                     "corrupt_every": plan.corrupt_every},
+            "workers": [row.to_dict() for row in fault_rows],
+            "identical": all(r.identical and not r.error
+                             for r in fault_rows),
+            "safe": all(r.safe for r in fault_rows),
+            "degraded_ops": degraded,
+            "injected_ops": (int(injected.get("dropped", 0))
+                             + int(injected.get("delayed", 0))
+                             + int(injected.get("corrupted", 0))),
+            "server_faults": injected,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return result
+
+
+#: Schema identifier stamped into shared-cache fleet reports.
+CACHE_REPORT_SCHEMA = "repro-bench-cache/1"
+
+
+def cache_report(fleet: CacheFleetResult) -> dict:
+    """The machine-readable report dumped as ``BENCH_cache.json``."""
+    cold = fleet.cold_row
+    return {
+        "schema": CACHE_REPORT_SCHEMA,
+        "workers": fleet.workers,
+        "benchmarks": fleet.names,
+        "rows": [row.to_dict() for row in fleet.rows],
+        "totals": {
+            "cold_queries": cold.queries if cold else 0,
+            "cold_sat_calls": cold.sat_calls if cold else 0,
+            "fleet_sat_calls": fleet.fleet_sat_calls,
+            "warm_queries": sum(r.queries for r in fleet.rows
+                                if r.role != "cold"),
+            "warm_sat_calls": sum(r.sat_calls for r in fleet.rows
+                                  if r.role != "cold"),
+        },
+        "identical": fleet.identical,
+        "warm_zero": fleet.warm_zero,
+        "sat_budget_ok": fleet.sat_budget_ok,
+        "safe": fleet.safe,
+        "server": {"requests_served":
+                   fleet.server.get("requests_served", 0)},
+        "fault": fleet.fault,
+        "ok": fleet.ok,
+    }
+
+
+def format_cache(fleet: CacheFleetResult) -> str:
+    """The table printed by ``repro bench cache``."""
+    lines = [
+        f"Shared cache fleet: {fleet.workers} fresh worker processes over "
+        f"one cache server ({len(fleet.names)} benchmarks)",
+        "Worker      Queries  SAT-calls  Time(s)  Same  Safe",
+        "-" * 56,
+    ]
+    for row in fleet.rows:
+        lines.append(
+            f"{row.role:11s} {row.queries:7d} {row.sat_calls:10d} "
+            f"{row.time_seconds:8.2f} "
+            f"{'yes' if row.identical else 'NO':>5s} "
+            f"{'yes' if row.safe else 'NO':>5s}"
+            + (f"  [{row.error}]" if row.error else ""))
+    lines.append("-" * 56)
+    cold = fleet.cold_row
+    lines.append(
+        f"fleet SAT total {fleet.fleet_sat_calls} vs cold worker "
+        f"{cold.sat_calls if cold else 0} "
+        f"({'within' if fleet.sat_budget_ok else 'OVER'} budget); "
+        f"warm workers zero-query: {'yes' if fleet.warm_zero else 'NO'}")
+    if fleet.fault is not None:
+        fault = fleet.fault
+        lines.append(
+            f"fault injection over {', '.join(fault['benchmarks'])}: "
+            f"verdicts identical: {'yes' if fault['identical'] else 'NO'}; "
+            f"degraded ops counted: {fault['degraded_ops']} "
+            f"(server injected: {fault['server_faults']})")
+    return "\n".join(lines)
+
+
 def format_figure7(names: Optional[List[str]] = None,
                    programs_dir: Optional[pathlib.Path] = None) -> str:
     lines = ["Benchmark        LOC  ImpDiff  AllDiff",

@@ -16,7 +16,15 @@ The stack, bottom to top:
   formulas, solutions and module artifacts; anything malformed decodes as
   a miss;
 * :mod:`repro.store.artifacts` — :class:`ArtifactStore`, the typed facade
-  the workspace and module graph talk to, plus the keying scheme.
+  the workspace and module graph talk to, plus the keying scheme;
+* :mod:`repro.store.server` / :mod:`repro.store.protocol` — the asyncio
+  TCP cache server (``repro cache serve --tcp``) and the typed
+  ``repro-store/1`` protocol it speaks;
+* :mod:`repro.store.remote` — the ``remote://host:port`` backend: pooled
+  sockets, bounded retries with jittered backoff, and a circuit breaker
+  that fails open (every network failure degrades to a sound cache miss);
+* :mod:`repro.store.tiered` — ``tiered://LOCAL_PATH?remote=host:port``,
+  read-through/write-through local disk over the shared server.
 
 Select a store with ``CheckConfig(store_path=...)`` (CLI ``--store`` /
 ``REPRO_STORE``); manage it with ``repro cache stats|gc|clear``.  A
@@ -34,6 +42,7 @@ from repro.store.artifacts import (
     config_fingerprint,
     default_store_path,
     open_store,
+    resolve_store_backend,
 )
 from repro.store.backend import (
     GcResult,
@@ -45,22 +54,35 @@ from repro.store.backend import (
 )
 from repro.store.codec import STORE_SCHEMA, CodecError, ModuleArtifact
 from repro.store.local import LocalStoreBackend
+from repro.store.protocol import STORE_PROTOCOL
+from repro.store.remote import RemoteStoreBackend, StoreUnavailableError
+from repro.store.server import FaultPlan, StoreServer, StoreServerThread
+from repro.store.tiered import TieredStoreBackend
 
 register_store_backend("local", LocalStoreBackend)
+register_store_backend("remote", RemoteStoreBackend)
+register_store_backend("tiered", TieredStoreBackend)
 
 __all__ = [
     "ArtifactStore",
     "CodecError",
     "DEFAULT_MAX_BYTES",
+    "FaultPlan",
     "GcResult",
     "KINDS",
     "LocalStoreBackend",
     "MODULES",
     "ModuleArtifact",
+    "RemoteStoreBackend",
     "SOLUTIONS",
+    "STORE_PROTOCOL",
     "STORE_SCHEMA",
     "StoreBackend",
+    "StoreServer",
+    "StoreServerThread",
     "StoreStats",
+    "StoreUnavailableError",
+    "TieredStoreBackend",
     "VERDICTS",
     "available_store_backends",
     "config_fingerprint",
@@ -68,4 +90,5 @@ __all__ = [
     "default_store_path",
     "open_store",
     "register_store_backend",
+    "resolve_store_backend",
 ]

@@ -166,20 +166,25 @@ class ArtifactStore:
             self.writes += 1
 
 
-def open_store(config) -> Optional[ArtifactStore]:
-    """The store a :class:`CheckConfig` selects, or ``None`` for no store.
+def resolve_store_backend(path: str) -> StoreBackend:
+    """Resolve a ``store_path`` string to a backend instance.
 
-    ``store_path`` may carry a backend scheme (``"redis://host/db"``
-    resolves the ``"redis"`` factory from the registry); a plain path means
-    the ``"local"`` filesystem backend.
+    ``path`` may carry a backend scheme (``"remote://host:port"`` resolves
+    the ``"remote"`` factory from the registry, ``"tiered://dir?remote=..."``
+    the ``"tiered"`` one); a plain path means the ``"local"`` filesystem
+    backend.
     """
+    name, sep, rest = path.partition("://")
+    if sep:
+        return create_store_backend(name, root=rest)
+    return create_store_backend("local", root=path)
+
+
+def open_store(config) -> Optional[ArtifactStore]:
+    """The store a :class:`CheckConfig` selects, or ``None`` for no store."""
     if config.store_path is None or config.store_mode == "off":
         return None
-    name, sep, rest = config.store_path.partition("://")
-    if sep:
-        backend = create_store_backend(name, root=rest)
-    else:
-        backend = create_store_backend("local", root=config.store_path)
+    backend = resolve_store_backend(config.store_path)
     return ArtifactStore(backend, readonly=config.store_mode == "readonly")
 
 
@@ -195,4 +200,5 @@ __all__ = [
     "config_fingerprint",
     "default_store_path",
     "open_store",
+    "resolve_store_backend",
 ]

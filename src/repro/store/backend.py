@@ -34,9 +34,15 @@ class KindStats:
 
 @dataclass
 class StoreStats:
-    """Per-kind usage of a store, as reported by ``repro cache stats``."""
+    """Per-kind usage of a store, as reported by ``repro cache stats``.
+
+    Networked backends additionally report their degradation counters
+    (remote errors, retries, circuit-breaker trips, ...) in ``remote``;
+    purely local stores leave it ``None`` and it stays out of the JSON.
+    """
 
     kinds: Dict[str, KindStats] = field(default_factory=dict)
+    remote: Optional[dict] = None
 
     @property
     def total_entries(self) -> int:
@@ -47,12 +53,15 @@ class StoreStats:
         return sum(k.bytes for k in self.kinds.values())
 
     def to_dict(self) -> dict:
-        return {
+        obj = {
             "kinds": {name: {"entries": k.entries, "bytes": k.bytes}
                       for name, k in sorted(self.kinds.items())},
             "total_entries": self.total_entries,
             "total_bytes": self.total_bytes,
         }
+        if self.remote is not None:
+            obj["remote"] = self.remote
+        return obj
 
 
 @dataclass
@@ -116,7 +125,9 @@ def create_store_backend(name: str = "local", **options) -> StoreBackend:
     try:
         factory = _REGISTRY[name]
     except KeyError:
+        schemes = ", ".join(f"{scheme}://"
+                            for scheme in available_store_backends())
         raise ValueError(
             f"unknown store backend {name!r} "
-            f"(available: {', '.join(available_store_backends())})") from None
+            f"(registered schemes: {schemes})") from None
     return factory(**options)

@@ -90,6 +90,12 @@ class LocalStoreBackend:
                 continue
             try:
                 path.unlink()
+            except FileNotFoundError:
+                # A concurrent writer (or another GC) already replaced or
+                # removed this entry between listing and unlink: it is
+                # gone, so it is neither kept nor evicted by this pass.
+                total -= size
+                continue
             except OSError:
                 result.kept_entries += 1
                 result.kept_bytes += size

@@ -1,0 +1,372 @@
+"""The typed cache-server protocol: ``repro-store/1``.
+
+Mirrors the registry discipline of :mod:`repro.service.protocol`: every
+method the cache server speaks is declared **once**, in :data:`METHODS`,
+binding the method name to its params dataclass and its result payload
+dataclass.  The asyncio server, the pooled socket client and the rendered
+``ping`` response all consult the same registry, so a method cannot exist
+half-way.
+
+The protocol is deliberately tiny — a shared artifact store has exactly two
+data operations and a handful of admin operations::
+
+    get / put            opaque (kind, key) -> payload bytes
+    stats / gc / clear   what ``repro cache stats|gc|clear`` needs remotely
+    ping                 liveness + identification (readiness probes)
+    shutdown             stop the server after responding
+
+Wire shape: one JSON object per NDJSON line, the same envelope the serve
+protocol uses::
+
+    -> {"id": 3, "method": "get", "params": {"kind": "verdicts", "key": "ab..."}}
+    <- {"id": 3, "ok": true, "result": {"found": true, "payload_b64": "..."}}
+    <- {"id": 4, "ok": false, "error": {"code": "bad-params", "message": "..."}}
+
+Payload bytes travel base64-encoded (``payload_b64``) — the store deals in
+opaque bytes (encoding and corruption handling live in
+:class:`repro.store.ArtifactStore`, which already treats anything
+undecodable as a miss, so a corrupted response can never poison a client).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Protocol identifier spoken by the cache server and its clients.
+STORE_PROTOCOL = "repro-store/1"
+
+#: Error codes a response may carry (clients map unknown codes to
+#: ``internal-error`` rather than crashing).
+ERROR_CODES: Tuple[str, ...] = (
+    "parse-error",      # the request line is not a JSON object
+    "unknown-method",   # method absent from the registry
+    "bad-params",       # params missing, mistyped or not an object
+    "internal-error",   # the backend operation crashed; the loop survives
+)
+
+
+class StoreProtocolError(Exception):
+    """A request or response that cannot be served/decoded."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _require_str(obj: dict, name: str) -> str:
+    value = obj.get(name)
+    if not isinstance(value, str) or not value:
+        raise StoreProtocolError("bad-params",
+                                 f"params.{name} must be a string")
+    return value
+
+
+def _require_int(obj: dict, name: str) -> int:
+    value = obj.get(name)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise StoreProtocolError(
+            "bad-params", f"params.{name} must be a non-negative integer")
+    return value
+
+
+def encode_payload(payload: bytes) -> str:
+    return base64.b64encode(payload).decode("ascii")
+
+
+def decode_payload(text: str) -> bytes:
+    """Decode ``payload_b64``; malformed base64 raises, callers degrade."""
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, binascii.Error) as exc:
+        raise StoreProtocolError("parse-error",
+                                 f"malformed payload_b64: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# params codecs (client -> server)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EmptyParams:
+    """Params for methods that take none (extra fields are ignored)."""
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "EmptyParams":
+        return cls()
+
+    def to_json(self) -> dict:
+        return {}
+
+
+@dataclass
+class EntryParams:
+    """``get``: the (kind, key) address of one artifact."""
+
+    kind: str
+    key: str
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "EntryParams":
+        return cls(kind=_require_str(obj, "kind"), key=_require_str(obj, "key"))
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "key": self.key}
+
+
+@dataclass
+class PutParams:
+    """``put``: an artifact address plus its base64-encoded bytes."""
+
+    kind: str
+    key: str
+    payload_b64: str
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "PutParams":
+        return cls(kind=_require_str(obj, "kind"),
+                   key=_require_str(obj, "key"),
+                   payload_b64=_require_str(obj, "payload_b64"))
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "key": self.key,
+                "payload_b64": self.payload_b64}
+
+
+@dataclass
+class GcParams:
+    """``gc``: the byte bound the store must be evicted down to."""
+
+    max_bytes: int
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "GcParams":
+        return cls(max_bytes=_require_int(obj, "max_bytes"))
+
+    def to_json(self) -> dict:
+        return {"max_bytes": self.max_bytes}
+
+
+# ---------------------------------------------------------------------------
+# payload codecs (server -> client)
+# ---------------------------------------------------------------------------
+
+
+class _Payload:
+    """Shared to_json/from_json over the dataclass fields (unknown-field
+    tolerant both directions, like the serve payloads)."""
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_json(cls, obj: dict):
+        if not isinstance(obj, dict):
+            raise StoreProtocolError(
+                "parse-error", f"{cls.__name__} payload must be an object")
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in obj.items() if k in known})
+
+
+@dataclass
+class GetPayload(_Payload):
+    """Result of ``get`` — a hit carries the entry bytes, base64-encoded."""
+
+    found: bool = False
+    payload_b64: Optional[str] = None
+
+
+@dataclass
+class PutPayload(_Payload):
+    """Result of ``put`` — whether the backend accepted the write."""
+
+    stored: bool = False
+
+
+@dataclass
+class StatsPayload(_Payload):
+    """Result of ``stats`` — the server-side store's per-kind usage."""
+
+    kinds: Dict[str, dict] = field(default_factory=dict)
+    total_entries: int = 0
+    total_bytes: int = 0
+
+
+@dataclass
+class GcPayload(_Payload):
+    """Result of ``gc`` — what the server-side pass evicted and kept."""
+
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+
+
+@dataclass
+class ClearPayload(_Payload):
+    """Result of ``clear`` — how many entries were dropped."""
+
+    removed: int = 0
+
+
+@dataclass
+class PingPayload(_Payload):
+    """Result of ``ping`` — identification, liveness and server counters.
+
+    ``faults`` reports the fault-injection counters when the server runs
+    with a :class:`repro.store.server.FaultPlan` (``None`` in normal
+    operation), so a bench can prove degraded paths were actually hit.
+    """
+
+    protocol: str = STORE_PROTOCOL
+    methods: List[str] = field(default_factory=list)
+    requests_served: int = 0
+    store: str = ""
+    faults: Optional[dict] = None
+
+
+@dataclass
+class ShutdownPayload(_Payload):
+    """Result of ``shutdown`` — acknowledged; the server stops after this."""
+
+    shutdown: bool = True
+    protocol: str = STORE_PROTOCOL
+    requests_served: int = 0
+
+
+# ---------------------------------------------------------------------------
+# the method registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreMethodSpec:
+    """One protocol method: its codecs and documentation."""
+
+    name: str
+    params: type
+    payload: type
+    doc: str
+
+
+def _spec(name: str, params: type, payload: type,
+          doc: str) -> Tuple[str, StoreMethodSpec]:
+    return name, StoreMethodSpec(name, params, payload, doc)
+
+
+#: The exhaustive method registry (insertion order is the documented order).
+METHODS: Dict[str, StoreMethodSpec] = dict([
+    _spec("get", EntryParams, GetPayload,
+          "Fetch the payload stored under (kind, key), if any."),
+    _spec("put", PutParams, PutPayload,
+          "Store a payload under (kind, key); last write wins."),
+    _spec("stats", EmptyParams, StatsPayload,
+          "Per-kind entry counts and byte totals of the server's store."),
+    _spec("gc", GcParams, GcPayload,
+          "Evict oldest entries until at most max_bytes remain."),
+    _spec("clear", EmptyParams, ClearPayload,
+          "Drop every entry from the server's store."),
+    _spec("ping", EmptyParams, PingPayload,
+          "Liveness probe: protocol, methods and request counters."),
+    _spec("shutdown", EmptyParams, ShutdownPayload,
+          "Stop the server after responding."),
+])
+
+
+def method_names() -> Tuple[str, ...]:
+    return tuple(METHODS)
+
+
+def spec_for(method: Any) -> StoreMethodSpec:
+    spec = METHODS.get(method) if isinstance(method, str) else None
+    if spec is None:
+        raise StoreProtocolError(
+            "unknown-method",
+            f"unknown method {method!r} "
+            f"(expected one of {', '.join(method_names())})")
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# envelopes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreRequest:
+    """One decoded request: method plus typed params."""
+
+    method: str
+    id: Any = None
+    params: Any = None
+
+    def to_json(self) -> dict:
+        obj: dict = {"id": self.id, "method": self.method}
+        params = self.params.to_json() if self.params is not None else {}
+        if params:
+            obj["params"] = params
+        return obj
+
+
+def decode_request(obj: dict) -> StoreRequest:
+    """Decode one request object; raises :class:`StoreProtocolError`."""
+    spec = spec_for(obj.get("method"))
+    params = obj.get("params") or {}
+    if not isinstance(params, dict):
+        raise StoreProtocolError("bad-params", "params must be an object")
+    return StoreRequest(method=spec.name, id=obj.get("id"),
+                        params=spec.params.from_json(params))
+
+
+@dataclass
+class StoreResponse:
+    """One response: ``ok`` with a result payload, or an error."""
+
+    id: Any = None
+    ok: bool = True
+    result: Optional[dict] = None
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @classmethod
+    def success(cls, request_id: Any, payload: Any) -> "StoreResponse":
+        result = payload.to_json() if hasattr(payload, "to_json") else payload
+        return cls(id=request_id, ok=True, result=result)
+
+    @classmethod
+    def failure(cls, request_id: Any, code: str,
+                message: str) -> "StoreResponse":
+        return cls(id=request_id, ok=False, error_code=code,
+                   error_message=message)
+
+    def raise_for_error(self) -> dict:
+        """The result payload, or the error re-raised client-side."""
+        if not self.ok:
+            raise StoreProtocolError(self.error_code or "internal-error",
+                                     self.error_message or "unknown error")
+        return self.result if self.result is not None else {}
+
+    def to_json(self) -> dict:
+        if self.ok:
+            return {"id": self.id, "ok": True, "result": self.result}
+        return {"id": self.id, "ok": False,
+                "error": {"code": self.error_code,
+                          "message": self.error_message}}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "StoreResponse":
+        if not isinstance(obj, dict):
+            raise StoreProtocolError("parse-error",
+                                     "response must be a JSON object")
+        if obj.get("ok"):
+            return cls(id=obj.get("id"), ok=True, result=obj.get("result"))
+        error = obj.get("error") or {}
+        if not isinstance(error, dict):
+            error = {}
+        return cls(id=obj.get("id"), ok=False,
+                   error_code=error.get("code") or "internal-error",
+                   error_message=error.get("message") or "unknown error")

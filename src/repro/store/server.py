@@ -1,0 +1,370 @@
+"""The asyncio TCP cache server (``repro cache serve --tcp``).
+
+One process owns a :class:`repro.store.local.LocalStoreBackend` and serves
+it to a fleet of checkers over the typed ``repro-store/1`` protocol
+(:mod:`repro.store.protocol`).  Clients are handled concurrently by the
+event loop; backend operations (sharded-file reads/writes) run inline —
+they are microsecond-scale and the local backend's atomic-rename discipline
+makes interleaved writers safe, so no executor or locking is needed.
+
+Admin methods (``stats``/``gc``/``clear``/``ping``/``shutdown``) make
+``repro cache stats|gc|clear`` work against a ``remote://host:port`` URL
+exactly as they do against a path.
+
+Fault injection
+---------------
+
+A :class:`FaultPlan` makes the server deliberately hostile for soundness
+testing (``repro cache serve --fault-*``, ``repro bench cache``): every
+Nth data operation is dropped (the connection closes without a response),
+delayed, or answered with corrupted payload bytes.  Clients must degrade
+every one of these to a cache miss — the bench asserts verdicts stay
+byte-identical under all three.  Faults only apply to ``get``/``put``;
+admin methods always answer, so liveness probes and stats collection work
+even on a maximally faulty server.
+
+:class:`StoreServerThread` hosts the server on a background thread for
+tests, benches and examples; :func:`run_store_server` is the blocking CLI
+entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.store.backend import StoreBackend
+from repro.store.local import LocalStoreBackend
+from repro.store.protocol import (STORE_PROTOCOL, ClearPayload, GcPayload,
+                                  GetPayload, PingPayload, PutPayload,
+                                  ShutdownPayload, StatsPayload,
+                                  StoreProtocolError, StoreRequest,
+                                  StoreResponse, decode_payload,
+                                  decode_request, encode_payload,
+                                  method_names)
+
+#: NDJSON line limit for the stream reader (payloads are base64 lines).
+LINE_LIMIT = 64 * 1024 * 1024
+
+#: Methods fault injection applies to (admin methods always answer).
+DATA_METHODS = frozenset({"get", "put"})
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault injection over the server's data operations.
+
+    Each ``*_every`` knob fires on every Nth data operation (0 disables
+    that fault), counted over one shared operation counter so a fixed
+    request sequence always sees the same faults.  ``corrupt`` mangles the
+    payload bytes of a ``get`` hit (still valid base64 — the corruption
+    must survive the transport and be caught by the artifact codec, the
+    deepest degraded path); ``drop`` closes the connection instead of
+    responding; ``delay`` sleeps before responding.
+    """
+
+    drop_every: int = 0
+    delay_every: int = 0
+    corrupt_every: int = 0
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        self.ops = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.corrupted = 0
+
+    def next_op(self) -> tuple:
+        """(drop, delay, corrupt) decisions for the next data operation."""
+        self.ops += 1
+        drop = bool(self.drop_every) and self.ops % self.drop_every == 0
+        delay = bool(self.delay_every) and self.ops % self.delay_every == 0
+        corrupt = (bool(self.corrupt_every)
+                   and self.ops % self.corrupt_every == 0)
+        if drop:
+            self.dropped += 1
+        if delay:
+            self.delayed += 1
+        if corrupt and not drop:
+            self.corrupted += 1
+        return drop, delay, corrupt
+
+    def counters(self) -> dict:
+        return {"ops": self.ops, "dropped": self.dropped,
+                "delayed": self.delayed, "corrupted": self.corrupted}
+
+
+def _corrupt(payload: bytes) -> bytes:
+    """Same-length garbage that defeats the artifact codec's envelope."""
+    prefix = b"\xffCORRUPT"
+    return (prefix + payload[len(prefix):]) if len(payload) > len(prefix) \
+        else prefix
+
+
+class _Shutdown(Exception):
+    """Raised inside a connection loop after a shutdown was acknowledged."""
+
+
+class _Drop(Exception):
+    """Raised to vanish mid-request (fault injection): the connection is
+    closed without a response and without an unhandled-exception log."""
+
+
+class StoreServer:
+    """The asyncio TCP server fronting one :class:`StoreBackend`."""
+
+    def __init__(self, root: Optional[str] = None,
+                 backend: Optional[StoreBackend] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 faults: Optional[FaultPlan] = None) -> None:
+        if backend is None:
+            if root is None:
+                raise ValueError("StoreServer needs a root path or a backend")
+            backend = LocalStoreBackend(root)
+        self.backend = backend
+        self.root = str(root) if root is not None else ""
+        self.host = host
+        self.port = port
+        self.faults = faults
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=LINE_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._stop is not None, "call start() first"
+        await self._stop.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Close idle client connections so their handler tasks see EOF and
+        # finish on their own — tearing the loop down with tasks parked in
+        # readline() would spray CancelledError tracebacks.
+        for writer in list(self._connections):
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                writer.close()
+        await asyncio.sleep(0)
+
+    def request_stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+
+        async def send(response: StoreResponse) -> None:
+            line = json.dumps(response.to_json()) + "\n"
+            try:
+                writer.write(line.encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # the client went away; nothing to do
+
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await send(StoreResponse.failure(
+                        None, "parse-error", "request line too long"))
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                self.requests_served += 1
+                try:
+                    obj = json.loads(line)
+                except ValueError as exc:
+                    await send(StoreResponse.failure(
+                        None, "parse-error", f"malformed request: {exc}"))
+                    continue
+                if not isinstance(obj, dict):
+                    await send(StoreResponse.failure(
+                        None, "parse-error", "request must be a JSON object"))
+                    continue
+                try:
+                    request = decode_request(obj)
+                except StoreProtocolError as exc:
+                    await send(StoreResponse.failure(obj.get("id"), exc.code,
+                                                     exc.message))
+                    continue
+                try:
+                    await self._serve_one(request, send)
+                except _Drop:
+                    break
+                except _Shutdown:
+                    self.request_stop()
+                    break
+        except asyncio.CancelledError:
+            pass  # loop teardown mid-read; the connection is going away
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    async def _serve_one(self, request: StoreRequest, send) -> None:
+        """Execute one request, weaving in the fault plan for data ops."""
+        drop = delay = corrupt = False
+        if self.faults is not None and request.method in DATA_METHODS:
+            drop, delay, corrupt = self.faults.next_op()
+        try:
+            payload = self._dispatch(request, corrupt=corrupt)
+            response = StoreResponse.success(request.id, payload)
+        except StoreProtocolError as exc:
+            response = StoreResponse.failure(request.id, exc.code, exc.message)
+        except _Shutdown:
+            raise
+        except Exception as exc:  # noqa: BLE001 — one bad request must not
+            # take the server down; the contract is one response per line.
+            response = StoreResponse.failure(
+                request.id, "internal-error", f"{type(exc).__name__}: {exc}")
+        if delay and self.faults is not None:
+            await asyncio.sleep(self.faults.delay_seconds)
+        if drop:
+            # Vanish mid-request: no response, the connection dies.  The
+            # client sees EOF and must treat the operation as a miss.
+            raise _Drop()
+        await send(response)
+        if request.method == "shutdown":
+            raise _Shutdown()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, request: StoreRequest, corrupt: bool = False):
+        method = request.method
+        params = request.params
+        if method == "get":
+            payload = self.backend.get(params.kind, params.key)
+            if payload is None:
+                return GetPayload(found=False)
+            if corrupt:
+                payload = _corrupt(payload)
+            return GetPayload(found=True, payload_b64=encode_payload(payload))
+        if method == "put":
+            stored = self.backend.put(params.kind, params.key,
+                                      decode_payload(params.payload_b64))
+            return PutPayload(stored=stored)
+        if method == "stats":
+            stats = self.backend.stats()
+            return StatsPayload(
+                kinds={name: {"entries": k.entries, "bytes": k.bytes}
+                       for name, k in sorted(stats.kinds.items())},
+                total_entries=stats.total_entries,
+                total_bytes=stats.total_bytes)
+        if method == "gc":
+            result = self.backend.gc(params.max_bytes)
+            return GcPayload(**result.to_dict())
+        if method == "clear":
+            return ClearPayload(removed=self.backend.clear())
+        if method == "ping":
+            return PingPayload(
+                protocol=STORE_PROTOCOL, methods=list(method_names()),
+                requests_served=self.requests_served, store=self.root,
+                faults=self.faults.counters() if self.faults else None)
+        assert method == "shutdown", method
+        return ShutdownPayload(shutdown=True, protocol=STORE_PROTOCOL,
+                               requests_served=self.requests_served)
+
+
+class StoreServerThread:
+    """Host a :class:`StoreServer` on a background thread.
+
+    Usage::
+
+        with StoreServerThread(root=tmpdir) as server:
+            backend = RemoteStoreBackend(f"{server.host}:{server.port}")
+            ...
+
+    ``port`` is the bound (ephemeral unless pinned) port once the context
+    is entered / :meth:`start` returns.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 backend: Optional[StoreBackend] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 faults: Optional[FaultPlan] = None) -> None:
+        self.server = StoreServer(root=root, backend=backend, host=host,
+                                  port=port, faults=faults)
+        self.host = host
+        self.port = port
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "StoreServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-cache-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("cache server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface bind errors to start()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_event_loop()
+        await self.server.start()
+        self.port = self.server.port
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def stop(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "StoreServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_store_server(root: str, host: str = "127.0.0.1", port: int = 0,
+                     faults: Optional[FaultPlan] = None) -> int:
+    """Blocking entry point for ``repro cache serve --tcp``."""
+    import sys
+
+    async def main() -> None:
+        server = StoreServer(root=root, host=host, port=port, faults=faults)
+        await server.start()
+        print(json.dumps({"listening": {"host": server.host,
+                                        "port": server.port},
+                          "protocol": STORE_PROTOCOL,
+                          "store": str(root)}), flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    return 0

@@ -1,0 +1,113 @@
+"""The two-level store backend: ``tiered://LOCAL_PATH?remote=host:port``.
+
+A :class:`TieredStoreBackend` pairs a :class:`~repro.store.local.\
+LocalStoreBackend` (L1, this machine's disk) with a
+:class:`~repro.store.remote.RemoteStoreBackend` (L2, the fleet's shared
+cache server):
+
+* **read-through** — ``get`` answers from L1 when it can; on an L1 miss it
+  asks L2 and, on a hit, populates L1 so the next read is local;
+* **write-through** — ``put`` lands in L1 first (the local write is what
+  correctness depends on) and is then offered to L2 so the rest of the
+  fleet can reuse it.
+
+Because L2 is the fail-open remote backend, a dead or flaky cache server
+degrades every remote lookup to a miss: the worker silently falls back to
+L1-only operation at local speed, and the degradation is counted, never
+raised.  ``gc``/``clear`` manage the **local** tier only — the shared
+server is administered directly via ``repro cache ... --store
+remote://host:port``, not through every worker that happens to mount it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.store.backend import GcResult, StoreStats
+from repro.store.local import LocalStoreBackend
+from repro.store.remote import RemoteStoreBackend
+
+
+class TieredStoreBackend:
+    """L1 local disk over L2 shared cache server, fail-open throughout."""
+
+    def __init__(self, root: Optional[str] = None, *,
+                 local: Optional[LocalStoreBackend] = None,
+                 remote: Optional[RemoteStoreBackend] = None,
+                 **options) -> None:
+        if root is not None:
+            local_path, _, query = root.partition("?")
+            remote_address = None
+            passthrough = []
+            for pair in query.split("&"):
+                if not pair:
+                    continue
+                name, _, value = pair.partition("=")
+                if name == "remote":
+                    remote_address = value
+                else:
+                    passthrough.append(pair)
+            if not local_path:
+                raise ValueError(
+                    "tiered:// needs a local path: "
+                    "tiered://LOCAL_PATH?remote=host:port")
+            if remote_address is None:
+                raise ValueError(
+                    "tiered:// needs a remote server: "
+                    "tiered://LOCAL_PATH?remote=host:port")
+            local = LocalStoreBackend(local_path)
+            remote_root = remote_address
+            if passthrough:
+                remote_root += "?" + "&".join(passthrough)
+            remote = RemoteStoreBackend(remote_root, **options)
+        if local is None or remote is None:
+            raise ValueError("TieredStoreBackend needs a local and a "
+                             "remote backend")
+        self.local = local
+        self.remote = remote
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l2_fills = 0
+
+    # -- StoreBackend data protocol ----------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[bytes]:
+        payload = self.local.get(kind, key)
+        if payload is not None:
+            self.l1_hits += 1
+            return payload
+        payload = self.remote.get(kind, key)
+        if payload is None:
+            return None
+        self.l2_hits += 1
+        if self.local.put(kind, key, payload):
+            self.l2_fills += 1
+        return payload
+
+    def put(self, kind: str, key: str, payload: bytes) -> bool:
+        stored = self.local.put(kind, key, payload)
+        # Best-effort fleet share; the remote backend degrades, never raises.
+        self.remote.put(kind, key, payload)
+        return stored
+
+    # -- StoreBackend admin protocol (local tier only) ---------------------
+
+    def stats(self) -> StoreStats:
+        stats = self.local.stats()
+        stats.remote = self.counters()
+        return stats
+
+    def gc(self, max_bytes: int) -> GcResult:
+        return self.local.gc(max_bytes)
+
+    def clear(self) -> int:
+        return self.local.clear()
+
+    def counters(self) -> dict:
+        counters = dict(self.remote.counters())
+        counters.update(l1_hits=self.l1_hits, l2_hits=self.l2_hits,
+                        l2_fills=self.l2_fills)
+        return counters
+
+    def close(self) -> None:
+        self.remote.close()

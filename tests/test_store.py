@@ -223,6 +223,31 @@ class TestLocalBackend:
         assert not (shard / ".crashed.123.0.tmp").exists()
         assert backend.get("verdicts", key) == b"kept"
 
+    def test_gc_skips_entries_a_concurrent_writer_removed(self, tmp_path):
+        """Regression: a file vanishing between the GC's listing and its
+        unlink (a concurrent writer/GC won the race) must be skipped —
+        neither raised, nor miscounted as kept with a stale size."""
+        import os
+        backend = LocalStoreBackend(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(3)]
+        for i, key in enumerate(keys):
+            backend.put("verdicts", key, b"x" * 10)
+            os.utime(backend._path("verdicts", key), (1000 + i, 1000 + i))
+        real_scan = backend._scan
+
+        def racing_scan(sweep_tmp=False):
+            for kind, entries in real_scan(sweep_tmp=sweep_tmp):
+                # the concurrent writer deletes the oldest listed entry
+                # after the listing but before gc reaches it
+                backend._path("verdicts", keys[0]).unlink(missing_ok=True)
+                yield kind, entries
+
+        backend._scan = racing_scan
+        result = backend.gc(max_bytes=0)
+        assert result.evicted_entries == 2
+        assert result.kept_entries == 0
+        assert backend.stats().total_entries == 0
+
 
 class TestRegistry:
     def test_local_is_registered(self):
@@ -231,6 +256,14 @@ class TestRegistry:
     def test_unknown_backend_raises(self):
         with pytest.raises(ValueError, match="unknown store backend"):
             create_store_backend("no-such-backend", root="/tmp/x")
+
+    def test_unknown_backend_error_lists_registered_schemes(self):
+        with pytest.raises(ValueError) as excinfo:
+            create_store_backend("redis", root="host/0")
+        message = str(excinfo.value)
+        assert "registered schemes" in message
+        for scheme in ("local://", "remote://", "tiered://"):
+            assert scheme in message
 
     def test_custom_backend_and_scheme_path(self, tmp_path):
         created = {}
