@@ -93,6 +93,18 @@ section:
 * the cold worker's query count is gated against the baseline like the
   fixpoint queries.
 
+With ``--obs`` the tracing-overhead report produced by
+``python -m repro bench obs`` is gated against the baseline's ``obs``
+section:
+
+* traced and untraced runs must verify with **byte-identical** diagnostics
+  and kappa solutions (enabling the tracer must never change a verdict),
+* the traced runs must collect at least ``min_events`` spans (the
+  instrumentation must not silently go dark),
+* the estimated disabled-tracer overhead — the measured no-op span cost
+  times the span count of a traced run, as a fraction of the untraced
+  wall-clock — must stay under ``off_overhead_pct_max`` (2%).
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -337,6 +349,34 @@ def check_cache(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_obs(report: dict, baseline: dict) -> list:
+    """Failures of the tracing-overhead report vs the baseline."""
+    failures = []
+    if not baseline:
+        return ["obs: baseline has no 'obs' section"]
+    if not report.get("safe", False):
+        failures.append("obs: a benchmark no longer verifies under tracing")
+    if not report.get("identical", False):
+        failures.append(
+            "obs: traced and untraced runs disagree (diagnostics or kappa "
+            "solutions differ) — the instrumentation changes verdicts, fix "
+            "before merging")
+    totals = report.get("totals", {})
+    off_pct = totals.get("off_overhead_pct", 100.0)
+    ceiling = baseline.get("off_overhead_pct_max", 2.0)
+    if off_pct >= ceiling:
+        failures.append(
+            f"obs: disabled-tracer overhead {off_pct:.3f}% of untraced "
+            f"wall-clock, ceiling {ceiling:g}% — the no-op span path has "
+            "grown too expensive")
+    if totals.get("events", 0) < baseline.get("min_events", 1):
+        failures.append(
+            f"obs: traced runs collected {totals.get('events', 0)} spans, "
+            f"expected at least {baseline.get('min_events', 1)} — the "
+            "instrumentation has gone dark")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", help="BENCH_fixpoint.json from the bench run")
@@ -365,6 +405,10 @@ def main(argv=None) -> int:
     parser.add_argument("--cache", metavar="FILE", default=None,
                         help="also gate BENCH_cache.json against the "
                              "baseline's 'cache' section")
+    parser.add_argument("--obs", metavar="FILE", default=None,
+                        help="also gate BENCH_obs.json against the "
+                             "baseline's 'obs' section (disabled-tracer "
+                             "overhead must stay under the ceiling)")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -433,6 +477,11 @@ def main(argv=None) -> int:
             cache_report = json.load(f)
         failures.extend(check_cache(
             cache_report, baseline.get("cache", {}), args.threshold))
+
+    if args.obs is not None:
+        with open(args.obs) as f:
+            obs_report = json.load(f)
+        failures.extend(check_obs(obs_report, baseline.get("obs", {})))
 
     if failures:
         print("benchmark regression(s) against "

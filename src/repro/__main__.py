@@ -17,6 +17,8 @@ Subcommands:
   environment variable, or the XDG default ``~/.cache/repro/store``).
   ``cache serve --tcp`` runs the fleet cache server; the admin actions
   also accept ``--store remote://host:port`` to manage one remotely.
+* ``trace summarize|merge|validate FILES...`` — post-process the Chrome
+  trace-event files written by ``check --trace`` / ``REPRO_TRACE``.
 * ``explain CODE`` — describe a diagnostic code (e.g. ``RSC-SUB-003``).
 
 The checking subcommands (``check``, ``serve``, ``watch``) take
@@ -38,7 +40,8 @@ from typing import List, Optional
 from repro import CheckConfig, Session
 from repro.errors import ERROR_CATALOG, explain_code
 
-SUBCOMMANDS = ("check", "bench", "cache", "explain", "serve", "watch")
+SUBCOMMANDS = ("check", "bench", "cache", "explain", "serve", "trace",
+               "watch")
 
 #: Process exit codes of the CLI (stable, part of the public interface).
 EXIT_OK = 0
@@ -80,13 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default",
                        help="qualifier pool: built-ins plus harvested "
                             "(default) or program-harvested only")
+    check.add_argument("--trace", metavar="FILE", default=None,
+                       help="collect hierarchical spans from every "
+                            "subsystem and write a Chrome trace-event JSON "
+                            "file (load it in Perfetto, or run `repro "
+                            "trace summarize FILE`)")
+    check.add_argument("--slow-queries", type=int, default=None, metavar="N",
+                       help="with --trace: keep the N slowest SMT "
+                            "implications in the trace's slow-query log "
+                            "(default: 10)")
     _store_flags(check)
 
     bench = sub.add_parser(
         "bench", help="regenerate the paper's evaluation tables")
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
-                                "modules", "smt", "store", "serve", "cache"),
+                                "modules", "smt", "store", "serve", "cache",
+                                "obs"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
@@ -97,7 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "server with concurrent editing clients; cache "
                             "spawns a cache server plus a fleet of fresh "
                             "worker processes sharing it, then re-runs "
-                            "under fault injection)")
+                            "under fault injection; obs measures the "
+                            "overhead of the tracing layer, disabled vs "
+                            "enabled)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -199,6 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve: corrupt every Nth get-hit payload "
                             "(0 = off)")
 
+    trace = sub.add_parser(
+        "trace", help="summarize, merge and validate exported Chrome "
+                      "trace-event files (from `repro check --trace` or "
+                      "the REPRO_TRACE environment variable)")
+    trace.add_argument("action", choices=("summarize", "merge", "validate"),
+                       help="summarize: per-subsystem / per-stage / "
+                            "per-module / per-tenant breakdown tables; "
+                            "merge: combine several per-process traces "
+                            "(a fleet's REPRO_TRACE dumps) into one; "
+                            "validate: check the trace-event schema")
+    trace.add_argument("files", nargs="+",
+                       help="trace JSON files (merge accepts several)")
+    trace.add_argument("--out", metavar="FILE", default="trace-merged.json",
+                       help="merge: where to write the merged trace "
+                            "(default: trace-merged.json)")
+    trace.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default: text)")
+
     explain = sub.add_parser(
         "explain", help="describe a diagnostic code (e.g. RSC-SUB-003)")
     explain.add_argument("code", nargs="?", default=None,
@@ -264,17 +297,30 @@ def cmd_check(args: argparse.Namespace) -> int:
         # overriding the config with argparse's former default of 1.
         if args.jobs is not None:
             config_kwargs["jobs"] = max(1, args.jobs)
+        obs_kwargs = {}
+        if args.trace:
+            obs_kwargs["trace_path"] = args.trace
+        if args.slow_queries is not None:
+            obs_kwargs["slow_query_limit"] = args.slow_queries
+        if obs_kwargs:
+            from repro.core.config import ObsOptions
+            config_kwargs["obs"] = ObsOptions(**obs_kwargs)
         config = CheckConfig(**config_kwargs)
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if config.obs.trace_path:
+        from repro.obs.trace import tracer
+        tracer().enable(slow_limit=config.obs.slow_query_limit)
     directories = [f for f in args.files if pathlib.Path(f).is_dir()]
     if directories:
         if len(args.files) != 1:
             print("repro: a project directory must be the only check "
                   "argument", file=sys.stderr)
             return EXIT_USAGE
-        return _check_project_dir(directories[0], config, args)
+        code = _check_project_dir(directories[0], config, args)
+        _export_trace(config)
+        return code
     session = Session(config)
     batch = session.check_files(args.files)
 
@@ -283,6 +329,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         store_section = _store_section(session)
         if store_section is not None:
             payload["store"] = store_section
+        payload["metrics"] = _metrics_section(
+            batch.results, session.solver.stats, session.store)
         print(json.dumps(payload, indent=2))
     else:
         for result in batch.results:
@@ -297,10 +345,43 @@ def cmd_check(args: argparse.Namespace) -> int:
         if len(batch.results) > 1:
             print(batch.summary())
 
+    _export_trace(config)
     if any(d.kind.value == "internal"
            for r in batch.results for d in r.diagnostics):
         return EXIT_USAGE
     return EXIT_OK if batch.ok else EXIT_UNSAFE
+
+
+def _export_trace(config: CheckConfig) -> None:
+    """Write the spans collected under ``--trace`` and note it on stderr
+    (stderr so ``--format json`` output stays parseable)."""
+    path = config.obs.trace_path
+    if not path:
+        return
+    from repro.obs.trace import tracer
+    document = tracer().export(path)
+    print(f"repro: trace with {len(document['traceEvents'])} event(s) "
+          f"written to {path}", file=sys.stderr)
+
+
+def _metrics_section(results, solver_stats, store) -> dict:
+    """The ``"metrics"`` block of the JSON report: the unified registry
+    snapshot built from the run's stats carriers."""
+    from repro.core.result import STAGES, StageTimings
+    from repro.obs.metrics import registry_from_stats
+    timings = StageTimings()
+    for result in results:
+        if result.timings is not None:
+            for stage in STAGES:
+                timings.record(stage, getattr(result.timings, stage))
+    backend = None
+    if store is not None and hasattr(store.backend, "counters"):
+        backend = store.backend.counters()
+    registry = registry_from_stats(
+        timings=timings, solver=solver_stats,
+        store=store.counters() if store is not None else None,
+        backend=backend)
+    return registry.to_dict()
 
 
 def _store_section(session) -> Optional[dict]:
@@ -327,6 +408,8 @@ def _check_project_dir(root: str, config: CheckConfig,
         store_section = _store_section(session)
         if store_section is not None:
             payload["store"] = store_section
+        payload["metrics"] = _metrics_section(
+            project.results, project.stats, session.store)
         print(json.dumps(payload, indent=2))
         return EXIT_OK if project.ok else EXIT_UNSAFE
     for result in project.results:
@@ -440,6 +523,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "BENCH_cache.json", "cache", False,
                 lambda: bench.format_cache(fleet))
             return EXIT_OK if fleet.ok else EXIT_UNSAFE
+        if args.table == "obs":
+            names = args.only or list(bench.OBS_BENCHMARKS)
+            unknown = [n for n in names if n not in bench.BENCHMARKS]
+            if unknown:
+                print(f"repro: unknown benchmark(s): {', '.join(unknown)}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            partial = set(names) != set(bench.OBS_BENCHMARKS)
+            rows = bench.obs_rows(names, programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.obs_report(rows),
+                "BENCH_obs.json", "obs", partial,
+                lambda: bench.format_obs(rows))
+            return EXIT_OK if all(row.safe for row in rows) else EXIT_UNSAFE
         known = (bench.MODULE_BENCHMARKS if args.table == "modules"
                  else bench.BENCHMARKS)
         names = args.only or known
@@ -566,8 +663,17 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def _cache_admin(args: argparse.Namespace, store, path: str) -> int:
     from repro.store import DEFAULT_MAX_BYTES
     if args.action == "stats":
+        from repro.obs.metrics import registry_from_stats
         stats = store.stats()
         payload = {"store": str(path), **stats.to_dict()}
+        backend = (store.backend.counters()
+                   if hasattr(store.backend, "counters") else None)
+        registry = registry_from_stats(store=store.counters(),
+                                       backend=backend)
+        for kind, entry in sorted(stats.kinds.items()):
+            registry.counter(f"store.entries.{kind}").value = entry.entries
+            registry.counter(f"store.bytes.{kind}").value = entry.bytes
+        payload["metrics"] = registry.to_dict()
         if args.format == "json":
             print(json.dumps(payload, indent=2))
         else:
@@ -608,6 +714,57 @@ def _cache_admin(args: argparse.Namespace, store, path: str) -> int:
     return EXIT_OK
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import summary as obs
+    try:
+        documents = [obs.load_trace(path) for path in args.files]
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"repro: malformed trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.action == "validate":
+        problems: List[str] = []
+        for path, document in zip(args.files, documents):
+            problems += [f"{path}: {p}" for p in
+                         obs.validate_trace(document)]
+            problems += [f"{path}: {p}" for p in
+                         obs.check_nesting(document)]
+        if args.format == "json":
+            print(json.dumps({"ok": not problems, "problems": problems},
+                             indent=2))
+        elif problems:
+            for problem in problems:
+                print(problem)
+        else:
+            plural = "s" if len(documents) != 1 else ""
+            print(f"{len(documents)} trace{plural} valid")
+        return EXIT_OK if not problems else EXIT_UNSAFE
+    if args.action == "merge":
+        import pathlib
+        merged = obs.merge_traces(documents)
+        pathlib.Path(args.out).write_text(
+            json.dumps(merged, indent=2) + "\n")
+        note = {"out": args.out,
+                "events": len(merged["traceEvents"]),
+                "traces_merged": len(documents)}
+        if args.format == "json":
+            print(json.dumps(note, indent=2))
+        else:
+            print(f"merged {note['traces_merged']} trace(s), "
+                  f"{note['events']} event(s), into {args.out}")
+        return EXIT_OK
+    document = documents[0] if len(documents) == 1 \
+        else obs.merge_traces(documents)
+    summary = obs.summarize(document)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(obs.format_summary(summary))
+    return EXIT_OK
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     if args.code is None:
         width = max(len(code) for code in ERROR_CATALOG)
@@ -644,6 +801,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_watch(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_explain(args)
 
 

@@ -1107,7 +1107,7 @@ class ServeClientResult:
     error: Optional[str] = None
 
     def to_dict(self) -> dict:
-        from repro.service.core import percentile
+        from repro.obs.metrics import percentile
         return {
             "tenant": self.tenant,
             "benchmark": self.benchmark,
@@ -1306,7 +1306,7 @@ SERVE_REPORT_SCHEMA = "repro-bench-serve/1"
 
 def serve_report(load: ServeLoadResult) -> dict:
     """The machine-readable report dumped as ``BENCH_serve.json``."""
-    from repro.service.core import percentile
+    from repro.obs.metrics import percentile
     return {
         "schema": SERVE_REPORT_SCHEMA,
         "clients": load.clients,
@@ -1327,7 +1327,7 @@ def serve_report(load: ServeLoadResult) -> dict:
 
 def format_serve(load: ServeLoadResult) -> str:
     """The table printed by ``repro bench serve``."""
-    from repro.service.core import percentile
+    from repro.obs.metrics import percentile
     lines = [
         f"Check service: {load.clients} concurrent clients x "
         f"{load.edit_rate:g} edits/s (supersede pair per client)",
@@ -1486,6 +1486,13 @@ def _run_cache_worker(role: str, paths: List[str], store_url: str,
     env = dict(os.environ)
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
     env.pop("REPRO_STORE", None)
+    # A fleet run under REPRO_TRACE=dir/ pins the parent's trace id on
+    # every worker, so their per-pid dumps (and this process's own spans)
+    # merge into one trace: `repro trace merge dir/trace-*.json`.
+    from repro.obs.trace import current_trace_id
+    trace_id = current_trace_id()
+    if env.get("REPRO_TRACE") and trace_id and "REPRO_TRACE_ID" not in env:
+        env["REPRO_TRACE_ID"] = trace_id
     row = CacheWorkerRow(role=role)
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "check", "--format", "json",
@@ -1677,6 +1684,161 @@ def format_cache(fleet: CacheFleetResult) -> str:
             f"verdicts identical: {'yes' if fault['identical'] else 'NO'}; "
             f"degraded ops counted: {fault['degraded_ops']} "
             f"(server injected: {fault['server_faults']})")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# tracing overhead (`repro bench obs`)
+# ---------------------------------------------------------------------------
+
+#: Fast subset the overhead measurement replays (the point is the cost of
+#: the tracing seams, not re-timing the whole suite).
+OBS_BENCHMARKS = ["tsc-checker", "navier-stokes"]
+
+#: No-op span calls timed by the disabled-path microbenchmark.
+OBS_NOOP_CALLS = 200_000
+
+#: Schema identifier stamped into tracing-overhead reports.
+OBS_REPORT_SCHEMA = "repro-bench-obs/1"
+
+
+@dataclass
+class ObsRow:
+    """One benchmark checked twice: tracer disabled, then enabled."""
+
+    name: str
+    off_seconds: float = 0.0
+    on_seconds: float = 0.0
+    events: int = 0
+    safe: bool = False
+    identical: bool = False
+
+    @property
+    def on_overhead_pct(self) -> float:
+        """Measured enabled-tracer overhead (noisy; reported, not gated)."""
+        if self.off_seconds <= 0.0:
+            return 0.0
+        return (self.on_seconds - self.off_seconds) / self.off_seconds * 100.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "off_seconds": self.off_seconds,
+            "on_seconds": self.on_seconds,
+            "events": self.events,
+            "on_overhead_pct": self.on_overhead_pct,
+            "safe": self.safe,
+            "identical": self.identical,
+        }
+
+
+def noop_span_cost(calls: int = OBS_NOOP_CALLS) -> dict:
+    """Time the disabled fast path: one ``span()`` call, tracer off.
+
+    This is the only cost an untraced check pays per instrumentation seam,
+    so ``per_call_ns`` × the span count of a traced run bounds the
+    disabled-tracer overhead — the number CI gates below 2%."""
+    import time as _time
+
+    from repro.obs.trace import span, tracer
+    t = tracer()
+    was_enabled = t.enabled
+    t.enabled = False
+    start = _time.perf_counter()
+    for _ in range(calls):
+        with span("bench.noop", "bench"):
+            pass
+    elapsed = _time.perf_counter() - start
+    t.enabled = was_enabled
+    return {"calls": calls, "seconds": elapsed,
+            "per_call_ns": elapsed / calls * 1e9}
+
+
+def obs_rows(names: Optional[List[str]] = None,
+             programs_dir: Optional[pathlib.Path] = None) -> List[ObsRow]:
+    """Check each benchmark twice — tracer off, then on — in fresh
+    sessions, asserting byte-identical verdicts."""
+    import time as _time
+
+    from repro.obs.trace import tracer
+    rows: List[ObsRow] = []
+    t = tracer()
+    for name in (names or OBS_BENCHMARKS):
+        source = source_of(name, programs_dir)
+        filename = f"{name}.rsc"
+        t.reset()
+        start = _time.perf_counter()
+        off_result = Session(CheckConfig()).check_source(source,
+                                                         filename=filename)
+        off_seconds = _time.perf_counter() - start
+        t.enable()
+        start = _time.perf_counter()
+        on_result = Session(CheckConfig()).check_source(source,
+                                                        filename=filename)
+        on_seconds = _time.perf_counter() - start
+        events = len(t.drain()["events"])
+        t.reset()
+        rows.append(ObsRow(
+            name=name, off_seconds=off_seconds, on_seconds=on_seconds,
+            events=events, safe=off_result.ok and on_result.ok,
+            identical=(_comparable_verdict(off_result)
+                       == _comparable_verdict(on_result))))
+    return rows
+
+
+def obs_report(rows: List[ObsRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_obs.json``.
+
+    ``totals.off_overhead_pct`` is the gated number: the no-op span cost
+    times the span count of a traced run, as a fraction of the untraced
+    wall-clock — what tracing costs every user who never turns it on."""
+    noop = noop_span_cost()
+    off_total = sum(row.off_seconds for row in rows)
+    on_total = sum(row.on_seconds for row in rows)
+    events_total = sum(row.events for row in rows)
+    off_overhead_pct = 0.0
+    if off_total > 0.0:
+        off_overhead_pct = (events_total * noop["per_call_ns"] / 1e9
+                            / off_total * 100.0)
+    return {
+        "schema": OBS_REPORT_SCHEMA,
+        "noop": noop,
+        "rows": [row.to_dict() for row in rows],
+        "totals": {
+            "off_seconds": off_total,
+            "on_seconds": on_total,
+            "events": events_total,
+            "off_overhead_pct": off_overhead_pct,
+            "on_overhead_pct": ((on_total - off_total) / off_total * 100.0
+                                if off_total > 0.0 else 0.0),
+        },
+        "safe": all(row.safe for row in rows),
+        "identical": all(row.identical for row in rows),
+    }
+
+
+def format_obs(rows: List[ObsRow]) -> str:
+    """The table printed by ``repro bench obs``."""
+    report = obs_report(rows)
+    noop = report["noop"]
+    lines = [
+        "Tracing overhead: each benchmark checked with the tracer "
+        "disabled, then enabled",
+        "Benchmark        Off(s)    On(s)   Spans  On-ovh%  Same  Safe",
+        "-" * 62,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:15s} {row.off_seconds:7.2f} {row.on_seconds:8.2f} "
+            f"{row.events:7d} {row.on_overhead_pct:8.1f} "
+            f"{'yes' if row.identical else 'NO':>5s} "
+            f"{'yes' if row.safe else 'NO':>5s}")
+    lines.append("-" * 62)
+    lines.append(
+        f"no-op span: {noop['per_call_ns']:.0f} ns/call over "
+        f"{noop['calls']} calls; disabled-tracer overhead "
+        f"{report['totals']['off_overhead_pct']:.3f}% of untraced "
+        f"wall-clock (CI gates < 2%)")
     return "\n".join(lines)
 
 

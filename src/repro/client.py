@@ -33,6 +33,7 @@ import socket
 from typing import Any, Dict, Optional
 
 from repro.core.config import CheckConfig
+from repro.obs.trace import current_trace_id
 from repro.service.core import ServiceCore
 from repro.service.protocol import (CheckParams, EmptyParams, HelloParams,
                                     ProjectOpenParams, ProtocolError,
@@ -115,6 +116,7 @@ _PARAMS = {
     "close": lambda **kw: UriParams(**kw),
     "cancel": lambda **kw: UriParams(**kw),
     "stats": lambda **kw: EmptyParams(),
+    "metrics": lambda **kw: EmptyParams(),
     "shutdown": lambda **kw: EmptyParams(),
     "project_open": lambda **kw: ProjectOpenParams(**kw),
     "project_update": lambda **kw: CheckParams(**kw),
@@ -152,7 +154,8 @@ class Client:
         self._next_id += 1
         request = Request(method=spec.name, id=self._next_id,
                           params=_PARAMS[method](**params),
-                          tenant=self.tenant)
+                          tenant=self.tenant,
+                          trace=current_trace_id())
         self.transport.send(request.to_json(version=3))
         return self._next_id
 
@@ -193,6 +196,9 @@ class Client:
 
     def stats(self):
         return self.request("stats")
+
+    def metrics(self):
+        return self.request("metrics")
 
     def project_open(self, root: str):
         return self.request("project_open", root=root)

@@ -118,6 +118,34 @@ class ServiceOptions:
 
 
 @dataclass(frozen=True)
+class ObsOptions:
+    """Observability options (:mod:`repro.obs`).
+
+    * ``trace_path`` — where the CLI exports the Chrome trace-event JSON;
+      ``None`` leaves tracing disabled (unless the ``REPRO_TRACE``
+      environment variable enables it process-wide).
+    * ``slow_query_limit`` — how many of the slowest SMT implications the
+      tracer's slow-query log retains.
+
+    Deliberately excluded from the store's config fingerprint: tracing
+    never affects verdicts, so traced and untraced runs share artifacts.
+    """
+
+    trace_path: Optional[str] = None
+    slow_query_limit: int = 10
+
+    def __post_init__(self) -> None:
+        if self.slow_query_limit < 1:
+            raise ValueError("slow_query_limit must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_path": self.trace_path,
+            "slow_query_limit": self.slow_query_limit,
+        }
+
+
+@dataclass(frozen=True)
 class CheckConfig:
     """Immutable configuration shared by every check in a session.
 
@@ -152,6 +180,8 @@ class CheckConfig:
       (ignore ``store_path``).
     * ``service`` — multi-tenant serve-layer options
       (:class:`ServiceOptions`); inert outside :mod:`repro.service`.
+    * ``obs`` — tracing/metrics options (:class:`ObsOptions`); never
+      verdict-affecting.
     """
 
     max_fixpoint_iterations: int = 40
@@ -167,6 +197,7 @@ class CheckConfig:
     store_path: Optional[str] = None
     store_mode: str = "readwrite"
     service: ServiceOptions = field(default_factory=ServiceOptions)
+    obs: ObsOptions = field(default_factory=ObsOptions)
 
     def __post_init__(self) -> None:
         if self.max_fixpoint_iterations < 1:
@@ -215,4 +246,5 @@ class CheckConfig:
             "store_path": self.store_path,
             "store_mode": self.store_mode,
             "service": self.service.to_dict(),
+            "obs": self.obs.to_dict(),
         }

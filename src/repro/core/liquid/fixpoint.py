@@ -42,6 +42,7 @@ final verification conditions checked afterwards by the caller
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -62,6 +63,7 @@ from repro.core.config import FIXPOINT_STRATEGIES
 from repro.core.constraints import Implication
 from repro.core.liquid.qualifiers import QualifierPool
 from repro.core.result import SolveStats
+from repro.obs.trace import span as trace_span, tracer as _tracer
 
 #: Scheduling strategies understood by :class:`LiquidSolver` (the single
 #: source of truth lives in :mod:`repro.core.config`).
@@ -349,56 +351,65 @@ class LiquidSolver:
         """
         self.stats = SolveStats(strategy=self.strategy)
         self._cancel = cancel
-        warm = (previous is not None and dirty_kappas is not None
-                and self.strategy == "worklist")
-        if warm:
-            solution = self.warm_solution(previous, dirty_kappas)
-            self.stats.warm_starts = 1
-        else:
-            solution = self.initial_solution()
-        horn = [imp for imp in implications
-                if self._goal_kappa(imp) is not None
-                and self._goal_kappa(imp).fn in self.registry]
-        self.stats.kappas = len(self.registry.kappas)
-        self.stats.horn_implications = len(horn)
-        solver_before = self.solver.stats.copy()
-        if self.strategy == "naive":
-            self._solve_naive(horn, solution)
-        else:
-            self._solve_worklist(horn, solution,
-                                 seed_kappas=dirty_kappas if warm else None)
-        solver_delta = self.solver.stats.delta_since(solver_before)
-        self.stats.cache_hits = solver_delta.cache_hits
-        self.stats.contexts_created = solver_delta.contexts_created
-        self.stats.contexts_reused = solver_delta.contexts_reused
-        self.stats.clauses_learned = solver_delta.clauses_learned
-        self.stats.lemmas_reused = solver_delta.lemmas_reused
+        with trace_span("fixpoint.solve", "fixpoint",
+                        strategy=self.strategy) as sp:
+            warm = (previous is not None and dirty_kappas is not None
+                    and self.strategy == "worklist")
+            if warm:
+                solution = self.warm_solution(previous, dirty_kappas)
+                self.stats.warm_starts = 1
+            else:
+                solution = self.initial_solution()
+            horn = [imp for imp in implications
+                    if self._goal_kappa(imp) is not None
+                    and self._goal_kappa(imp).fn in self.registry]
+            self.stats.kappas = len(self.registry.kappas)
+            self.stats.horn_implications = len(horn)
+            solver_before = self.solver.stats.copy()
+            if self.strategy == "naive":
+                self._solve_naive(horn, solution)
+            else:
+                self._solve_worklist(
+                    horn, solution,
+                    seed_kappas=dirty_kappas if warm else None)
+            solver_delta = self.solver.stats.delta_since(solver_before)
+            self.stats.cache_hits = solver_delta.cache_hits
+            self.stats.contexts_created = solver_delta.contexts_created
+            self.stats.contexts_reused = solver_delta.contexts_reused
+            self.stats.clauses_learned = solver_delta.clauses_learned
+            self.stats.lemmas_reused = solver_delta.lemmas_reused
+            sp.note(kappas=self.stats.kappas,
+                    horn=self.stats.horn_implications,
+                    rounds=self.stats.rounds,
+                    queries=self.stats.queries_issued)
         return solution
 
     def _solve_naive(self, horn: Sequence[Implication],
                      solution: Solution) -> None:
         """The reference global-round loop: sweep everything every round."""
-        for _ in range(self.max_iterations):
+        for sweep in range(self.max_iterations):
             checkpoint(self._cancel)
             self.stats.rounds += 1
             changed = False
-            for imp in horn:
-                occurrence = self._goal_kappa(imp)
-                assert occurrence is not None
-                name = occurrence.fn
-                info = self.registry.info(name)
-                mapping = _occurrence_subst(info, occurrence)
-                hyps = [self.apply(h, solution) for h in imp.hyps]
-                kept: List[Expr] = []
-                for qual in solution.get(name, []):
-                    goal = substitute(qual, mapping)
-                    self.stats.queries_issued += 1
-                    if self.solver.check_implication(hyps, goal):
-                        kept.append(qual)
-                    else:
-                        self._refuted.add((name, qual))
-                        changed = True
-                solution[name] = kept
+            with trace_span("fixpoint.round", "fixpoint",
+                            round=sweep, implications=len(horn)):
+                for imp in horn:
+                    occurrence = self._goal_kappa(imp)
+                    assert occurrence is not None
+                    name = occurrence.fn
+                    info = self.registry.info(name)
+                    mapping = _occurrence_subst(info, occurrence)
+                    hyps = [self.apply(h, solution) for h in imp.hyps]
+                    kept: List[Expr] = []
+                    for qual in solution.get(name, []):
+                        goal = substitute(qual, mapping)
+                        self.stats.queries_issued += 1
+                        if self.solver.check_implication(hyps, goal):
+                            kept.append(qual)
+                        else:
+                            self._refuted.add((name, qual))
+                            changed = True
+                    solution[name] = kept
             if not changed:
                 break
 
@@ -452,22 +463,27 @@ class LiquidSolver:
                               for hyp in imp.hyps
                               for dep in kappa_occurrences(hyp))]
         current = sorted(initial, key=priority)
+        sweep = 0
         while current and self.stats.rounds < budget:
             position = {idx: pos for pos, idx in enumerate(current)}
             dirty: Set[int] = set()
-            for pos, idx in enumerate(current):
-                if self.stats.rounds >= budget:
-                    break
-                checkpoint(self._cancel)
-                self.stats.rounds += 1
-                if not self._visit(horn[idx], solution):
-                    continue
-                for watcher in watchers.get(goal_of[idx], ()):
-                    # a watcher still ahead of the cursor this round will
-                    # observe the change anyway; everything else is deferred
-                    if position.get(watcher, -1) <= pos:
-                        dirty.add(watcher)
+            with trace_span("fixpoint.round", "fixpoint",
+                            round=sweep, batch=len(current)):
+                for pos, idx in enumerate(current):
+                    if self.stats.rounds >= budget:
+                        break
+                    checkpoint(self._cancel)
+                    self.stats.rounds += 1
+                    if not self._visit(horn[idx], solution):
+                        continue
+                    for watcher in watchers.get(goal_of[idx], ()):
+                        # a watcher still ahead of the cursor this round
+                        # will observe the change anyway; everything else
+                        # is deferred
+                        if position.get(watcher, -1) <= pos:
+                            dirty.add(watcher)
             current = sorted(dirty, key=priority)
+            sweep += 1
 
     def _visit(self, imp: Implication, solution: Solution) -> bool:
         """Weaken the goal kappa of ``imp``; True iff its assignment shrank."""
@@ -507,7 +523,19 @@ class LiquidSolver:
         verdicts: List[bool] = []
         if pending_goals:
             self.stats.queries_issued += len(pending_goals)
-            verdicts = self.solver.check_implication_batch(hyps, pending_goals)
+            t = _tracer()
+            if t.enabled:
+                start_ns = time.perf_counter_ns()
+                verdicts = self.solver.check_implication_batch(hyps,
+                                                               pending_goals)
+                elapsed_ns = time.perf_counter_ns() - start_ns
+                t.emit("fixpoint.batch", "fixpoint", start_ns, elapsed_ns,
+                       {"kappa": name, "goals": len(pending_goals)})
+                t.slow.record(elapsed_ns / 1e9, kind="batch", kappa=name,
+                              owner=info.owner, goals=len(pending_goals))
+            else:
+                verdicts = self.solver.check_implication_batch(hyps,
+                                                               pending_goals)
 
         kept: List[Expr] = []
         changed = False
@@ -534,13 +562,21 @@ class LiquidSolver:
                        ) -> List[ObligationOutcome]:
         """Check every implication with a concrete goal under the solution."""
         results: List[ObligationOutcome] = []
+        t = _tracer()
         for imp in implications:
             if self._goal_kappa(imp) is not None:
                 continue
             checkpoint(cancel)
             hyps = [self.apply(h, solution) for h in imp.hyps]
             goal = self.apply(imp.goal, solution)
-            ok = self.solver.check_implication(hyps, goal)
+            if t.enabled:
+                start_ns = time.perf_counter_ns()
+                ok = self.solver.check_implication(hyps, goal)
+                elapsed_ns = time.perf_counter_ns() - start_ns
+                t.slow.record(elapsed_ns / 1e9, kind="concrete",
+                              owner=imp.owner, goals=1)
+            else:
+                ok = self.solver.check_implication(hyps, goal)
             results.append(ObligationOutcome(imp, ok, goal))
         return results
 

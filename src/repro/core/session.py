@@ -42,6 +42,7 @@ from repro.lang import ast
 from repro.smt.solver import Solver, SolverStats
 from repro.core.cancel import CancelToken, CheckCancelled, checkpoint
 from repro.core.config import CheckConfig
+from repro.obs.trace import tracer
 from repro.core.result import BatchResult, CheckResult, StageTimings
 from repro.core.workspace import (  # noqa: F401  (re-exported stage types)
     ConstraintsStage,
@@ -54,11 +55,21 @@ from repro.core.workspace import (  # noqa: F401  (re-exported stage types)
 PathLike = Union[str, pathlib.Path]
 
 
-def _check_chunk(config: CheckConfig, paths: List[str]) -> tuple:
-    """Process-pool worker: check a chunk of files in a fresh session."""
+def _check_chunk(config: CheckConfig, paths: List[str],
+                 trace_id: Optional[str] = None) -> tuple:
+    """Process-pool worker: check a chunk of files in a fresh session.
+
+    With ``trace_id`` set the worker's spans are collected too (reset
+    first — a forked worker inherits the parent's buffered events — then
+    drained into the return value for the parent to merge)."""
+    if trace_id is not None:
+        worker_tracer = tracer()
+        worker_tracer.reset()
+        worker_tracer.enable(trace_id=trace_id)
     session = Session(config)
     results = [Session._checked(pathlib.Path(p), session) for p in paths]
-    return results, session.solver.stats, session.files_checked
+    trace = tracer().drain() if trace_id is not None else None
+    return results, session.solver.stats, session.files_checked, trace
 
 
 class Session:
@@ -184,18 +195,24 @@ class Session:
         chunks: List[List[str]] = [[] for _ in range(jobs)]
         for index, path in enumerate(paths):
             chunks[index % jobs].append(str(path))
+        parent_tracer = tracer()
+        trace_id = parent_tracer.trace_id if parent_tracer.enabled else None
         try:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [pool.submit(_check_chunk, self.config, chunk)
+                futures = [pool.submit(_check_chunk, self.config, chunk,
+                                       trace_id)
                            for chunk in chunks]
                 per_chunk = [f.result() for f in futures]
         except (OSError, RuntimeError, BrokenProcessPool):
             return None
         by_path: Dict[str, CheckResult] = {}
         stats = SolverStats()
-        for results, worker_stats, checked in per_chunk:
+        for results, worker_stats, checked, trace in per_chunk:
             stats.merge(worker_stats)
             self.files_checked += checked
+            if trace is not None:
+                parent_tracer.ingest(trace["events"],
+                                     trace["slow_queries"])
             for result in results:
                 by_path[result.filename] = result
         return [by_path[str(p)] for p in paths], stats

@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple, Union
@@ -75,6 +74,7 @@ from repro.core.liquid.fixpoint import (
 )
 from repro.core.liquid.qualifiers import QualifierPool
 from repro.core.result import CheckResult, SolveStats, StageTimings
+from repro.obs.trace import span as trace_span, stage_span
 from repro.core.subtype import SubtypeSplitter
 from repro.store import ArtifactStore, config_fingerprint, open_store
 
@@ -258,7 +258,10 @@ class Workspace:
         self.checks_cancelled = 0
         self.artifact_cache_hits = 0
         #: persistent cross-process artifact store (None when disabled)
-        self.store = open_store(self.config)
+        with trace_span("store.open", "store",
+                        mode=self.config.store_mode) as sp:
+            self.store = open_store(self.config)
+            sp.note(enabled=self.store is not None)
         self._store_fp = (config_fingerprint(self.config)
                           if self.store is not None else None)
 
@@ -328,7 +331,9 @@ class Workspace:
     def _check_document(self, document: Document, text: str,
                         token: Optional[CancelToken] = None) -> CheckResult:
         try:
-            return self._check_document_inner(document, text, token)
+            with trace_span("pipeline.check", "pipeline",
+                            uri=document.uri):
+                return self._check_document_inner(document, text, token)
         except CheckCancelled:
             # Counted here (not at the inner stage boundaries) so a check
             # aborted before it even built constraints still registers.
@@ -479,41 +484,40 @@ class Workspace:
     def parse(self, source: str, filename: str = "<input>") -> ParseStage:
         """Stage 1: lex and parse ``source`` into an AST."""
         timings = StageTimings()
-        start = time.perf_counter()
         program: Optional[ast.Program] = None
         diagnostics: List[Diagnostic] = []
-        try:
-            program = parse_program(source, filename)
-        except ParseError as exc:
-            span = exc.span
-            if span.filename != filename:
-                # a ParseError raised without a span would otherwise lose the
-                # file being checked
-                span = span.with_filename(filename)
-            diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message, span,
-                                          code="RSC-PARSE-001"))
-        timings.record("parse", time.perf_counter() - start)
+        with stage_span(timings, "parse", module=filename):
+            try:
+                program = parse_program(source, filename)
+            except ParseError as exc:
+                span = exc.span
+                if span.filename != filename:
+                    # a ParseError raised without a span would otherwise
+                    # lose the file being checked
+                    span = span.with_filename(filename)
+                diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message,
+                                              span, code="RSC-PARSE-001"))
         return ParseStage(source, filename, program, diagnostics, timings)
 
     def ssa(self, parsed: ParseStage) -> SsaStage:
         """Stage 2: SSA-convert every callable body (inspectable IRSC)."""
         if parsed.program is None:
             raise ValueError("cannot run the ssa stage on a failed parse")
-        start = time.perf_counter()
         functions: Dict[str, ir.IRFunction] = {}
-        for decl in parsed.program.declarations:
-            if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
-                functions[decl.name] = SsaTransformer().function(decl)
-            elif isinstance(decl, ast.ClassDecl):
-                for method in decl.methods:
-                    if method.body is None:
-                        continue
-                    wrapped = ast.FunctionDecl(
-                        name=f"{decl.name}.{method.sig.name}",
-                        params=method.sig.params, ret=method.sig.ret,
-                        body=method.body, span=method.sig.span)
-                    functions[wrapped.name] = SsaTransformer().function(wrapped)
-        parsed.timings.record("ssa", time.perf_counter() - start)
+        with stage_span(parsed.timings, "ssa", module=parsed.filename):
+            for decl in parsed.program.declarations:
+                if isinstance(decl, ast.FunctionDecl) and decl.body is not None:
+                    functions[decl.name] = SsaTransformer().function(decl)
+                elif isinstance(decl, ast.ClassDecl):
+                    for method in decl.methods:
+                        if method.body is None:
+                            continue
+                        wrapped = ast.FunctionDecl(
+                            name=f"{decl.name}.{method.sig.name}",
+                            params=method.sig.params, ret=method.sig.ret,
+                            body=method.body, span=method.sig.span)
+                        functions[wrapped.name] = \
+                            SsaTransformer().function(wrapped)
         return SsaStage(parsed, functions, parsed.timings)
 
     def constraints(self, stage: Union[ParseStage, SsaStage]) -> ConstraintsStage:
@@ -524,21 +528,21 @@ class Workspace:
         store_key, store_solution, memos_hit, recorded = \
             self._store_begin(parsed)
         stats_base = self.solver.stats.copy()
-        start = time.perf_counter()
-        try:
-            diags = DiagnosticBag()
-            diags.extend(parsed.diagnostics)
-            checker = Checker(parsed.program, diags, self.solver,
-                              pool=self._new_pool())
-            checker.run()
-            splitter = SubtypeSplitter(checker.table, checker.constraints)
-            for constraint in list(checker.constraints.subtypings):
-                splitter.split(constraint)
-        except BaseException:
-            if recorded is not None:
-                self.solver.stop_recording(recorded)
-            raise
-        parsed.timings.record("constraints", time.perf_counter() - start)
+        with stage_span(parsed.timings, "constraints",
+                        module=parsed.filename):
+            try:
+                diags = DiagnosticBag()
+                diags.extend(parsed.diagnostics)
+                checker = Checker(parsed.program, diags, self.solver,
+                                  pool=self._new_pool())
+                checker.run()
+                splitter = SubtypeSplitter(checker.table, checker.constraints)
+                for constraint in list(checker.constraints.subtypings):
+                    splitter.split(constraint)
+            except BaseException:
+                if recorded is not None:
+                    self.solver.stop_recording(recorded)
+                raise
         return ConstraintsStage(parsed, checker, diags, stats_base,
                                 parsed.timings, store_key=store_key,
                                 store_solution=store_solution,
@@ -576,25 +580,25 @@ class Workspace:
         With a :class:`WarmPlan` the fixpoint starts from the previous
         solution and only the dirty partitions' kappas are re-seeded.
         """
-        start = time.perf_counter()
         checker = stage.checker
-        if plan is None:
-            plan = self._store_plan(stage)
-        liquid = LiquidSolver(
-            self.solver, checker.pool, checker.kappas,
-            max_iterations=self.config.max_fixpoint_iterations,
-            strategy=self.config.fixpoint_strategy)
-        if plan is not None:
-            solution = liquid.solve(checker.constraints.implications,
-                                    previous=plan.previous,
-                                    dirty_kappas=plan.dirty_kappas,
-                                    cancel=token)
-            liquid.stats.declarations_rechecked = len(plan.dirty_owners)
-            liquid.stats.declarations_reused = len(plan.reused_owners)
-        else:
-            solution = liquid.solve(checker.constraints.implications,
-                                    cancel=token)
-        stage.timings.record("solve", time.perf_counter() - start)
+        with stage_span(stage.timings, "solve",
+                        module=stage.parse.filename):
+            if plan is None:
+                plan = self._store_plan(stage)
+            liquid = LiquidSolver(
+                self.solver, checker.pool, checker.kappas,
+                max_iterations=self.config.max_fixpoint_iterations,
+                strategy=self.config.fixpoint_strategy)
+            if plan is not None:
+                solution = liquid.solve(checker.constraints.implications,
+                                        previous=plan.previous,
+                                        dirty_kappas=plan.dirty_kappas,
+                                        cancel=token)
+                liquid.stats.declarations_rechecked = len(plan.dirty_owners)
+                liquid.stats.declarations_reused = len(plan.reused_owners)
+            else:
+                solution = liquid.solve(checker.constraints.implications,
+                                        cancel=token)
         return SolveStage(stage, liquid, solution, stage.timings)
 
     def _store_plan(self, stage: ConstraintsStage) -> Optional[WarmPlan]:
@@ -630,21 +634,21 @@ class Workspace:
     def _verify(self, stage: SolveStage, plan: Optional[WarmPlan],
                 token: Optional[CancelToken] = None
                 ) -> Tuple[CheckResult, List[ObligationOutcome]]:
-        start = time.perf_counter()
         cons = stage.constraints
         checker = cons.checker
-        if plan is None:
-            results = stage.liquid.check_concrete(
-                checker.constraints.implications, stage.solution,
-                cancel=token)
-        else:
-            results = self._verify_selective(stage, plan)
-        for outcome in results:
-            if outcome.ok:
-                continue
-            cons.diags.error(outcome.implication.kind, outcome.message(),
-                             outcome.span, code=outcome.code)
-        stage.timings.record("verify", time.perf_counter() - start)
+        with stage_span(stage.timings, "verify",
+                        module=cons.parse.filename):
+            if plan is None:
+                results = stage.liquid.check_concrete(
+                    checker.constraints.implications, stage.solution,
+                    cancel=token)
+            else:
+                results = self._verify_selective(stage, plan)
+            for outcome in results:
+                if outcome.ok:
+                    continue
+                cons.diags.error(outcome.implication.kind, outcome.message(),
+                                 outcome.span, code=outcome.code)
         diagnostics = list(cons.diags)
         if self.config.warnings_as_errors:
             diagnostics = [replace(d, severity=Severity.ERROR)

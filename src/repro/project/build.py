@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import CheckConfig
 from repro.core.result import CheckResult
+from repro.obs.trace import span as trace_span, tracer
 from repro.project.graph import ModuleGraph
 from repro.project.result import ProjectResult
 from repro.smt.solver import SolverStats
@@ -44,10 +45,25 @@ def check_module(config: CheckConfig, path: str,
     return Session(config).check_source(document_text, filename=path)
 
 
-def _check_many(config: CheckConfig,
-                work: List[Tuple[str, str]]) -> List[CheckResult]:
-    """Process-pool worker: check a slice of one batch."""
-    return [check_module(config, path, text) for path, text in work]
+def _check_many(config: CheckConfig, work: List[Tuple[str, str]],
+                trace_id: Optional[str] = None
+                ) -> Tuple[List[CheckResult], Optional[dict]]:
+    """Process-pool worker: check a slice of one batch.
+
+    With ``trace_id`` set the worker collects spans too: the tracer is
+    reset first (a forked worker inherits the parent's buffered events),
+    enabled under the parent's trace id, and drained into the return value
+    so the parent can merge every worker's events into one trace.
+    """
+    trace = None
+    if trace_id is not None:
+        worker_tracer = tracer()
+        worker_tracer.reset()
+        worker_tracer.enable(trace_id=trace_id)
+    results = [check_module(config, path, text) for path, text in work]
+    if trace_id is not None:
+        trace = tracer().drain()
+    return results, trace
 
 
 def attach_module_diagnostics(graph: ModuleGraph, path: str,
@@ -104,17 +120,19 @@ def check_graph(graph: ModuleGraph, config: Optional[CheckConfig] = None,
         except (OSError, RuntimeError):
             pool = None
     try:
-        for batch in graph.batches():
+        for rank, batch in enumerate(graph.batches()):
             work = [(path, graph.document_text(path)) for path in batch]
-            results = None
-            if pool is not None and len(work) > 1:
-                results = _run_batch_parallel(pool, config, work, jobs)
-                if results is None:  # pool broke; finish sequentially
-                    pool.shutdown(wait=False)
-                    pool = None
-            if results is None:
-                results = [check_module(config, path, text)
-                           for path, text in work]
+            with trace_span("project.batch", "pipeline", rank=rank,
+                            modules=len(work)):
+                results = None
+                if pool is not None and len(work) > 1:
+                    results = _run_batch_parallel(pool, config, work, jobs)
+                    if results is None:  # pool broke; finish sequentially
+                        pool.shutdown(wait=False)
+                        pool = None
+                if results is None:
+                    results = [check_module(config, path, text)
+                               for path, text in work]
             for (path, _text), result in zip(work, results):
                 by_path[path] = attach_module_diagnostics(graph, path,
                                                           result)
@@ -137,14 +155,18 @@ def _run_batch_parallel(pool: ProcessPoolExecutor, config: CheckConfig,
     chunks: List[List[Tuple[str, str]]] = [[] for _ in range(workers)]
     for index, item in enumerate(work):
         chunks[index % workers].append(item)
+    parent_tracer = tracer()
+    trace_id = parent_tracer.trace_id if parent_tracer.enabled else None
     try:
-        futures = [pool.submit(_check_many, config, chunk)
+        futures = [pool.submit(_check_many, config, chunk, trace_id)
                    for chunk in chunks]
         per_chunk = [future.result() for future in futures]
     except (OSError, RuntimeError, BrokenProcessPool):
         return None
     by_path: Dict[str, CheckResult] = {}
-    for results in per_chunk:
+    for results, trace in per_chunk:
+        if trace is not None:
+            parent_tracer.ingest(trace["events"], trace["slow_queries"])
         for result in results:
             by_path[result.filename] = result
     return [by_path[path] for path, _text in work]

@@ -23,36 +23,30 @@ per tenant is executing at a time.
 
 from __future__ import annotations
 
-import math
 import time
-from collections import OrderedDict, deque
-from typing import Any, Callable, Dict, List, Optional
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.cancel import CancelToken, CheckCancelled
 from repro.core.config import CheckConfig
 from repro.core.result import CheckResult
 from repro.core.workspace import Workspace
+# ``percentile`` is re-exported here for callers that predate repro.obs —
+# the one nearest-rank implementation now lives in repro.obs.metrics.
+from repro.obs.metrics import (Histogram, MetricsRegistry, percentile,
+                               registry_from_stats)
 from repro.service.protocol import (PROTOCOLS, CancelPayload, CheckPayload,
                                     ClosePayload, DiagnosticsPayload,
-                                    HelloPayload, ModulePayload,
-                                    ProjectBuildPayload, ProjectUpdatePayload,
-                                    ProtocolError, Request, Response,
-                                    ShutdownPayload, StatsPayload,
-                                    decode_request, method_names)
+                                    HelloPayload, MetricsPayload,
+                                    ModulePayload, ProjectBuildPayload,
+                                    ProjectUpdatePayload, ProtocolError,
+                                    Request, Response, ShutdownPayload,
+                                    StatsPayload, decode_request,
+                                    method_names)
 
 #: Methods whose wall-clock enters the tenant's latency window.
 TIMED_METHODS = frozenset(
     {"check", "update", "project_open", "project_update"})
-
-
-def percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an unsorted sample (0 for an empty one)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1,
-                      math.ceil(q / 100.0 * len(ordered)) - 1))
-    return ordered[rank]
 
 
 class TenantSession:
@@ -69,8 +63,10 @@ class TenantSession:
         self.cancelled_inflight = 0
         #: maintained by the async server's lane; 0 under the stdio shim
         self.queue_depth = 0
-        self.latencies_ms: deque = deque(
-            maxlen=self.config.service.latency_window)
+        #: the ``stats``/``metrics`` latency window (an obs histogram; the
+        #: hand-rolled deque it replaced kept the same bounded shape)
+        self.latencies_ms = Histogram(
+            window=self.config.service.latency_window)
         self._last_time: Dict[str, float] = {}
 
     # -- document methods --------------------------------------------------
@@ -181,7 +177,9 @@ class TenantSession:
                            if previous is not None else None),
             queries=result.stats.queries if result.stats else 0,
             warm=bool(solve and solve.warm_starts),
-            solve_stats=solve.to_dict() if solve else None)
+            solve_stats=solve.to_dict() if solve else None,
+            timings=(result.timings.to_dict()
+                     if result.timings is not None else None))
 
     # -- counters ----------------------------------------------------------
 
@@ -190,7 +188,7 @@ class TenantSession:
         return self.cancelled_queued + self.cancelled_inflight
 
     def stats_entry(self) -> dict:
-        window = list(self.latencies_ms)
+        window = self.latencies_ms.values()
         return {
             "open_documents": len(self.workspace.documents()),
             "checks_run": self.workspace.checks_run,
@@ -204,6 +202,22 @@ class TenantSession:
                 "p99_ms": percentile(window, 99.0),
             },
         }
+
+    def metrics_entry(self) -> dict:
+        """This tenant's registry snapshot for the ``metrics`` method."""
+        workspace = self.workspace
+        registry = registry_from_stats(
+            solver=workspace.solver.stats,
+            store=(workspace.store.counters()
+                   if workspace.store is not None else None))
+        registry.counter("service.requests").value = self.requests
+        registry.counter("service.checks_run").value = workspace.checks_run
+        registry.counter("service.cancelled_queued").value = \
+            self.cancelled_queued
+        registry.counter("service.cancelled_inflight").value = \
+            self.cancelled_inflight
+        registry.attach_histogram("service.latency_ms", self.latencies_ms)
+        return registry.to_dict()
 
 
 class SessionManager:
@@ -294,7 +308,8 @@ class ServiceCore:
         """Execute one decoded (and already counted) request."""
         try:
             return Response.success(
-                request.id, self._dispatch(request, version, token))
+                request.id, self._dispatch(request, version, token),
+                version)
         except ProtocolError as exc:
             return Response.failure(request.id, exc.code, exc.message)
         except CheckCancelled as exc:
@@ -321,6 +336,8 @@ class ServiceCore:
                                 tenant=self.tenant_name(request))
         if method == "stats":
             return self.stats(version)
+        if method == "metrics":
+            return self.metrics(version)
         if method == "shutdown":
             return self.shutdown(version)
         if method == "cancel":
@@ -335,7 +352,7 @@ class ServiceCore:
             tenant.cancelled_inflight += 1
             raise
         if method in TIMED_METHODS:
-            tenant.latencies_ms.append(
+            tenant.latencies_ms.observe(
                 (time.perf_counter() - start) * 1000.0)
         return payload
 
@@ -363,6 +380,20 @@ class ServiceCore:
                 "cancelled_inflight": sum(s.cancelled_inflight for s in
                                           self.manager.tenants.values()),
             })
+
+    def metrics(self, version: int = 3) -> MetricsPayload:
+        """The unified registry snapshot: totals plus one per tenant."""
+        totals = MetricsRegistry()
+        totals.counter("service.requests_served").value = \
+            self.requests_served
+        totals.counter("service.checks_run").value = self.checks_run
+        totals.counter("service.tenants").value = len(self.manager.tenants)
+        totals.counter("service.tenants_evicted").value = \
+            self.manager.tenants_evicted
+        tenants = {name: session.metrics_entry()
+                   for name, session in self.manager.tenants.items()}
+        return MetricsPayload(protocol=PROTOCOLS[version],
+                              totals=totals.to_dict(), tenants=tenants)
 
     def shutdown(self, version: int = 3) -> ShutdownPayload:
         self.shutting_down = True

@@ -185,8 +185,16 @@ class ProjectOpenParams:
 class _Payload:
     """Shared to_json/from_json over the dataclass fields."""
 
-    def to_json(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    #: Fields added after a payload first shipped, keyed by the protocol
+    #: version that introduced them; ``to_json(version)`` omits fields
+    #: newer than the requested version, so growing a v2 payload (e.g.
+    #: ``CheckPayload.timings``) keeps v2 transcripts byte-identical.
+    FIELDS_SINCE: Dict[str, int] = {}
+
+    def to_json(self, version: int = 3) -> dict:
+        since = self.FIELDS_SINCE
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if since.get(f.name, 2) <= version}
 
     @classmethod
     def from_json(cls, obj: dict):
@@ -199,7 +207,14 @@ class _Payload:
 
 @dataclass
 class CheckPayload(_Payload):
-    """Result of ``check``/``update`` — the per-edit verdict and counters."""
+    """Result of ``check``/``update`` — the per-edit verdict and counters.
+
+    ``timings`` (v3 only) is the per-stage second breakdown from the span
+    tree (:class:`repro.core.result.StageTimings`), so watchers and shells
+    report the same stage numbers the trace shows.
+    """
+
+    FIELDS_SINCE = {"timings": 3}
 
     uri: str = ""
     status: str = ""
@@ -210,6 +225,7 @@ class CheckPayload(_Payload):
     queries: int = 0
     warm: bool = False
     solve_stats: Optional[dict] = None
+    timings: Optional[dict] = None
 
 
 @dataclass
@@ -260,6 +276,16 @@ class StatsPayload(_Payload):
     protocol: str = PROTOCOL_V3
     tenants: Dict[str, dict] = field(default_factory=dict)
     totals: dict = field(default_factory=dict)
+
+
+@dataclass
+class MetricsPayload(_Payload):
+    """Result of ``metrics`` — the unified registry snapshot
+    (:class:`repro.obs.metrics.MetricsRegistry`), totals plus per-tenant."""
+
+    protocol: str = PROTOCOL_V3
+    totals: dict = field(default_factory=dict)
+    tenants: Dict[str, dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -353,6 +379,8 @@ METHODS: Dict[str, MethodSpec] = dict([
           "Cancel the in-flight or queued check of a URI."),
     _spec("stats", 3, EmptyParams, StatsPayload,
           "Per-tenant queue depth, latency percentiles and counters."),
+    _spec("metrics", 3, EmptyParams, MetricsPayload,
+          "The unified metrics registry: counters, gauges, histograms."),
 ])
 
 
@@ -395,12 +423,18 @@ def describe_methods(version: int = 3) -> List[dict]:
 
 @dataclass
 class Request:
-    """One decoded request: method + typed params (+ tenant under v3)."""
+    """One decoded request: method + typed params (+ tenant/trace under v3).
+
+    ``trace`` carries the client's active trace id (:mod:`repro.obs.trace`)
+    so a fleet's service traffic can be stitched into one cross-process
+    trace; like ``tenant`` it only exists on the wire at v3.
+    """
 
     method: str
     id: Any = None
     params: Any = None
     tenant: Optional[str] = None
+    trace: Optional[str] = None
 
     @property
     def uri(self) -> Optional[str]:
@@ -411,6 +445,8 @@ class Request:
         obj: dict = {"id": self.id, "method": self.method}
         if self.tenant is not None and version >= 3:
             obj["tenant"] = self.tenant
+        if self.trace is not None and version >= 3:
+            obj["trace"] = self.trace
         params = self.params.to_json() if self.params is not None else {}
         if params:
             obj["params"] = params
@@ -428,10 +464,13 @@ def decode_request(obj: dict, version: int = 3) -> Request:
     if not isinstance(params, dict):
         raise ProtocolError("bad-params", "params must be an object")
     tenant = None
+    trace = None
     if version >= 3:
         tenant = _optional_str(obj, "tenant", where="request")
+        trace = _optional_str(obj, "trace", where="request")
     return Request(method=spec.name, id=obj.get("id"),
-                   params=spec.params.from_json(params), tenant=tenant)
+                   params=spec.params.from_json(params), tenant=tenant,
+                   trace=trace)
 
 
 @dataclass
@@ -445,8 +484,14 @@ class Response:
     error_message: Optional[str] = None
 
     @classmethod
-    def success(cls, request_id: Any, payload: Any) -> "Response":
-        result = payload.to_json() if hasattr(payload, "to_json") else payload
+    def success(cls, request_id: Any, payload: Any,
+                version: int = 3) -> "Response":
+        if isinstance(payload, _Payload):
+            result = payload.to_json(version)
+        elif hasattr(payload, "to_json"):
+            result = payload.to_json()
+        else:
+            result = payload
         return cls(id=request_id, ok=True, result=result)
 
     @classmethod

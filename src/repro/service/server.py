@@ -39,6 +39,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.cancel import CancelToken
 from repro.core.config import CheckConfig
+from repro.obs.trace import span as trace_span
 from repro.service.core import ServiceCore
 from repro.service.protocol import (CancelPayload, ProtocolError, Request,
                                     Response, decode_request,
@@ -174,7 +175,8 @@ class AsyncCheckServer:
                     await send(Response.failure(obj.get("id"), exc.code,
                                                 exc.message))
                     continue
-                if request.method in ("hello", "stats", "cancel"):
+                if request.method in ("hello", "stats", "metrics",
+                                      "cancel"):
                     # Control methods answer inline on the event loop; they
                     # never touch a workspace, so they cannot race a check.
                     await send(self.core.execute(request, version=3))
@@ -231,12 +233,20 @@ class AsyncCheckServer:
             lane.current = job
             try:
                 response = await loop.run_in_executor(
-                    self.executor, self.core.execute, job.request, 3,
-                    job.token)
+                    self.executor, self._execute_traced, name, job)
             finally:
                 lane.current = None
             await job.respond(response)
         lane.task = None
+
+    def _execute_traced(self, name: str, job: _Job) -> Response:
+        """One lane job on an executor thread, wrapped in a service span
+        carrying the tenant/method breakdown (and the client's trace id)."""
+        request = job.request
+        extra = {"trace": request.trace} if request.trace else {}
+        with trace_span(f"service.{request.method}", "service",
+                        tenant=name, **extra):
+            return self.core.execute(request, 3, job.token)
 
     def _sync_depth(self, name: str, lane: _Lane) -> None:
         tenant = self.core.manager.peek(name)

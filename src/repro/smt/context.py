@@ -49,6 +49,7 @@ from repro.logic.terms import BoolLit, Expr, neg
 from repro.smt.cnf import AtomMap, collect_atoms, to_nnf, tseitin
 from repro.smt.sat import SatSolver
 from repro.smt.theory import TheoryLiteral, check_with_core
+from repro.obs.trace import span as trace_span
 
 #: Retire this many goals before compacting the clause database.
 COMPACT_EVERY = 8
@@ -401,8 +402,10 @@ class ContextManager:
             self._contexts.move_to_end(antecedent)
             stats.contexts_reused += 1
             return context
-        context = SolverContext(antecedent, self.lemmas,
-                                self.max_theory_iterations)
+        with trace_span("smt.context_build", "smt",
+                        cached=len(self._contexts)):
+            context = SolverContext(antecedent, self.lemmas,
+                                    self.max_theory_iterations)
         stats.contexts_created += 1
         self._contexts[antecedent] = context
         while len(self._contexts) > self.limit:

@@ -30,6 +30,7 @@ from repro.smt.cnf import AtomMap, tseitin, to_nnf
 from repro.smt.context import ContextManager
 from repro.smt.sat import SatSolver
 from repro.smt.theory import check_with_core
+from repro.obs.trace import span as trace_span
 
 #: Query engines understood by :class:`Solver` (mirrored by
 #: :data:`repro.core.config.SMT_MODES` for :class:`CheckConfig` validation).
@@ -209,12 +210,14 @@ class Solver:
         cached = self._cache_lookup(formula)
         if cached is not None:
             return cached
-        start = time.perf_counter()
-        self.stats.queries += 1
-        try:
-            result = self._check_sat(formula)
-        finally:
-            self.stats.time_seconds += time.perf_counter() - start
+        with trace_span("smt.check", "smt") as sp:
+            start = time.perf_counter()
+            self.stats.queries += 1
+            try:
+                result = self._check_sat(formula)
+            finally:
+                self.stats.time_seconds += time.perf_counter() - start
+            sp.note(result=result.value)
         self._cache_store(formula, result)
         self._record(formula, result)
         return result
@@ -267,19 +270,23 @@ class Solver:
         if cached is not None:
             result = cached
         else:
-            start = time.perf_counter()
-            self.stats.queries += 1
-            try:
-                context = self.contexts.context_for(antecedent, self.stats)
-                verdict = context.check_goal(goal, self.stats)
-                # Tri-state, like the fresh loop: None (budget exhausted) is
-                # UNKNOWN and must not be cached as a real SAT answer.
-                if verdict is None:
-                    result = Result.UNKNOWN
-                else:
-                    result = Result.UNSAT if verdict else Result.SAT
-            finally:
-                self.stats.time_seconds += time.perf_counter() - start
+            with trace_span("smt.query", "smt") as sp:
+                start = time.perf_counter()
+                self.stats.queries += 1
+                try:
+                    context = self.contexts.context_for(antecedent,
+                                                        self.stats)
+                    verdict = context.check_goal(goal, self.stats)
+                    # Tri-state, like the fresh loop: None (budget
+                    # exhausted) is UNKNOWN and must not be cached as a
+                    # real SAT answer.
+                    if verdict is None:
+                        result = Result.UNKNOWN
+                    else:
+                        result = Result.UNSAT if verdict else Result.SAT
+                finally:
+                    self.stats.time_seconds += time.perf_counter() - start
+                sp.note(result=result.value)
             self._cache_store(formula, result)
             self._record(formula, result)
         valid = result is Result.UNSAT

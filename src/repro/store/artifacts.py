@@ -32,6 +32,7 @@ import pathlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.logic.terms import Expr
+from repro.obs.trace import span as trace_span
 from repro.smt.solver import Result
 from repro.store import codec
 from repro.store.backend import (
@@ -147,22 +148,30 @@ class ArtifactStore:
     # -- plumbing ----------------------------------------------------------
 
     def _load(self, kind: str, key: str):
-        payload = self.backend.get(kind, key)
-        if payload is None:
-            self.misses += 1
-            return None
-        try:
-            data = codec.decode_entry(kind, payload)
-        except CodecError:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return data
+        with trace_span("store.get", "store", kind=kind) as sp:
+            payload = self.backend.get(kind, key)
+            if payload is None:
+                self.misses += 1
+                sp.note(hit=False)
+                return None
+            try:
+                data = codec.decode_entry(kind, payload)
+            except CodecError:
+                self.misses += 1
+                sp.note(hit=False, decode_error=True)
+                return None
+            self.hits += 1
+            sp.note(hit=True)
+            return data
 
     def _save(self, kind: str, key: str, data) -> None:
         if self.readonly:
             return
-        if self.backend.put(kind, key, codec.encode_entry(kind, data)):
+        with trace_span("store.put", "store", kind=kind) as sp:
+            written = self.backend.put(kind, key,
+                                       codec.encode_entry(kind, data))
+            sp.note(written=written)
+        if written:
             self.writes += 1
 
 

@@ -298,17 +298,26 @@ def spec_for(method: Any) -> StoreMethodSpec:
 
 @dataclass
 class StoreRequest:
-    """One decoded request: method plus typed params."""
+    """One decoded request: method plus typed params.
+
+    ``trace`` carries the client's active trace id (see
+    :mod:`repro.obs.trace`) so a fleet's store traffic can be stitched
+    into one cross-process trace; it is omitted when unset and silently
+    ignored by servers that predate it.
+    """
 
     method: str
     id: Any = None
     params: Any = None
+    trace: Optional[str] = None
 
     def to_json(self) -> dict:
         obj: dict = {"id": self.id, "method": self.method}
         params = self.params.to_json() if self.params is not None else {}
         if params:
             obj["params"] = params
+        if self.trace is not None:
+            obj["trace"] = self.trace
         return obj
 
 
@@ -318,8 +327,10 @@ def decode_request(obj: dict) -> StoreRequest:
     params = obj.get("params") or {}
     if not isinstance(params, dict):
         raise StoreProtocolError("bad-params", "params must be an object")
+    trace = obj.get("trace")
     return StoreRequest(method=spec.name, id=obj.get("id"),
-                        params=spec.params.from_json(params))
+                        params=spec.params.from_json(params),
+                        trace=trace if isinstance(trace, str) else None)
 
 
 @dataclass

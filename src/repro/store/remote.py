@@ -42,6 +42,7 @@ import time
 from typing import Callable, Dict, List, Optional
 from urllib.parse import parse_qsl
 
+from repro.obs.trace import current_trace_id, span as trace_span
 from repro.store.backend import GcResult, KindStats, StoreStats
 from repro.store.protocol import (StoreProtocolError, StoreRequest,
                                   StoreResponse, decode_payload,
@@ -183,7 +184,9 @@ class _PooledClient:
             self._next_id += 1
             request_id = self._next_id
         line = json.dumps(StoreRequest(method=method, id=request_id,
-                                       params=params).to_json()) + "\n"
+                                       params=params,
+                                       trace=current_trace_id()
+                                       ).to_json()) + "\n"
         sock: Optional[socket.socket] = None
         try:
             sock = self._acquire()
@@ -307,25 +310,29 @@ class RemoteStoreBackend:
 
     def _call_degraded(self, method: str, params) -> Optional[dict]:
         """One data op: retries + breaker; ``None`` means "degrade"."""
-        if not self.breaker.allow():
-            self._count("fail_fast")
+        with trace_span("store.remote", "store", method=method) as sp:
+            if not self.breaker.allow():
+                self._count("fail_fast")
+                sp.note(fail_fast=True)
+                return None
+            delays = backoff_delays(self.retries, self.backoff_base,
+                                    self.backoff_cap, self.jitter_seed)
+            for attempt in range(self.retries + 1):
+                try:
+                    result = self.client.call(method, params)
+                except RemoteStoreError:
+                    self._count("remote_errors")
+                    self.breaker.record_failure()
+                    if attempt >= self.retries or not self.breaker.allow():
+                        sp.note(attempts=attempt + 1, degraded=True)
+                        return None
+                    self._count("retries_used")
+                    self._sleep(delays[attempt])
+                    continue
+                self.breaker.record_success()
+                sp.note(attempts=attempt + 1)
+                return result
             return None
-        delays = backoff_delays(self.retries, self.backoff_base,
-                                self.backoff_cap, self.jitter_seed)
-        for attempt in range(self.retries + 1):
-            try:
-                result = self.client.call(method, params)
-            except RemoteStoreError:
-                self._count("remote_errors")
-                self.breaker.record_failure()
-                if attempt >= self.retries or not self.breaker.allow():
-                    return None
-                self._count("retries_used")
-                self._sleep(delays[attempt])
-                continue
-            self.breaker.record_success()
-            return result
-        return None
 
     # -- StoreBackend data protocol ----------------------------------------
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.store.backend import StoreBackend
+from repro.obs.trace import span as trace_span
 from repro.store.local import LocalStoreBackend
 from repro.store.protocol import (STORE_PROTOCOL, ClearPayload, GcPayload,
                                   GetPayload, PingPayload, PutPayload,
@@ -224,8 +225,11 @@ class StoreServer:
         drop = delay = corrupt = False
         if self.faults is not None and request.method in DATA_METHODS:
             drop, delay, corrupt = self.faults.next_op()
+        extra = {"trace": request.trace} if request.trace else {}
         try:
-            payload = self._dispatch(request, corrupt=corrupt)
+            with trace_span("store.serve", "store", method=request.method,
+                            **extra):
+                payload = self._dispatch(request, corrupt=corrupt)
             response = StoreResponse.success(request.id, payload)
         except StoreProtocolError as exc:
             response = StoreResponse.failure(request.id, exc.code, exc.message)

@@ -121,6 +121,17 @@ class Watcher:
                          f"declarations re-checked")
         if payload.delta_seconds is not None:
             notes.append(f"{payload.delta_seconds:+.2f}s vs last")
+        # Stage numbers come from the service's span tree (the same
+        # StageTimings ``repro check`` prints), not a client-side clock —
+        # watch/serve/check therefore report identical figures.
+        timings = payload.timings or {}
+        seconds = timings.get("total", payload.time_seconds)
+        stages = ", ".join(f"{stage} {timings[stage]:.2f}s"
+                           for stage in ("parse", "ssa", "constraints",
+                                         "solve", "verify")
+                           if timings.get(stage))
+        if stages:
+            notes.append(stages)
         suffix = f"  ({', '.join(notes)})" if notes else ""
         errors = sum(1 for d in payload.diagnostics
                      if d.get("severity") == "error")
@@ -128,7 +139,7 @@ class Watcher:
                        if d.get("severity") == "warning")
         self.out.write(f"{path}: {payload.status}: {errors} error(s), "
                        f"{warnings} warning(s), "
-                       f"{payload.time_seconds:.2f}s{suffix}\n")
+                       f"{seconds:.2f}s{suffix}\n")
 
 
 def watch(paths: Sequence[str], config: Optional[CheckConfig] = None,

@@ -12,7 +12,8 @@ from repro.service.protocol import (ERROR_CODES, METHODS, PROTOCOL_V2,
                                     PROTOCOL_V3, PROTOCOLS, CancelPayload,
                                     CheckParams, CheckPayload, ClosePayload,
                                     DiagnosticsPayload, EmptyParams,
-                                    HelloParams, HelloPayload, ModulePayload,
+                                    HelloParams, HelloPayload, MetricsPayload,
+                                    ModulePayload,
                                     ProjectBuildPayload, ProjectOpenParams,
                                     ProjectUpdatePayload, ProtocolError,
                                     Request, Response, ShutdownPayload,
@@ -33,7 +34,7 @@ class TestRegistry:
     def test_v3_extends_v2_without_reordering(self):
         assert method_names(3)[:len(V2_METHODS)] == V2_METHODS
         assert set(method_names(3)) - set(V2_METHODS) == {
-            "hello", "cancel", "stats"}
+            "hello", "cancel", "stats", "metrics"}
 
     def test_v3_only_methods_are_invisible_at_v2(self):
         with pytest.raises(ProtocolError) as err:
@@ -89,6 +90,7 @@ PARAM_SAMPLES = {
     "hello": HelloParams(protocol=PROTOCOL_V3),
     "cancel": UriParams(uri="a.rsc"),
     "stats": EmptyParams(),
+    "metrics": EmptyParams(),
 }
 
 PAYLOAD_SAMPLES = {
@@ -120,6 +122,9 @@ PAYLOAD_SAMPLES = {
     "cancel": CancelPayload(uri="a.rsc", cancelled=True, state="inflight"),
     "stats": StatsPayload(protocol=PROTOCOL_V3, tenants={"alice": {}},
                           totals={"requests_served": 7}),
+    "metrics": MetricsPayload(protocol=PROTOCOL_V3,
+                              totals={"counters": {"service.checks_run": 2}},
+                              tenants={"alice": {"counters": {}}}),
 }
 
 
@@ -138,9 +143,14 @@ class TestCodecRoundTrips:
 
     def test_payload_key_order_is_field_order(self):
         # v2 clients diff raw NDJSON lines; key order is part of the shape.
-        assert list(PAYLOAD_SAMPLES["check"].to_json()) == [
+        assert list(PAYLOAD_SAMPLES["check"].to_json(version=2)) == [
             "uri", "status", "ok", "diagnostics", "time_seconds",
             "delta_seconds", "queries", "warm", "solve_stats"]
+        # v3 grows the payload strictly at the end: appended keys keep
+        # every v2 prefix byte-identical.
+        assert list(PAYLOAD_SAMPLES["check"].to_json(version=3)) == [
+            "uri", "status", "ok", "diagnostics", "time_seconds",
+            "delta_seconds", "queries", "warm", "solve_stats", "timings"]
         assert list(PAYLOAD_SAMPLES["shutdown"].to_json()) == [
             "shutdown", "protocol", "requests_served", "checks_run", "store"]
 
