@@ -105,6 +105,22 @@ section:
   times the span count of a traced run, as a fraction of the untraced
   wall-clock — must stay under ``off_overhead_pct_max`` (2%).
 
+With ``--speed`` the raw-speed report produced by
+``python -m repro bench speed`` is gated against the baseline's ``speed``
+section:
+
+* every benchmark (and module project) must verify in both engine
+  configurations with **byte-identical** diagnostics and kappa solutions
+  (``identical`` — the reference configuration is the differential oracle
+  for the hash-cons/memoisation layer and the integer LIA arithmetic),
+* the rank-parallel fixpoint's verdict must be byte-identical across the
+  jobs sweep (``jobs_identical``),
+* the fast configuration must create **strictly fewer** term objects than
+  the reference configuration allocates, per benchmark,
+* the whole sweep's ``speedup`` (reference wall-clock over fast wall-clock,
+  measured in the same process, so machine noise largely cancels) must
+  reach the baseline's ``min_speedup``.
+
 To refresh the baseline after an intentional change, run the bench locally
 and copy the new numbers in (see README "Performance & benchmarking").
 """
@@ -349,6 +365,48 @@ def check_cache(report: dict, baseline: dict, threshold: float) -> list:
     return failures
 
 
+def check_speed(report: dict, baseline: dict) -> list:
+    """Failures of the raw-speed report vs the baseline."""
+    failures = []
+    if not baseline:
+        return ["speed: baseline has no 'speed' section"]
+    current = report.get("benchmarks", {})
+    for name in sorted(baseline.get("benchmarks", [])):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the speed report")
+            continue
+        if not entry.get("safe", False):
+            failures.append(f"{name}: no longer verifies under both engine "
+                            "configurations")
+        if not entry.get("identical", False):
+            failures.append(
+                f"{name}: fast and reference configurations disagree "
+                "(diagnostics or kappa solutions differ) — memoisation or "
+                "integer LIA is UNSOUND, fix before merging")
+        if not entry.get("jobs_identical", False):
+            failures.append(
+                f"{name}: the rank-parallel fixpoint's verdict differs "
+                "from the sequential schedule across the jobs sweep — the "
+                "parallel schedule is UNSOUND, fix before merging")
+        allocated = entry.get("speed", {}).get("allocations", -1)
+        reference = entry.get("baseline", {}).get("allocations", 0)
+        if allocated < 0 or allocated >= reference:
+            failures.append(
+                f"{name}: fast configuration created {allocated} term "
+                f"objects, not strictly fewer than the reference's "
+                f"{reference} allocations — hash-consing has degenerated")
+    totals = report.get("totals", {})
+    speedup = totals.get("speedup", 0.0)
+    floor = baseline.get("min_speedup", 1.3)
+    if speedup < floor:
+        failures.append(
+            f"speed: {speedup:.2f}x wall-clock speedup over the reference "
+            f"configuration, expected at least {floor:g}x (both phases run "
+            "in the same process, so machine noise cancels)")
+    return failures
+
+
 def check_obs(report: dict, baseline: dict) -> list:
     """Failures of the tracing-overhead report vs the baseline."""
     failures = []
@@ -409,6 +467,11 @@ def main(argv=None) -> int:
                         help="also gate BENCH_obs.json against the "
                              "baseline's 'obs' section (disabled-tracer "
                              "overhead must stay under the ceiling)")
+    parser.add_argument("--speed", metavar="FILE", default=None,
+                        help="also gate BENCH_speed.json against the "
+                             "baseline's 'speed' section (byte-identical "
+                             "verdicts, strictly fewer allocations, and the "
+                             "minimum wall-clock speedup)")
     args = parser.parse_args(argv)
 
     with open(args.report) as f:
@@ -482,6 +545,11 @@ def main(argv=None) -> int:
         with open(args.obs) as f:
             obs_report = json.load(f)
         failures.extend(check_obs(obs_report, baseline.get("obs", {})))
+
+    if args.speed is not None:
+        with open(args.speed) as f:
+            speed_report = json.load(f)
+        failures.extend(check_speed(speed_report, baseline.get("speed", {})))
 
     if failures:
         print("benchmark regression(s) against "

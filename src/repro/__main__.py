@@ -99,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("table",
                        choices=("figure6", "figure7", "incremental",
                                 "modules", "smt", "store", "serve", "cache",
-                                "obs"),
+                                "obs", "speed"),
                        help="which table to regenerate (incremental replays "
                             "a scripted edit sequence per benchmark; modules "
                             "replays project edits over the module-split "
@@ -112,7 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "worker processes sharing it, then re-runs "
                             "under fault injection; obs measures the "
                             "overhead of the tracing layer, disabled vs "
-                            "enabled)")
+                            "enabled; speed re-checks every port under the "
+                            "reference engine configuration and the fast "
+                            "one, asserting byte-identical verdicts)")
     bench.add_argument("--only", metavar="NAME", action="append",
                        help="restrict to the named benchmark(s)")
     bench.add_argument("--programs-dir", metavar="DIR", default=None,
@@ -561,6 +563,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "BENCH_store.json", "store", partial,
                 lambda: bench.format_store(rows))
             ok = all(row.safe and row.identical for row in rows)
+            return EXIT_OK if ok else EXIT_UNSAFE
+        if args.table == "speed":
+            rows = bench.speed_rows(names if partial else None,
+                                    programs_dir=programs_dir)
+            _emit_bench_report(
+                args, bench.speed_report(rows),
+                "BENCH_speed.json", "speed", partial,
+                lambda: bench.format_speed(rows))
+            ok = all(row.safe and row.identical and row.jobs_identical
+                     for row in rows)
             return EXIT_OK if ok else EXIT_UNSAFE
         if args.table == "smt":
             rows = bench.smt_mode_rows(names, programs_dir=programs_dir)

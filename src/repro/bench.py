@@ -1851,3 +1851,239 @@ def format_figure7(names: Optional[List[str]] = None,
         imp, all_diff = CODE_CHANGES[name]
         lines.append(f"{name:15s} {loc:4d} {imp:8d} {all_diff:8d}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# raw-speed benchmarks (`repro bench speed`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpeedRow:
+    """Memoisation-off vs memoisation-on numbers for one benchmark.
+
+    The *baseline* phase checks in the previous engine's configuration:
+    :func:`repro.logic.terms.set_memoisation` disabled — every traversal
+    (``simplify``, ``free_vars``, ``substitute``, CNF conversion, theory
+    verdicts) recomputes from scratch — and
+    :func:`repro.smt.lia.set_exact_ints` disabled, running Fourier–Motzkin
+    elimination on the historical ``fractions.Fraction`` arithmetic.  The
+    *speed* phase re-checks the same source with memoisation on (cold memo
+    tables) and integer LIA arithmetic; the reference configuration doubles
+    as a differential oracle, since both phases must produce byte-identical
+    diagnostics and kappa solutions.
+
+    ``baseline_allocations`` counts term-constructor invocations during the
+    baseline phase — exactly the number of fresh objects the pre-hash-cons
+    engine allocated, since back then every construction allocated.
+    ``speed_allocations`` counts the term objects actually created (intern
+    misses) during the speed phase; the acceptance gate requires it to be
+    strictly smaller.
+
+    ``kind`` is ``"file"`` (single-file port, fresh :class:`Session` per
+    phase) or ``"project"`` (module split through a fresh
+    :class:`repro.project.ProjectWorkspace` per phase).  File rows also
+    re-check under every worker count in the jobs sweep and assert the
+    rank-parallel fixpoint's verdict is byte-identical (``jobs_identical``).
+    """
+
+    name: str
+    kind: str
+    baseline_time_seconds: float
+    speed_time_seconds: float
+    baseline_allocations: int
+    speed_allocations: int
+    intern_hit_rate: float
+    queries: int
+    identical: bool
+    jobs_identical: bool
+    safe: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.speed_time_seconds <= 0:
+            return 0.0
+        return self.baseline_time_seconds / self.speed_time_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "baseline": {
+                "time_seconds": self.baseline_time_seconds,
+                "allocations": self.baseline_allocations,
+            },
+            "speed": {
+                "time_seconds": self.speed_time_seconds,
+                "allocations": self.speed_allocations,
+                "intern_hit_rate": self.intern_hit_rate,
+            },
+            "speedup": self.speedup,
+            "queries": self.queries,
+            "identical": self.identical,
+            "jobs_identical": self.jobs_identical,
+            "safe": self.safe,
+        }
+
+
+def _project_verdict(project) -> list:
+    """Byte-level comparable verdict of a whole project build."""
+    return sorted((result.filename, _comparable_verdict(result))
+                  for result in project.results)
+
+
+#: Worker counts the speed bench sweeps for the rank-parallel fixpoint
+#: identity check (jobs=1 is the speed phase itself).
+SPEED_JOBS_SWEEP = (2, 3, 4)
+
+
+def speed_rows(names: Optional[List[str]] = None,
+               programs_dir: Optional[pathlib.Path] = None,
+               modules_dir: Optional[pathlib.Path] = None,
+               jobs_sweep: tuple = SPEED_JOBS_SWEEP) -> List[SpeedRow]:
+    """Check every port twice — reference configuration, then fast — and
+    compare.
+
+    Phase order matters for the allocation counters: the baseline phase
+    counts constructor *invocations* (what the engine allocated before
+    hash-consing existed — memoisation off makes every traversal recompute
+    exactly as the old code did), while the speed phase counts intern
+    *misses* (objects actually created).  Verdicts must be byte-identical
+    between the phases, and — for the single-file ports — across every
+    worker count in ``jobs_sweep``.  Both module-split projects run the same
+    two phases through fresh project workspaces.
+
+    The fast configuration is always restored on exit, even if a check
+    raises.
+    """
+    from repro.logic.terms import (
+        intern_stats,
+        reset_intern_stats,
+        set_memoisation,
+    )
+    from repro.project.workspace import ProjectWorkspace
+    from repro.smt.lia import set_exact_ints
+
+    rows: List[SpeedRow] = []
+    try:
+        for name in (names or BENCHMARKS):
+            source = source_of(name, programs_dir)
+            filename = f"{name}.rsc"
+            set_memoisation(False)
+            set_exact_ints(False)
+            reset_intern_stats()
+            baseline = Session(CheckConfig()).check_source(
+                source, filename=filename)
+            base_stats = intern_stats()
+            set_memoisation(True)   # also clears the memo tables
+            set_exact_ints(True)
+            reset_intern_stats()
+            speed = Session(CheckConfig()).check_source(
+                source, filename=filename)
+            fast_stats = intern_stats()
+            verdict = _comparable_verdict(speed)
+            jobs_identical = True
+            for jobs in jobs_sweep:
+                parallel = Session(CheckConfig(jobs=jobs)).check_source(
+                    source, filename=filename)
+                jobs_identical = (jobs_identical and parallel.ok == speed.ok
+                                  and _comparable_verdict(parallel) == verdict)
+            rows.append(SpeedRow(
+                name=name, kind="file",
+                baseline_time_seconds=baseline.time_seconds,
+                speed_time_seconds=speed.time_seconds,
+                baseline_allocations=base_stats["constructions"],
+                speed_allocations=fast_stats["misses"],
+                intern_hit_rate=fast_stats["hit_rate"],
+                queries=speed.stats.queries if speed.stats else 0,
+                identical=_comparable_verdict(baseline) == verdict,
+                jobs_identical=jobs_identical,
+                safe=baseline.ok and speed.ok))
+
+        directory = modules_dir or default_modules_dir()
+        wanted = [n for n in MODULE_BENCHMARKS
+                  if names is None or n in names]
+        for name in wanted:
+            root = directory / name
+            if not root.is_dir():
+                raise FileNotFoundError(f"no module benchmark at {root}")
+            set_memoisation(False)
+            set_exact_ints(False)
+            reset_intern_stats()
+            baseline_build = ProjectWorkspace(root=root).check()
+            base_stats = intern_stats()
+            set_memoisation(True)
+            set_exact_ints(True)
+            reset_intern_stats()
+            speed_build = ProjectWorkspace(root=root).check()
+            fast_stats = intern_stats()
+            rows.append(SpeedRow(
+                name=f"{name} (project)", kind="project",
+                baseline_time_seconds=baseline_build.time_seconds,
+                speed_time_seconds=speed_build.time_seconds,
+                baseline_allocations=base_stats["constructions"],
+                speed_allocations=fast_stats["misses"],
+                intern_hit_rate=fast_stats["hit_rate"],
+                queries=speed_build.stats.queries,
+                identical=(_project_verdict(baseline_build)
+                           == _project_verdict(speed_build)),
+                jobs_identical=True,
+                safe=baseline_build.ok and speed_build.ok))
+    finally:
+        set_memoisation(True)
+        set_exact_ints(True)
+    return rows
+
+
+#: Schema identifier stamped into raw-speed reports.
+SPEED_REPORT_SCHEMA = "repro-bench-speed/1"
+
+
+def speed_report(rows: List[SpeedRow]) -> dict:
+    """The machine-readable report dumped as ``BENCH_speed.json``."""
+    baseline_time = sum(r.baseline_time_seconds for r in rows)
+    speed_time = sum(r.speed_time_seconds for r in rows)
+    return {
+        "schema": SPEED_REPORT_SCHEMA,
+        "benchmarks": {row.name: row.to_dict() for row in rows},
+        "totals": {
+            "baseline_time_seconds": baseline_time,
+            "speed_time_seconds": speed_time,
+            "speedup": baseline_time / speed_time if speed_time else 0.0,
+            "baseline_allocations": sum(r.baseline_allocations for r in rows),
+            "speed_allocations": sum(r.speed_allocations for r in rows),
+            "fewer_allocations": all(
+                r.speed_allocations < r.baseline_allocations for r in rows),
+            "identical": all(r.identical for r in rows),
+            "jobs_identical": all(r.jobs_identical for r in rows),
+            "safe": all(r.safe for r in rows),
+        },
+    }
+
+
+def format_speed(rows: List[SpeedRow]) -> str:
+    """The table printed by ``repro bench speed``."""
+    lines = [
+        "Raw speed: reference engine (no memos, Fraction LIA) vs fast "
+        "(memoised, integer LIA)",
+        "Benchmark            Base(s)  Fast(s)  Speedup     Alloc(base)  "
+        "Alloc(fast)  Hit%  Same  Jobs",
+        "-" * 95,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:20s} {row.baseline_time_seconds:7.2f} "
+            f"{row.speed_time_seconds:8.2f} {row.speedup:7.2f}x "
+            f"{row.baseline_allocations:14d} {row.speed_allocations:12d} "
+            f"{100 * row.intern_hit_rate:5.1f} "
+            f"{'yes' if row.identical else 'NO':>5s} "
+            f"{'yes' if row.jobs_identical else 'NO':>5s}")
+    lines.append("-" * 95)
+    report = speed_report(rows)
+    totals = report["totals"]
+    lines.append(
+        f"{'TOTAL':20s} {totals['baseline_time_seconds']:7.2f} "
+        f"{totals['speed_time_seconds']:8.2f} {totals['speedup']:7.2f}x "
+        f"{totals['baseline_allocations']:14d} "
+        f"{totals['speed_allocations']:12d}")
+    return "\n".join(lines)

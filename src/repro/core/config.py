@@ -163,8 +163,12 @@ class CheckConfig:
       identical, only the work counters differ).
     * ``solver`` — SMT substrate options (:class:`SolverOptions`).
     * ``output_format`` — ``"text"`` or ``"json"`` (the CLI default).
-    * ``jobs`` — worker count used by batch entry points; each extra worker
-      checks with its own solver, so cache amortisation is per worker.
+    * ``jobs`` — worker count used by batch entry points (each extra worker
+      checks with its own solver, so cache amortisation is per worker) and
+      by the liquid fixpoint, which evaluates the visits of one SCC rank
+      group concurrently when ``jobs > 1``.  The rank-parallel schedule is
+      byte-identical to the sequential one: outcomes are committed in the
+      sequential order and re-evaluated when stale.
     * ``incremental`` — let a :class:`repro.core.workspace.Workspace` reuse
       per-document artifacts across edits (content-hash cache, warm-started
       fixpoint, obligation reuse).  Off, every update is a cold check.

@@ -51,8 +51,15 @@ class Qualifier:
     template: Expr
     star_kind: str = KIND_ANY
 
+    def __post_init__(self) -> None:
+        # Precomputed once — instantiation calls has_star() per candidate
+        # scope, and free_vars() per call was measurable in that hot loop.
+        # Not a dataclass field, so eq/hash stay template+kind only.
+        object.__setattr__(
+            self, "_has_star", "$star" in free_vars(self.template))
+
     def has_star(self) -> bool:
-        return "$star" in free_vars(self.template)
+        return self._has_star  # type: ignore[attr-defined]
 
     def instantiate(self, candidates: Dict[str, str]) -> List[Expr]:
         """All instantiations of the template over candidate variables.
@@ -105,10 +112,14 @@ class QualifierPool:
         # runs), so only None selects the default pool
         self.qualifiers: List[Qualifier] = list(
             default_qualifiers() if qualifiers is None else qualifiers)
-        self._seen: Set[str] = {str(q.template) for q in self.qualifiers}
+        # Dedup keys on the template term itself (pointer-cheap after
+        # hash-consing).  Keying on str(...) silently dropped distinct
+        # templates whose renderings collide — e.g. Var("true") vs
+        # BoolLit(True), or Var("'x'") vs StrLit("x").
+        self._seen: Set[Expr] = {q.template for q in self.qualifiers}
 
     def add(self, qualifier: Qualifier) -> None:
-        key = str(qualifier.template)
+        key = qualifier.template
         if key not in self._seen:
             self._seen.add(key)
             self.qualifiers.append(qualifier)
@@ -136,11 +147,10 @@ class QualifierPool:
     def instantiate(self, candidates: Dict[str, str]) -> List[Expr]:
         """All candidate refinements over the given scope variables."""
         out: List[Expr] = []
-        seen: Set[str] = set()
+        seen: Set[Expr] = set()
         for qualifier in self.qualifiers:
             for inst in qualifier.instantiate(candidates):
-                key = str(inst)
-                if key not in seen:
-                    seen.add(key)
+                if inst not in seen:
+                    seen.add(inst)
                     out.append(inst)
         return out

@@ -56,6 +56,7 @@ from repro.errors import (
     ErrorKind,
     ParseError,
     Severity,
+    SourceSpan,
 )
 from repro.lang import ast, parse_program
 from repro.smt.backend import create_backend
@@ -339,6 +340,20 @@ class Workspace:
             # aborted before it even built constraints still registers.
             self.checks_cancelled += 1
             raise
+        except RecursionError:
+            # The logic-layer traversals are iterative, but a pathologically
+            # nested *input* can still exhaust the interpreter stack inside
+            # the parser or the embedding.  Surface a diagnostic instead of
+            # crashing the workspace; nothing is cached for this text.
+            self.checks_run += 1
+            diag = Diagnostic(
+                ErrorKind.INTERNAL,
+                "expression nesting is too deep for the checker "
+                "(interpreter recursion limit reached); flatten the "
+                "expression or split the declaration",
+                SourceSpan(filename=document.uri),
+                code="RSC-INT-001")
+            return CheckResult(diagnostics=[diag], filename=document.uri)
 
     def _check_document_inner(self, document: Document, text: str,
                               token: Optional[CancelToken] = None
@@ -497,6 +512,16 @@ class Workspace:
                     span = span.with_filename(filename)
                 diagnostics.append(Diagnostic(ErrorKind.PARSE, exc.message,
                                               span, code="RSC-PARSE-001"))
+            except RecursionError:
+                # The recursive-descent parser follows the source's nesting
+                # depth; pathological inputs must surface as a diagnostic,
+                # not an interpreter crash.
+                diagnostics.append(Diagnostic(
+                    ErrorKind.INTERNAL,
+                    "expression nesting is too deep for the checker "
+                    "(interpreter recursion limit reached); flatten the "
+                    "expression or split the declaration",
+                    SourceSpan(filename=filename), code="RSC-INT-001"))
         return ParseStage(source, filename, program, diagnostics, timings)
 
     def ssa(self, parsed: ParseStage) -> SsaStage:
@@ -588,7 +613,8 @@ class Workspace:
             liquid = LiquidSolver(
                 self.solver, checker.pool, checker.kappas,
                 max_iterations=self.config.max_fixpoint_iterations,
-                strategy=self.config.fixpoint_strategy)
+                strategy=self.config.fixpoint_strategy,
+                jobs=self.config.jobs)
             if plan is not None:
                 solution = liquid.solve(checker.constraints.implications,
                                         previous=plan.previous,

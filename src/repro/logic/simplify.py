@@ -4,9 +4,25 @@ The simplifier is used before formulas are handed to the SMT layer and by the
 liquid fixpoint solver to keep intermediate predicates small.  It performs
 constant folding, boolean unit laws and a handful of arithmetic identities; it
 never changes the meaning of a formula.
+
+Integer constant folding is *exact* (arbitrary-precision) and uses one
+documented convention throughout: ``/`` is truncating division (round toward
+zero, as in C and in JavaScript's ``Math.trunc(a / b)``) and ``%`` is the
+matching remainder, so ``a == b * (a / b) + a % b`` holds for every folded
+pair and the remainder takes the sign of the dividend.  The theory solver in
+``smt/lia.py`` treats both operators as opaque, so the fold only has to agree
+with itself — but it must never lose precision, which the previous
+float-based ``int(a / b)`` did above 2**53 (and overflowed outright on huge
+literals).
+
+``simplify`` is iterative (no recursion limit on deep terms) and memoised per
+interned term; the memo is cleared via
+:func:`repro.logic.terms.clear_memos`.
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Tuple
 
 from repro.logic.terms import (
     BinOp,
@@ -17,18 +33,48 @@ from repro.logic.terms import (
     StrLit,
     UnOp,
     children,
+    memoisation_enabled,
     rebuild,
 )
 
+#: term -> simplified term, keyed by interned node.  Cleared by
+#: :func:`repro.logic.terms.clear_memos` (wired into ``Solver.clear_cache``).
+_SIMPLIFY_MEMO: Dict[Expr, Expr] = {}
+
+
+def _clear_local_memos() -> None:
+    _SIMPLIFY_MEMO.clear()
+
 
 def simplify(e: Expr) -> Expr:
-    """Recursively simplify ``e``."""
-    kids = children(e)
-    if kids:
-        new_kids = [simplify(c) for c in kids]
-        if any(nk is not k for nk, k in zip(new_kids, kids)):
-            e = rebuild(e, new_kids)
-    return _simplify_node(e)
+    """Simplify ``e`` bottom-up (iteratively; results memoised per term)."""
+    memo = _SIMPLIFY_MEMO if memoisation_enabled() else {}
+    hit = memo.get(e)
+    if hit is not None:
+        return hit
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            kids = children(node)
+            new_kids = [memo[c] for c in kids]
+            if any(nk is not k for nk, k in zip(new_kids, kids)):
+                node2 = rebuild(node, new_kids)
+            else:
+                node2 = node
+            memo[node] = _simplify_node(node2)
+            continue
+        if node in memo:
+            continue
+        kids = children(node)
+        if not kids:
+            memo[node] = _simplify_node(node)
+            continue
+        stack.append((node, True))
+        for c in kids:
+            if c not in memo:
+                stack.append((c, False))
+    return memo[e]
 
 
 def _simplify_node(e: Expr) -> Expr:
@@ -122,6 +168,15 @@ def _has_effects(e: Expr) -> bool:
 
 
 def _fold_int(op: str, a: int, b: int) -> Expr | None:
+    """Fold a binary operation over integer literals, exactly.
+
+    Division and remainder use *truncating* semantics (round toward zero),
+    computed with integer arithmetic only — Python's ``//``/``%`` floor
+    toward negative infinity, so both are corrected when exactly one operand
+    is negative.  The pair satisfies ``a == b * trunc_div + trunc_rem`` with
+    the remainder carrying the dividend's sign: ``-7 / 2 == -3``,
+    ``-7 % 2 == -1``, ``7 / -2 == -3``, ``7 % -2 == 1``.
+    """
     if op == "+":
         return IntLit(a + b)
     if op == "-":
@@ -129,9 +184,15 @@ def _fold_int(op: str, a: int, b: int) -> Expr | None:
     if op == "*":
         return IntLit(a * b)
     if op == "/" and b != 0:
-        return IntLit(int(a / b))
+        q = a // b
+        if a % b != 0 and (a < 0) != (b < 0):
+            q += 1
+        return IntLit(q)
     if op == "%" and b != 0:
-        return IntLit(a % b)
+        r = a % b
+        if r != 0 and (a < 0) != (b < 0):
+            r -= b
+        return IntLit(r)
     if op == "&":
         return IntLit(a & b)
     if op == "|":

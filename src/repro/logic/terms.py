@@ -3,6 +3,25 @@
 Expressions are immutable (frozen dataclasses) so they can be hashed, shared
 and used as dictionary keys by the SMT layer and the liquid fixpoint solver.
 
+Every node is *hash-consed*: the constructors intern each distinct
+``(class, field values)`` combination in a process-wide table, so
+
+* structurally equal terms are the **same object** (``conj(a, b) is
+  conj(a, b)``), making ``==`` a pointer comparison on the hot paths,
+* ``hash()`` is O(1) — computed once at interning time and cached, which
+  matters because terms key the solver's result cache, the Tseitin atom
+  maps and the persistent-context LRU, and
+* the traversal utilities (:func:`free_vars`, :func:`substitute`,
+  :func:`expr_size`, :func:`repro.logic.simplify.simplify`, the CNF
+  conversion) can memoise per term in plain dictionaries.
+
+The traversal memos are per-process caches with an explicit
+:func:`clear_memos` (wired into :meth:`repro.smt.solver.Solver.clear_cache`);
+the intern table itself is never cleared — dropping it would break the
+pointer-equality invariant between terms created before and after the drop.
+All traversals are iterative: a program with thousands of conjuncts must
+produce a verdict, not a ``RecursionError``.
+
 The special variables ``nu`` (the refined value, written ``v`` in source
 syntax) and ``this`` (the receiver object) are ordinary :class:`Var` nodes
 with reserved names; helpers :data:`VALUE_VAR` and :data:`THIS_VAR` construct
@@ -11,10 +30,192 @@ them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, \
+    Sequence, Tuple, Union
 
 from repro.logic.sorts import ANY, BOOL, INT, STR, Sort
+
+# ---------------------------------------------------------------------------
+# hash-consing machinery
+# ---------------------------------------------------------------------------
+
+#: The process-wide intern table: ``(class, *field values) -> node``.
+#: Interned nodes are immortal (the table holds the only strong reference a
+#: term needs), so the memo tables below may key on them safely.
+_INTERN: Dict[tuple, "Expr"] = {}
+
+#: ``[hits, misses]`` — constructor calls served from the table vs. nodes
+#: actually allocated.  ``hits + misses`` is the number of term
+#: constructions *requested*; ``misses`` is the number of allocations.
+#: (Plain list indexing keeps the hot path free of ``global`` rebinds; the
+#: counters are statistics, not synchronisation.)
+_INTERN_STATS = [0, 0]
+
+
+def intern_stats() -> dict:
+    """Interning counters for the speed bench: hits, misses (allocations),
+    the derived hit rate, and the live table size."""
+    hits, misses = _INTERN_STATS
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "constructions": total,
+        "hit_rate": (hits / total) if total else 0.0,
+        "live_terms": len(_INTERN),
+    }
+
+
+def reset_intern_stats() -> None:
+    _INTERN_STATS[0] = 0
+    _INTERN_STATS[1] = 0
+
+
+#: Memoisation switch for the traversal caches (the intern table is not
+#: affected).  The speed bench flips this off to measure the memo layer's
+#: contribution; everything still computes identical results, just without
+#: cross-call reuse.
+_MEMO_ON = [True]
+
+_FREE_VARS_MEMO: Dict["Expr", FrozenSet[str]] = {}
+_EXPR_SIZE_MEMO: Dict["Expr", int] = {}
+_SUBST_MEMO: Dict[tuple, "Expr"] = {}
+
+
+def set_memoisation(enabled: bool) -> None:
+    """Enable/disable the traversal memo tables (bench instrumentation).
+
+    Disabling also drops the current tables so a later re-enable starts
+    cold; interning is unaffected either way.
+    """
+    _MEMO_ON[0] = bool(enabled)
+    clear_memos()
+
+
+def memoisation_enabled() -> bool:
+    return _MEMO_ON[0]
+
+
+def clear_memos() -> None:
+    """Drop the traversal memo tables (results recompute identically).
+
+    Wired into :meth:`repro.smt.solver.Solver.clear_cache` so the explicit
+    cache-reset entry points (workspace/session) bound memo growth together
+    with the solver's own query cache.  The intern table is deliberately
+    *not* cleared — see the module docstring.
+    """
+    _FREE_VARS_MEMO.clear()
+    _EXPR_SIZE_MEMO.clear()
+    _SUBST_MEMO.clear()
+    # simplify/CNF keep their own tables next to their implementations.
+    # (importlib: ``repro.logic`` re-exports the ``simplify`` *function*,
+    # which would shadow the module under a plain ``from ... import``.)
+    import importlib
+    importlib.import_module("repro.logic.simplify")._clear_local_memos()
+    for mod_name in ("repro.smt.cnf", "repro.smt.theory"):
+        try:
+            mod = importlib.import_module(mod_name)
+        except ImportError:  # pragma: no cover - smt layer absent
+            continue
+        mod._clear_local_memos()
+
+
+def _interned(cls):
+    """Class decorator: freeze the dataclass and intern every construction.
+
+    The wrapped ``__new__`` normalises the constructor arguments against the
+    field defaults, looks the value tuple up in the process-wide table and
+    returns the canonical instance; ``__init__`` is skipped for instances
+    that are already initialised.  ``dict.get``/``dict.setdefault`` keep the
+    table consistent under free-threaded construction (the fixpoint's rank
+    workers build terms concurrently).
+    """
+    cls = dataclass(frozen=True)(cls)
+    field_names = tuple(f.name for f in dataclasses.fields(cls))
+    defaults = {f.name: f.default for f in dataclasses.fields(cls)
+                if f.default is not dataclasses.MISSING}
+    arity = len(field_names)
+    orig_init = cls.__init__
+
+    def __new__(klass, *args, **kwargs):
+        if kwargs or len(args) != arity:
+            vals = list(args)
+            for name in field_names[len(args):]:
+                if name in kwargs:
+                    vals.append(kwargs[name])
+                elif name in defaults:
+                    vals.append(defaults[name])
+                else:
+                    raise TypeError(
+                        f"{klass.__name__}() missing required argument: "
+                        f"{name!r}")
+            key = (klass, *vals)
+        else:
+            key = (klass, *args)
+        node = _INTERN.get(key)
+        if node is not None:
+            _INTERN_STATS[0] += 1
+            return node
+        _INTERN_STATS[1] += 1
+        created = object.__new__(klass)
+        created.__dict__["_hash"] = hash(key)
+        return _INTERN.setdefault(key, created)
+
+    def __init__(self, *args, **kwargs):
+        # Re-running the (frozen) field assignments on an interned instance
+        # would be harmless — the values are identical by construction — but
+        # the skip keeps repeat constructions at one dict probe.
+        if "_dc_init" in self.__dict__:
+            return
+        orig_init(self, *args, **kwargs)
+        self.__dict__["_dc_init"] = True
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        # Only reachable for out-of-band instances (never produced by the
+        # constructors); interned nodes compare by the identity fast path.
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in field_names)
+
+    def __ne__(self, other):
+        result = __eq__(self, other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:  # out-of-band instance (e.g. object.__new__)
+            h = hash((self.__class__,
+                      *(getattr(self, name) for name in field_names)))
+            self.__dict__["_hash"] = h
+        return h
+
+    def __reduce__(self):
+        # Pickle as a constructor call so cross-process terms (the project
+        # scheduler ships kappa solutions through a ProcessPoolExecutor)
+        # re-intern on load: unpickling preserves pointer equality.
+        return (self.__class__,
+                tuple(getattr(self, name) for name in field_names))
+
+    cls.__new__ = __new__
+    cls.__init__ = __init__
+    cls.__eq__ = __eq__
+    cls.__ne__ = __ne__
+    cls.__hash__ = __hash__
+    cls.__reduce__ = __reduce__
+    return cls
+
+
+def interned_count() -> int:
+    """Number of distinct live terms in the intern table."""
+    return len(_INTERN)
+
 
 # ---------------------------------------------------------------------------
 # Expression nodes
@@ -26,7 +227,8 @@ class Expr:
 
     sort: Sort
 
-    # The subclasses are frozen dataclasses; Expr itself carries no state.
+    # The subclasses are frozen, interned dataclasses; Expr itself carries
+    # no state.
 
     def is_true(self) -> bool:
         return isinstance(self, BoolLit) and self.value is True
@@ -43,46 +245,37 @@ class Expr:
     def __invert__(self) -> "Expr":
         return neg(self)
 
+    def __str__(self) -> str:
+        return _render(self)
 
-@dataclass(frozen=True)
+
+@_interned
 class Var(Expr):
     """A logical variable (program variable, nu, this, or a kappa argument)."""
 
     name: str
     sort: Sort = ANY
 
-    def __str__(self) -> str:
-        return self.name
 
-
-@dataclass(frozen=True)
+@_interned
 class IntLit(Expr):
     value: int
     sort: Sort = INT
 
-    def __str__(self) -> str:
-        return str(self.value)
 
-
-@dataclass(frozen=True)
+@_interned
 class BoolLit(Expr):
     value: bool
     sort: Sort = BOOL
 
-    def __str__(self) -> str:
-        return "true" if self.value else "false"
 
-
-@dataclass(frozen=True)
+@_interned
 class StrLit(Expr):
     value: str
     sort: Sort = STR
 
-    def __str__(self) -> str:
-        return repr(self.value)
 
-
-@dataclass(frozen=True)
+@_interned
 class App(Expr):
     """Application of an uninterpreted function, e.g. ``len(a)``, ``ttag(x)``."""
 
@@ -90,20 +283,14 @@ class App(Expr):
     args: Tuple[Expr, ...]
     sort: Sort = INT
 
-    def __str__(self) -> str:
-        return f"{self.fn}({', '.join(str(a) for a in self.args)})"
 
-
-@dataclass(frozen=True)
+@_interned
 class Field(Expr):
     """Field access ``t.f`` on an object term (an uninterpreted selector)."""
 
     target: Expr
     name: str
     sort: Sort = ANY
-
-    def __str__(self) -> str:
-        return f"{self.target}.{self.name}"
 
 
 # Binary operators recognised by the logic. Arithmetic, comparison, boolean
@@ -115,28 +302,22 @@ BV_OPS = ("&", "|")
 ALL_BINOPS = ARITH_OPS + CMP_OPS + BOOL_OPS + BV_OPS
 
 
-@dataclass(frozen=True)
+@_interned
 class BinOp(Expr):
     op: str
     left: Expr
     right: Expr
     sort: Sort = ANY
 
-    def __str__(self) -> str:
-        return f"({self.left} {self.op} {self.right})"
 
-
-@dataclass(frozen=True)
+@_interned
 class UnOp(Expr):
     op: str  # "!" or "-"
     operand: Expr
     sort: Sort = ANY
 
-    def __str__(self) -> str:
-        return f"{self.op}{self.operand}"
 
-
-@dataclass(frozen=True)
+@_interned
 class Ite(Expr):
     """If-then-else term."""
 
@@ -145,8 +326,46 @@ class Ite(Expr):
     els: Expr
     sort: Sort = ANY
 
-    def __str__(self) -> str:
-        return f"(if {self.cond} then {self.then} else {self.els})"
+
+def _render(e: Expr) -> str:
+    """Iterative renderer shared by every ``__str__`` (recursion-free, so a
+    diagnostic may print a deeply nested term without blowing the stack).
+    Byte-identical to the historical per-class formatting."""
+    parts: List[str] = []
+    stack: List[Union[str, Expr]] = [e]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+        elif isinstance(item, Var):
+            parts.append(item.name)
+        elif isinstance(item, IntLit):
+            parts.append(str(item.value))
+        elif isinstance(item, BoolLit):
+            parts.append("true" if item.value else "false")
+        elif isinstance(item, StrLit):
+            parts.append(repr(item.value))
+        elif isinstance(item, App):
+            stack.append(")")
+            for index in range(len(item.args) - 1, -1, -1):
+                stack.append(item.args[index])
+                if index:
+                    stack.append(", ")
+            parts.append(f"{item.fn}(")
+        elif isinstance(item, Field):
+            stack.append(f".{item.name}")
+            stack.append(item.target)
+        elif isinstance(item, BinOp):
+            stack.extend((")", item.right, f" {item.op} ", item.left, "("))
+        elif isinstance(item, UnOp):
+            stack.append(item.operand)
+            parts.append(item.op)
+        elif isinstance(item, Ite):
+            stack.extend((")", item.els, " else ", item.then, " then ",
+                          item.cond, "(if "))
+        else:  # pragma: no cover - unknown node
+            parts.append(repr(item))
+    return "".join(parts)
 
 
 # ---------------------------------------------------------------------------
@@ -227,9 +446,18 @@ def disj(*ps: Expr) -> Expr:
 
 
 def _flatten(e: Expr, op: str) -> list[Expr]:
-    if isinstance(e, BinOp) and e.op == op:
-        return _flatten(e.left, op) + _flatten(e.right, op)
-    return [e]
+    """Left-to-right leaves of an ``op`` spine, iteratively (the spine of a
+    ``conj`` over thousands of parts is as deep as the part count)."""
+    out: list[Expr] = []
+    stack: list[Expr] = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinOp) and node.op == op:
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    return out
 
 
 def conjuncts(e: Expr) -> list[Expr]:
@@ -318,6 +546,8 @@ def children(e: Expr) -> Tuple[Expr, ...]:
 
 
 def rebuild(e: Expr, new_children: Sequence[Expr]) -> Expr:
+    # With interning, rebuilding with identical children returns ``e``
+    # itself, so callers' ``is``-based change detection keeps working.
     if isinstance(e, App):
         return App(e.fn, tuple(new_children), e.sort)
     if isinstance(e, Field):
@@ -331,51 +561,158 @@ def rebuild(e: Expr, new_children: Sequence[Expr]) -> Expr:
     return e
 
 
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
+
+
 def free_vars(e: Expr) -> FrozenSet[str]:
-    """The set of variable names occurring in ``e``."""
-    if isinstance(e, Var):
-        return frozenset({e.name})
-    out: set[str] = set()
-    for c in children(e):
-        out |= free_vars(c)
-    return frozenset(out)
+    """The set of variable names occurring in ``e``.
+
+    Iterative post-order with a per-term memo: interned subterms shared
+    across formulas are computed once per process (until
+    :func:`clear_memos`).
+    """
+    memo = _FREE_VARS_MEMO if _MEMO_ON[0] else {}
+    hit = memo.get(e)
+    if hit is not None:
+        return hit
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            out: set = set()
+            for c in children(node):
+                out |= memo[c]
+            memo[node] = frozenset(out) if out else _EMPTY_NAMES
+            continue
+        if node in memo:
+            continue
+        if isinstance(node, Var):
+            memo[node] = frozenset((node.name,))
+            continue
+        kids = children(node)
+        if not kids:
+            memo[node] = _EMPTY_NAMES
+            continue
+        stack.append((node, True))
+        for c in kids:
+            if c not in memo:
+                stack.append((c, False))
+    return memo[e]
 
 
 def subterms(e: Expr) -> Iterable[Expr]:
     """All subterms of ``e`` (including ``e`` itself), pre-order."""
-    yield e
-    for c in children(e):
-        yield from subterms(c)
+    stack: List[Expr] = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        kids = children(node)
+        for index in range(len(kids) - 1, -1, -1):
+            stack.append(kids[index])
 
 
 def substitute(e: Expr, mapping: Mapping[str, Expr]) -> Expr:
-    """Capture-free substitution of variables by terms (no binders in Expr)."""
+    """Capture-free substitution of variables by terms (no binders in Expr).
+
+    Memoised on ``(term, mapping)`` — the fixpoint re-substitutes the same
+    qualifier templates under the same occurrence substitutions every
+    round.  Subterms not mentioning any substituted variable are returned
+    as-is without descending (checked via the :func:`free_vars` memo).
+    """
     if not mapping:
         return e
-    if isinstance(e, Var):
-        return mapping.get(e.name, e)
-    kids = children(e)
-    if not kids:
-        return e
-    new_kids = [substitute(c, mapping) for c in kids]
-    if all(nk is k for nk, k in zip(new_kids, kids)):
-        return e
-    return rebuild(e, new_kids)
+    if _MEMO_ON[0]:
+        top_key = (e, *sorted(mapping.items()))
+        hit = _SUBST_MEMO.get(top_key)
+        if hit is not None:
+            return hit
+    else:
+        top_key = None
+    keys = frozenset(mapping)
+    done: Dict[Expr, Expr] = {}
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            kids = children(node)
+            new_kids = [done[c] for c in kids]
+            if all(nk is k for nk, k in zip(new_kids, kids)):
+                done[node] = node
+            else:
+                done[node] = rebuild(node, new_kids)
+            continue
+        if node in done:
+            continue
+        if isinstance(node, Var):
+            done[node] = mapping.get(node.name, node)
+            continue
+        if free_vars(node).isdisjoint(keys):
+            done[node] = node
+            continue
+        kids = children(node)
+        if not kids:
+            done[node] = node
+            continue
+        stack.append((node, True))
+        for c in kids:
+            if c not in done:
+                stack.append((c, False))
+    result = done[e]
+    if top_key is not None:
+        _SUBST_MEMO[top_key] = result
+    return result
 
 
 def subst_term(e: Expr, old: Expr, new: Expr) -> Expr:
     """Replace every occurrence of the subterm ``old`` by ``new``."""
-    if e == old:
-        return new
-    kids = children(e)
-    if not kids:
-        return e
-    new_kids = [subst_term(c, old, new) for c in kids]
-    if all(nk is k for nk, k in zip(new_kids, kids)):
-        return e
-    return rebuild(e, new_kids)
+    done: Dict[Expr, Expr] = {}
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            kids = children(node)
+            new_kids = [done[c] for c in kids]
+            if all(nk is k for nk, k in zip(new_kids, kids)):
+                done[node] = node
+            else:
+                done[node] = rebuild(node, new_kids)
+            continue
+        if node in done:
+            continue
+        if node == old:
+            done[node] = new
+            continue
+        kids = children(node)
+        if not kids:
+            done[node] = node
+            continue
+        stack.append((node, True))
+        for c in kids:
+            if c not in done:
+                stack.append((c, False))
+    return done[e]
 
 
 def expr_size(e: Expr) -> int:
     """Number of AST nodes — used by tests and the fixpoint solver heuristics."""
-    return 1 + sum(expr_size(c) for c in children(e))
+    memo = _EXPR_SIZE_MEMO if _MEMO_ON[0] else {}
+    hit = memo.get(e)
+    if hit is not None:
+        return hit
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            memo[node] = 1 + sum(memo[c] for c in children(node))
+            continue
+        if node in memo:
+            continue
+        kids = children(node)
+        if not kids:
+            memo[node] = 1
+            continue
+        stack.append((node, True))
+        for c in kids:
+            if c not in memo:
+                stack.append((c, False))
+    return memo[e]

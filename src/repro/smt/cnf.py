@@ -13,15 +13,44 @@ The pipeline is:
 The :class:`AtomMap` records the bijection between propositional variables
 and theory atoms so the lazy-SMT loop can translate SAT models back into sets
 of theory literals.
+
+All conversions are iterative — deeply nested formulas (thousands of
+conjuncts from a long function body) must not hit the recursion limit — and
+:func:`to_nnf`/:func:`collect_atoms` are memoised per interned term
+(:func:`repro.logic.terms.clear_memos` drops the tables).  :func:`tseitin`
+is inherently stateful (it allocates SAT variables in visit order) and is
+recomputed per call, but its traversal reproduces the historical recursive
+order exactly: clause emission and variable allocation are byte-for-byte
+stable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
-from repro.logic.terms import App, BinOp, BoolLit, Expr, Field, Ite, UnOp, Var
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    Field,
+    Ite,
+    UnOp,
+    Var,
+    memoisation_enabled,
+)
 from repro.logic.sorts import BOOL
+
+#: (term, polarity) -> NNF term.
+_NNF_MEMO: Dict[Tuple[Expr, bool], Expr] = {}
+#: NNF term -> the atoms its Tseitin encoding references.
+_ATOMS_MEMO: Dict[Expr, FrozenSet[Expr]] = {}
+
+
+def _clear_local_memos() -> None:
+    _NNF_MEMO.clear()
+    _ATOMS_MEMO.clear()
 
 
 @dataclass
@@ -56,46 +85,88 @@ class AtomMap:
 
 
 def to_nnf(e: Expr, polarity: bool = True) -> Expr:
-    """Negation normal form.  ``polarity=False`` computes NNF of ``not e``."""
-    if isinstance(e, BoolLit):
-        return BoolLit(e.value if polarity else not e.value)
-    if isinstance(e, UnOp) and e.op == "!":
-        return to_nnf(e.operand, not polarity)
-    if isinstance(e, BinOp):
-        op = e.op
-        if op == "&&":
-            new_op = "&&" if polarity else "||"
-            return BinOp(new_op, to_nnf(e.left, polarity),
-                         to_nnf(e.right, polarity), BOOL)
-        if op == "||":
-            new_op = "||" if polarity else "&&"
-            return BinOp(new_op, to_nnf(e.left, polarity),
-                         to_nnf(e.right, polarity), BOOL)
-        if op == "=>":
-            # p => q  ==  ~p \/ q
-            if polarity:
-                return BinOp("||", to_nnf(e.left, False),
-                             to_nnf(e.right, True), BOOL)
-            return BinOp("&&", to_nnf(e.left, True),
-                         to_nnf(e.right, False), BOOL)
-        if op == "<=>":
-            # p <=> q  ==  (p => q) /\ (q => p)
-            expanded = BinOp("&&",
-                             BinOp("=>", e.left, e.right, BOOL),
-                             BinOp("=>", e.right, e.left, BOOL), BOOL)
-            return to_nnf(expanded, polarity)
-        # Comparison over booleans: "b = true" style atoms are kept as atoms.
-    if isinstance(e, Ite):
-        # Boolean ITE: (c /\ t) \/ (~c /\ e)
-        expanded = BinOp("||",
-                         BinOp("&&", e.cond, e.then, BOOL),
-                         BinOp("&&", UnOp("!", e.cond, BOOL), e.els, BOOL),
-                         BOOL)
-        return to_nnf(expanded, polarity)
-    # Atom (Var, App, Field, comparison BinOp, ...)
-    if polarity:
-        return e
-    return UnOp("!", e, BOOL)
+    """Negation normal form.  ``polarity=False`` computes NNF of ``not e``.
+
+    Iterative worklist over ``(term, polarity)`` pairs with a per-process
+    memo; produces exactly the formula the old recursion did.
+    """
+    memo = _NNF_MEMO if memoisation_enabled() else {}
+    key = (e, polarity)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    # Frames: ("visit", node, pol) computes memo[(node, pol)];
+    # ("alias", key, src_key) copies an already-computed entry;
+    # ("combine", key, op, lkey, rkey) joins two computed children.
+    stack: List[tuple] = [("visit", e, polarity)]
+    while stack:
+        frame = stack.pop()
+        kind = frame[0]
+        if kind == "alias":
+            memo[frame[1]] = memo[frame[2]]
+            continue
+        if kind == "combine":
+            _, k, op, lk, rk = frame
+            memo[k] = BinOp(op, memo[lk], memo[rk], BOOL)
+            continue
+        node, pol = frame[1], frame[2]
+        k = (node, pol)
+        if k in memo:
+            continue
+        if isinstance(node, BoolLit):
+            memo[k] = BoolLit(node.value if pol else not node.value)
+            continue
+        if isinstance(node, UnOp) and node.op == "!":
+            sub = (node.operand, not pol)
+            stack.append(("alias", k, sub))
+            stack.append(("visit", node.operand, not pol))
+            continue
+        if isinstance(node, BinOp):
+            op = node.op
+            if op == "&&" or op == "||":
+                flipped = "||" if op == "&&" else "&&"
+                new_op = op if pol else flipped
+                stack.append(("combine", k, new_op,
+                              (node.left, pol), (node.right, pol)))
+                stack.append(("visit", node.right, pol))
+                stack.append(("visit", node.left, pol))
+                continue
+            if op == "=>":
+                # p => q  ==  ~p \/ q
+                if pol:
+                    stack.append(("combine", k, "||",
+                                  (node.left, False), (node.right, True)))
+                    stack.append(("visit", node.right, True))
+                    stack.append(("visit", node.left, False))
+                else:
+                    stack.append(("combine", k, "&&",
+                                  (node.left, True), (node.right, False)))
+                    stack.append(("visit", node.right, False))
+                    stack.append(("visit", node.left, True))
+                continue
+            if op == "<=>":
+                # p <=> q  ==  (p => q) /\ (q => p)
+                expanded = BinOp("&&",
+                                 BinOp("=>", node.left, node.right, BOOL),
+                                 BinOp("=>", node.right, node.left, BOOL),
+                                 BOOL)
+                stack.append(("alias", k, (expanded, pol)))
+                stack.append(("visit", expanded, pol))
+                continue
+            # Comparison over booleans: "b = true" style atoms stay atoms.
+        if isinstance(node, Ite):
+            # Boolean ITE: (c /\ t) \/ (~c /\ e)
+            expanded = BinOp("||",
+                             BinOp("&&", node.cond, node.then, BOOL),
+                             BinOp("&&", UnOp("!", node.cond, BOOL),
+                                   node.els, BOOL),
+                             BOOL)
+            stack.append(("alias", k, (expanded, pol)))
+            stack.append(("visit", expanded, pol))
+            continue
+        # Atom (Var, App, Field, comparison BinOp, ...)
+        memo[k] = node if pol else UnOp("!", node, BOOL)
+    return memo[key]
 
 
 def _is_atom(e: Expr) -> bool:
@@ -110,27 +181,28 @@ def tseitin(formula: Expr, atoms: AtomMap) -> List[List[int]]:
     """Convert an NNF formula to CNF clauses via Tseitin encoding.
 
     The returned clauses assert the formula (the root's definition literal is
-    asserted as a unit clause).
+    asserted as a unit clause).  The explicit-stack traversal visits nodes in
+    the same order as the old recursive ``encode``, so SAT variable numbering
+    and clause order are unchanged.
     """
     clauses: List[List[int]] = []
-
-    def encode(e: Expr) -> int:
-        """Return a literal equivalent (equisatisfiably) to ``e``."""
-        if isinstance(e, BoolLit):
-            v = atoms.fresh_aux()
-            clauses.append([v] if e.value else [-v])
-            return v
-        if isinstance(e, UnOp) and e.op == "!":
-            if _is_atom(e.operand):
-                return -atoms.var_for(e.operand)
-            return -encode(e.operand)
-        if _is_atom(e):
-            return atoms.var_for(e)
-        if isinstance(e, BinOp) and e.op in ("&&", "||"):
-            parts = _flatten(e, e.op)
-            lits = [encode(p) for p in parts]
+    root_slot = [0]
+    # Frames: ("visit", node, dest, i) stores the literal for node in
+    # dest[i]; ("neg", dest, i, tmp) negates a computed sub-literal;
+    # ("emit", op, lits, dest, i) allocates the aux var for a finished
+    # conjunction/disjunction and emits its defining clauses.
+    stack: List[tuple] = [("visit", formula, root_slot, 0)]
+    while stack:
+        frame = stack.pop()
+        kind = frame[0]
+        if kind == "neg":
+            _, dest, i, tmp = frame
+            dest[i] = -tmp[0]
+            continue
+        if kind == "emit":
+            _, op, lits, dest, i = frame
             aux = atoms.fresh_aux()
-            if e.op == "&&":
+            if op == "&&":
                 # aux -> each lit ; (all lits) -> aux
                 for lit in lits:
                     clauses.append([-aux, lit])
@@ -140,42 +212,101 @@ def tseitin(formula: Expr, atoms: AtomMap) -> List[List[int]]:
                 clauses.append([-aux] + lits)
                 for lit in lits:
                     clauses.append([-lit, aux])
-            return aux
+            dest[i] = aux
+            continue
+        _, node, dest, i = frame
+        if isinstance(node, BoolLit):
+            v = atoms.fresh_aux()
+            clauses.append([v] if node.value else [-v])
+            dest[i] = v
+            continue
+        if isinstance(node, UnOp) and node.op == "!":
+            if _is_atom(node.operand):
+                dest[i] = -atoms.var_for(node.operand)
+            else:
+                tmp = [0]
+                stack.append(("neg", dest, i, tmp))
+                stack.append(("visit", node.operand, tmp, 0))
+            continue
+        if _is_atom(node):
+            dest[i] = atoms.var_for(node)
+            continue
+        if isinstance(node, BinOp) and node.op in ("&&", "||"):
+            parts = _flatten(node, node.op)
+            lits = [0] * len(parts)
+            stack.append(("emit", node.op, lits, dest, i))
+            for index in range(len(parts) - 1, -1, -1):
+                stack.append(("visit", parts[index], lits, index))
+            continue
         # Anything else (shouldn't appear after NNF) is treated as an atom.
-        return atoms.var_for(e)
-
-    root = encode(formula)
-    clauses.append([root])
+        dest[i] = atoms.var_for(node)
+    clauses.append([root_slot[0]])
     return clauses
 
 
-def collect_atoms(e: Expr) -> Set[Expr]:
+def collect_atoms(e: Expr) -> FrozenSet[Expr]:
     """The theory atoms an NNF formula's Tseitin encoding will reference.
 
-    Mirrors :func:`tseitin`'s ``encode`` recursion exactly (including the
-    conservative fall-through that treats unexpected nodes as atoms), so
+    Mirrors :func:`tseitin`'s traversal exactly (including the conservative
+    fall-through that treats unexpected nodes as atoms), so
     ``{atoms.atom_to_var[a] for a in collect_atoms(nnf)}`` is precisely the
     set of atom variables the encoded clauses mention.  The incremental
     context layer uses this to restrict theory checks to the *active* atoms
-    of a query.
+    of a query.  Returns a (memoised) frozenset.
     """
-    if isinstance(e, BoolLit):
-        return set()
-    if isinstance(e, UnOp) and e.op == "!":
-        if _is_atom(e.operand):
-            return {e.operand}
-        return collect_atoms(e.operand)
-    if _is_atom(e):
-        return {e}
-    if isinstance(e, BinOp) and e.op in ("&&", "||"):
-        return collect_atoms(e.left) | collect_atoms(e.right)
-    return {e}
+    memo = _ATOMS_MEMO if memoisation_enabled() else {}
+    hit = memo.get(e)
+    if hit is not None:
+        return hit
+    stack: List[Tuple[Expr, bool]] = [(e, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            out: set = set()
+            for c in _atom_children(node):
+                out |= memo[c]
+            memo[node] = frozenset(out)
+            continue
+        if node in memo:
+            continue
+        if isinstance(node, BoolLit):
+            memo[node] = frozenset()
+            continue
+        if isinstance(node, UnOp) and node.op == "!":
+            if _is_atom(node.operand):
+                memo[node] = frozenset((node.operand,))
+                continue
+        elif _is_atom(node) or not (isinstance(node, BinOp)
+                                    and node.op in ("&&", "||")):
+            memo[node] = frozenset((node,))
+            continue
+        stack.append((node, True))
+        for c in _atom_children(node):
+            if c not in memo:
+                stack.append((c, False))
+    return memo[e]
+
+
+def _atom_children(node: Expr) -> Tuple[Expr, ...]:
+    """Sub-formulas :func:`collect_atoms` descends into for ``node``."""
+    if isinstance(node, UnOp):
+        return (node.operand,)
+    return (node.left, node.right)  # type: ignore[union-attr]
 
 
 def _flatten(e: Expr, op: str) -> List[Expr]:
-    if isinstance(e, BinOp) and e.op == op:
-        return _flatten(e.left, op) + _flatten(e.right, op)
-    return [e]
+    """Left-to-right leaves of an ``op`` spine (iterative: the spine can be
+    as deep as the conjunct count)."""
+    out: List[Expr] = []
+    stack: List[Expr] = [e]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinOp) and node.op == op:
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    return out
 
 
 def formula_to_cnf(formula: Expr) -> Tuple[List[List[int]], AtomMap]:

@@ -182,12 +182,11 @@ class SolverContext:
         self._build()
 
     def _vars_of(self, nnf: Expr) -> Set[int]:
-        out: Set[int] = set()
-        for atom in collect_atoms(nnf):
-            var = self.atoms.atom_to_var.get(atom)
-            if var is not None:
-                out.add(var)
-        return out
+        # collect_atoms is memoised per interned term, so repeat goals cost
+        # one dict probe per (shared) atom here.
+        get = self.atoms.atom_to_var.get
+        return {var for var in map(get, collect_atoms(nnf))
+                if var is not None}
 
     # -- queries -------------------------------------------------------------
 

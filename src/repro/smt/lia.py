@@ -19,12 +19,23 @@ which for validity checking is the sound direction (fewer VCs are proved).
 
 Non-linear products and divisions are treated as opaque (uninterpreted)
 variables, exactly like the paper does (section 5.1 "Ghost Functions").
+
+Coefficients are exact: since division is opaque, every coefficient that
+:func:`linearize` produces is an integer, and Fourier–Motzkin combinations
+of integer constraints stay integer (cross-multiplication, no division).
+By default the solver therefore seeds plain Python ints, which makes the
+elimination loop an order of magnitude cheaper than the historical
+``fractions.Fraction`` arithmetic.  The Fraction-seeded path is kept,
+bit-for-bit, as the reference implementation: :func:`set_exact_ints`
+switches back to it, and ``repro bench speed`` runs both and asserts the
+verdicts are byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from math import gcd
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.logic.terms import BinOp, Expr, IntLit, UnOp
@@ -35,27 +46,52 @@ VarKey = Hashable
 #: "satisfiable" (sound for validity checking).
 MAX_CONSTRAINTS = 4000
 
+#: Seed plain ints (the fast path) instead of Fractions (the reference).
+#: Both paths run the same algorithm on the same values — ints and the
+#: Fractions they equal compare and combine identically — only the cost of
+#: each arithmetic operation differs.
+_EXACT_INTS = [True]
+
+
+def set_exact_ints(enabled: bool) -> None:
+    """Select integer (default) or reference Fraction coefficient seeding."""
+    _EXACT_INTS[0] = bool(enabled)
+
+
+def exact_ints_enabled() -> bool:
+    return _EXACT_INTS[0]
+
+
+def _seed(value: "int | Fraction") -> "int | Fraction":
+    """A coefficient/constant in the active arithmetic representation."""
+    if _EXACT_INTS[0]:
+        if isinstance(value, int):
+            return value
+        if isinstance(value, Fraction) and value.denominator == 1:
+            return value.numerator
+    return Fraction(value)
+
 
 @dataclass
 class LinExpr:
     """A linear expression ``sum(coeffs[k] * k) + const`` over variable keys."""
 
-    coeffs: Dict[VarKey, Fraction] = field(default_factory=dict)
-    const: Fraction = Fraction(0)
+    coeffs: Dict[VarKey, "int | Fraction"] = field(default_factory=dict)
+    const: "int | Fraction" = 0
 
     def copy(self) -> "LinExpr":
         return LinExpr(dict(self.coeffs), self.const)
 
-    def add(self, other: "LinExpr", factor: Fraction = Fraction(1)) -> "LinExpr":
+    def add(self, other: "LinExpr", factor: "int | Fraction" = 1) -> "LinExpr":
         out = self.copy()
         for k, c in other.coeffs.items():
-            out.coeffs[k] = out.coeffs.get(k, Fraction(0)) + factor * c
+            out.coeffs[k] = out.coeffs.get(k, 0) + factor * c
             if out.coeffs[k] == 0:
                 del out.coeffs[k]
         out.const += factor * other.const
         return out
 
-    def scale(self, factor: Fraction) -> "LinExpr":
+    def scale(self, factor: "int | Fraction") -> "LinExpr":
         return LinExpr({k: c * factor for k, c in self.coeffs.items() if c * factor != 0},
                        self.const * factor)
 
@@ -67,11 +103,11 @@ class LinExpr:
 
     @staticmethod
     def constant(value: int | Fraction) -> "LinExpr":
-        return LinExpr({}, Fraction(value))
+        return LinExpr({}, _seed(value))
 
     @staticmethod
     def variable(key: VarKey) -> "LinExpr":
-        return LinExpr({key: Fraction(1)}, Fraction(0))
+        return LinExpr({key: _seed(1)}, _seed(0))
 
     def __str__(self) -> str:
         parts = [f"{c}*{k}" for k, c in sorted(self.coeffs.items(), key=lambda kv: str(kv[0]))]
@@ -99,14 +135,14 @@ def linearize(e: Expr, opaque: Callable[[Expr], VarKey],
     if isinstance(e, IntLit):
         return LinExpr.constant(e.value)
     if isinstance(e, UnOp) and e.op == "-":
-        return linearize(e.operand, opaque, const_of).scale(Fraction(-1))
+        return linearize(e.operand, opaque, const_of).scale(-1)
     if isinstance(e, BinOp):
         if e.op == "+":
             return linearize(e.left, opaque, const_of).add(
                 linearize(e.right, opaque, const_of))
         if e.op == "-":
             return linearize(e.left, opaque, const_of).add(
-                linearize(e.right, opaque, const_of), Fraction(-1))
+                linearize(e.right, opaque, const_of), -1)
         if e.op == "*":
             left = linearize(e.left, opaque, const_of)
             right = linearize(e.right, opaque, const_of)
@@ -131,11 +167,11 @@ class LiaProblem:
     diseqs: List[LinExpr] = field(default_factory=list)
 
     def add_le(self, lhs: LinExpr, rhs: LinExpr) -> None:
-        self.leqs.append(lhs.add(rhs, Fraction(-1)))
+        self.leqs.append(lhs.add(rhs, -1))
 
     def add_lt(self, lhs: LinExpr, rhs: LinExpr) -> None:
         # a < b  over integers: a - b + 1 <= 0
-        diff = lhs.add(rhs, Fraction(-1))
+        diff = lhs.add(rhs, -1)
         diff.const += 1
         self.leqs.append(diff)
 
@@ -144,7 +180,7 @@ class LiaProblem:
         self.add_le(rhs, lhs)
 
     def add_neq(self, lhs: LinExpr, rhs: LinExpr) -> None:
-        self.diseqs.append(lhs.add(rhs, Fraction(-1)))
+        self.diseqs.append(lhs.add(rhs, -1))
 
 
 def is_satisfiable(problem: LiaProblem) -> bool:
@@ -158,7 +194,7 @@ def is_satisfiable(problem: LiaProblem) -> bool:
             continue
         # The disequality t != 0 conflicts only if the inequalities entail
         # t == 0, i.e. both t >= 1 and t <= -1 are infeasible (integers).
-        ge_one = d.scale(Fraction(-1))
+        ge_one = d.scale(-1)
         ge_one.const += 1  # -t + 1 <= 0  <=>  t >= 1
         le_minus_one = d.copy()
         le_minus_one.const += 1  # t + 1 <= 0  <=>  t <= -1
@@ -170,9 +206,29 @@ def is_satisfiable(problem: LiaProblem) -> bool:
 
 def entails(problem: LiaProblem, goal_leq: LinExpr) -> bool:
     """Does the problem entail ``goal_leq <= 0``?  (Used by tests/qualifiers.)"""
-    negated = goal_leq.scale(Fraction(-1))
+    negated = goal_leq.scale(-1)
     negated.const += 1  # goal > 0  <=>  -goal + 1 <= 0 over integers
     return not _leqs_satisfiable(problem.leqs + [negated])
+
+
+def _gcd_normalised(c: LinExpr) -> LinExpr:
+    """Divide a constraint by the gcd of its terms when the division is exact.
+
+    Cross-multiplication makes Fourier–Motzkin coefficients grow with every
+    elimination round; dividing all coefficients *and* the constant by a
+    common factor is equivalence-preserving over the rationals (the factor
+    is positive), so the decision is unchanged while the integers stay
+    word-sized.  Constraints with non-integer entries (callers may seed
+    Fractions explicitly) are returned untouched.
+    """
+    g = 0
+    for coeff in c.coeffs.values():
+        if not isinstance(coeff, int):
+            return c
+        g = gcd(g, coeff)
+    if g <= 1 or not isinstance(c.const, int) or c.const % g:
+        return c
+    return LinExpr({k: v // g for k, v in c.coeffs.items()}, c.const // g)
 
 
 def _leqs_satisfiable(leqs: Sequence[LinExpr]) -> bool:
@@ -212,6 +268,8 @@ def _leqs_satisfiable(leqs: Sequence[LinExpr]) -> bool:
                     if combined.const > 0:
                         return False
                 else:
+                    if _EXACT_INTS[0]:
+                        combined = _gcd_normalised(combined)
                     new_constraints.append(combined)
         constraints = new_constraints
         for c in constraints:

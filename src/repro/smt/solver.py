@@ -25,7 +25,7 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.logic.simplify import simplify
-from repro.logic.terms import BoolLit, Expr, conj, implies, neg
+from repro.logic.terms import BoolLit, Expr, clear_memos, conj, implies, neg
 from repro.smt.cnf import AtomMap, tseitin, to_nnf
 from repro.smt.context import ContextManager
 from repro.smt.sat import SatSolver
@@ -151,8 +151,15 @@ class Solver:
         return len(self._cache)
 
     def clear_cache(self) -> None:
-        """Drop every cached query result (statistics are kept)."""
+        """Drop every cached query result (statistics are kept).
+
+        Also drops the logic layer's per-process traversal memos
+        (simplify/substitute/free_vars/NNF) so an explicit cache reset
+        bounds *all* derived-result tables at once; the term intern table
+        itself survives — see :mod:`repro.logic.terms`.
+        """
         self._cache.clear()
+        clear_memos()
 
     def seed_cache(self, entries: Iterable[Tuple[Expr, Result]]) -> int:
         """Pre-populate the result cache with already-known verdicts.

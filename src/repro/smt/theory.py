@@ -24,10 +24,18 @@ the solver prove fewer formulas valid (sound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.logic import builtins
-from repro.logic.terms import App, BinOp, BoolLit, Expr, IntLit, UnOp
+from repro.logic.terms import (
+    App,
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    UnOp,
+    memoisation_enabled,
+)
 from repro.smt.bvmask import BvMaskSolver
 from repro.smt.euf import CongruenceClosure
 from repro.smt.lia import LiaProblem, LinExpr, is_satisfiable, linearize
@@ -37,6 +45,20 @@ TheoryLiteral = Tuple[Expr, bool]
 
 _CMP_NEGATION = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "=": "!=", "!=": "="}
 _CMP_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+#: Verdict memo for :func:`check_literals`, keyed by the exact literal
+#: tuple (order-preserving, so a hit replays precisely the call that was
+#: made before — no reliance on the solvers being order-insensitive).
+#: Theory checks are pure functions of their input, and with hash-consed
+#: terms the key is a tuple of pointers; core minimisation and repeated
+#: blocking-clause loops re-check the same conjunctions constantly.
+#: Cleared by :func:`repro.logic.terms.clear_memos`.
+_CHECK_MEMO: Dict[Tuple[TheoryLiteral, ...], bool] = {}
+_CHECK_MEMO_LIMIT = 100_000
+
+
+def _clear_local_memos() -> None:
+    _CHECK_MEMO.clear()
 
 
 @dataclass
@@ -48,7 +70,20 @@ class TheoryResult:
 
 
 def check_literals(literals: Sequence[TheoryLiteral]) -> bool:
-    """Satisfiability of the conjunction of theory literals."""
+    """Satisfiability of the conjunction of theory literals (memoised)."""
+    if not memoisation_enabled():
+        return _check_literals_uncached(literals)
+    key = tuple(literals)
+    hit = _CHECK_MEMO.get(key)
+    if hit is not None:
+        return hit
+    result = _check_literals_uncached(key)
+    if len(_CHECK_MEMO) < _CHECK_MEMO_LIMIT:
+        _CHECK_MEMO[key] = result
+    return result
+
+
+def _check_literals_uncached(literals: Sequence[TheoryLiteral]) -> bool:
     lits = list(literals)
 
     cc = CongruenceClosure()

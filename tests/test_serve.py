@@ -82,13 +82,22 @@ class TestServer:
                                "params": {"uri": "a.rsc"}})
         assert not diags["ok"]
 
-    def test_internal_exception_answers_instead_of_killing_loop(self):
+    def test_internal_exception_answers_instead_of_killing_loop(self, monkeypatch):
         server = Server(CheckConfig())
-        # deep nesting blows the parser's recursion limit — the loop must
-        # answer with an error and keep serving
-        bomb = "function f() { return " + "(" * 4000 + ";"
+        # a checker crash (injected here — deep nesting now degrades to an
+        # RSC-INT-001 diagnostic instead of crashing) must surface as an
+        # error *response* and the loop must keep serving
+        from repro.core.workspace import Workspace
+        real_open = Workspace.open
+
+        def crashing_open(self, uri, text=None, **kwargs):
+            if text is not None and "BOOM" in text:
+                raise RecursionError("injected checker crash")
+            return real_open(self, uri, text, **kwargs)
+
+        monkeypatch.setattr(Workspace, "open", crashing_open)
         broken = server.handle({"id": 1, "method": "check",
-                                "params": {"uri": "b.rsc", "text": bomb}})
+                                "params": {"uri": "b.rsc", "text": "// BOOM"}})
         assert not broken["ok"]
         assert broken["error"]["code"] == "internal-error"
         ok = server.handle({"id": 2, "method": "check",

@@ -2,6 +2,7 @@
 
 import io
 import os
+import pathlib
 
 import pytest
 
@@ -89,12 +90,23 @@ class TestEdit:
 
 
 class TestCrashDegradation:
-    def test_checker_crash_is_reported_not_fatal(self, tmp_path):
-        # A pathologically deep expression blows the recursion limit inside
-        # the checker; through the service layer that surfaces as an
-        # internal-error *response* the watcher reports and survives.
+    def test_checker_crash_is_reported_not_fatal(self, tmp_path, monkeypatch):
+        # An injected checker crash (deep nesting now degrades to an
+        # RSC-INT-001 diagnostic instead of blowing the recursion limit)
+        # surfaces through the service layer as an internal-error *response*
+        # the watcher reports and survives.
+        from repro.core.workspace import Workspace
+        real_open = Workspace.open
+
+        def crashing_open(self, uri, text=None, **kwargs):
+            if "// BOOM" in (text if text is not None
+                             else pathlib.Path(uri).read_text()):
+                raise RecursionError("injected checker crash")
+            return real_open(self, uri, text, **kwargs)
+
+        monkeypatch.setattr(Workspace, "open", crashing_open)
         bomb = tmp_path / "bomb.rsc"
-        bomb.write_text("function f() { return " + "(" * 4000 + ";")
+        bomb.write_text("// BOOM\n" + SAFE_SOURCE)
         good = tmp_path / "good.rsc"
         good.write_text(SAFE_SOURCE)
         out = io.StringIO()
